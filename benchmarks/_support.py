@@ -1,0 +1,93 @@
+"""Helpers shared by the response-time figure benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.array.raidops import ArrayMode
+from repro.experiments.report import (
+    render_response_curves,
+    render_seek_mix_table,
+)
+from repro.experiments.response import ResponseCurve, run_figure
+from repro.experiments.seeks import run_seek_mix
+from repro.workload.spec import AccessSpec
+
+LAYOUTS = ("datum", "parity-declustering", "raid5", "pddl", "prime")
+
+
+def run_panel(
+    size_kb: int,
+    is_write: bool,
+    clients: Sequence[int],
+    samples: int,
+    mode: ArrayMode = ArrayMode.FAULT_FREE,
+    layouts: Sequence[str] = LAYOUTS,
+    seed: int = 0,
+) -> Dict[str, ResponseCurve]:
+    """One figure panel (all layout curves at one access size/type/mode)."""
+    return run_figure(
+        layouts,
+        AccessSpec(size_kb, is_write),
+        clients,
+        mode=mode,
+        max_samples=samples,
+        use_stopping_rule=False,
+        warmup=max(10, samples // 10),
+        seed=seed,
+    )
+
+
+def print_panel(title: str, curves: Dict[str, ResponseCurve]) -> None:
+    print()
+    print(title)
+    print(render_response_curves(curves))
+
+
+def run_figure_sweep(
+    sizes_kb: Sequence[int],
+    is_write: bool,
+    clients: Sequence[int],
+    samples: int,
+    mode: ArrayMode,
+    figure_name: str,
+) -> Dict[int, Dict[str, ResponseCurve]]:
+    """All panels of one figure, printing as it goes."""
+    panels = {}
+    for size_kb in sizes_kb:
+        curves = run_panel(size_kb, is_write, clients, samples, mode=mode)
+        kind = "writes" if is_write else "reads"
+        print_panel(
+            f"{figure_name}: {size_kb}KB {kind}, {mode.value}", curves
+        )
+        panels[size_kb] = curves
+    return panels
+
+
+def final_response(curves: Dict[str, ResponseCurve], name: str) -> float:
+    return curves[name].points[-1].mean_response_ms
+
+
+def first_response(curves: Dict[str, ResponseCurve], name: str) -> float:
+    return curves[name].points[0].mean_response_ms
+
+
+def print_seek_panel(
+    title: str,
+    layouts: Sequence[str],
+    sizes_kb: Sequence[int],
+    is_write: bool,
+    mode: ArrayMode,
+    samples: int,
+):
+    mixes = run_seek_mix(
+        layouts,
+        sizes_kb,
+        is_write,
+        mode=mode,
+        samples_per_point=samples,
+    )
+    print()
+    print(title)
+    print(render_seek_mix_table(mixes, sizes_kb))
+    return mixes

@@ -1,0 +1,82 @@
+"""Ablation — stripe unit size (the paper's declared open question).
+
+"A very interesting question we leave open here is the issue of the
+optimal stripe unit size" (§4).  Sweeps 4/8/16/32 KB units for PDDL at a
+fixed 96 KB access.  Expected (the classic Chen/Lee tradeoff the paper
+cites [4]): small units buy parallelism and win at light load; large
+units cut per-access positioning overhead and win under concurrency —
+the optimal unit grows with load.
+"""
+
+import random
+
+from repro.array.controller import ArrayController
+from repro.experiments.config import paper_layout
+from repro.experiments.report import render_table
+from repro.sim.engine import SimulationEngine
+from repro.stats.summary import SummaryStats
+from repro.workload.client import ClosedLoopClient
+from repro.workload.generators import UniformGenerator
+from repro.workload.spec import AccessSpec
+
+UNIT_SIZES_KB = (4, 8, 16, 32)
+ACCESS_KB = 96
+
+
+def _run(unit_kb, samples, clients, seed=0):
+    engine = SimulationEngine()
+    controller = ArrayController(
+        engine, paper_layout("pddl"), stripe_unit_kb=unit_kb
+    )
+    stats = SummaryStats()
+
+    def on_response(client, access, ms):
+        stats.push(ms)
+        if stats.count >= samples:
+            engine.stop()
+            return False
+        return True
+
+    spec = AccessSpec(ACCESS_KB, False)
+    for c in range(clients):
+        gen = UniformGenerator(
+            controller.addressable_data_units,
+            spec.units(unit_kb),
+            random.Random(f"{seed}/{c}"),
+        )
+        ClosedLoopClient(
+            c, controller, gen, spec, on_response, stripe_unit_kb=unit_kb
+        ).start()
+    engine.run()
+    return stats.mean
+
+
+def test_ablation_stripe_unit_size(benchmark, bench_samples):
+    def run_all():
+        return {
+            (unit, clients): _run(unit, bench_samples, clients)
+            for unit in UNIT_SIZES_KB
+            for clients in (1, 15)
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    print(f"Ablation: stripe unit size (PDDL, {ACCESS_KB}KB reads)")
+    print(
+        render_table(
+            ["unit KB", "clients", "mean response ms"],
+            [
+                [unit, clients, f"{ms:.2f}"]
+                for (unit, clients), ms in sorted(results.items())
+            ],
+        )
+    )
+
+    # Light load: small units parallelize the access across more disks.
+    assert results[(4, 1)] <= results[(32, 1)]
+    # Heavy load: large units do fewer, cheaper operations per access.
+    assert results[(32, 15)] < results[(4, 15)]
+    # The knob matters: at least 20% swing somewhere in the sweep.
+    values = list(results.values())
+    assert max(values) > 1.2 * min(values)

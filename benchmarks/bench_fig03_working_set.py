@@ -1,0 +1,52 @@
+"""Figure 3 — Disk working set sizes.
+
+Regenerates the figure's full grid: five layouts x six access sizes x
+{ffread, ffwrite, f1read, f1write}, computed exactly by averaging over
+every start offset of one layout pattern.  Expected shape (paper §4):
+
+- RAID-5 maximal everywhere, saturating first;
+- DATUM smallest throughout;
+- PDDL above Parity Declustering below ~120 KB and below it above;
+- Parity Declustering, DATUM, PDDL never reach 13 for any read size.
+"""
+
+from repro.experiments.workingset import FIGURE3_SIZES_KB, figure3_table
+from repro.experiments.report import render_working_set_table
+
+
+def test_figure3_working_sets(benchmark):
+    table = benchmark.pedantic(figure3_table, rounds=1, iterations=1)
+
+    print()
+    print("Figure 3: disk working set sizes (mean disks touched)")
+    print(render_working_set_table(table, FIGURE3_SIZES_KB))
+
+    def dws(name, size, cond="ffread"):
+        return table[(name, size, cond)]
+
+    # RAID-5 satisfies maximal parallelism optimally.
+    for size in FIGURE3_SIZES_KB:
+        assert dws("raid5", size) == min(13, size // 8)
+
+    # Small-access ordering (sizes up to 120 KB):
+    for size in (48, 96):
+        assert dws("datum", size) <= dws("parity-declustering", size)
+        assert dws("parity-declustering", size) <= dws("pddl", size)
+        assert dws("pddl", size) <= dws("prime", size)
+        assert dws("prime", size) <= dws("raid5", size)
+
+    # The PDDL / Parity Declustering switch above 120 KB:
+    for size in (144, 192, 240):
+        assert dws("pddl", size) <= dws("parity-declustering", size)
+
+    # Declustered layouts never reach 13 for any read size in the figure.
+    for size in FIGURE3_SIZES_KB:
+        for name in ("datum", "parity-declustering", "pddl"):
+            assert dws(name, size) < 13.0
+
+    # Degraded RAID-5 reads fan out hard (the rationale for declustering);
+    # PDDL's stay essentially flat (lost units reconstruct from disks the
+    # access mostly already touches).
+    assert dws("raid5", 48, "f1read") > dws("raid5", 48, "ffread")
+    assert abs(dws("pddl", 96, "f1read") - dws("pddl", 96, "ffread")) < 0.5
+    assert dws("raid5", 48, "f1write") >= dws("raid5", 48, "ffwrite")

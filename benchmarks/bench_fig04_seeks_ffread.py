@@ -1,0 +1,63 @@
+"""Figure 4 — Fault-free read: seek and no-switch counts.
+
+Each (layout, access size) column decomposes the physical operations of an
+average logical access into non-local seeks, local cylinder switches,
+local track switches, and no-switch operations.  Expected shape (paper
+§4.1):
+
+- the non-local seek count equals the disk working set size of Figure 3
+  (the cross-check the paper highlights);
+- RAID-5 and PRIME carry the most non-local seeks, DATUM the fewest;
+- counts are nearly independent of the workload level.
+"""
+
+import pytest
+
+from repro.array.raidops import ArrayMode
+from repro.experiments.config import paper_layout
+from repro.stats.workingset import average_working_set
+
+from benchmarks._support import LAYOUTS, print_seek_panel
+
+
+def test_figure4_fault_free_read_seeks(
+    benchmark, bench_seek_sizes_kb, bench_samples
+):
+    mixes = benchmark.pedantic(
+        print_seek_panel,
+        args=(
+            "Figure 4: fault-free read seek/no-switch counts per access",
+            LAYOUTS,
+            bench_seek_sizes_kb,
+            False,
+            ArrayMode.FAULT_FREE,
+            bench_samples,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Non-local seeks == Figure 3 working set (independently determined).
+    for name in LAYOUTS:
+        for size in bench_seek_sizes_kb:
+            analytic = average_working_set(
+                paper_layout(name), size // 8, False
+            )
+            measured = mixes[(name, size)].non_local
+            assert measured == pytest.approx(analytic, rel=0.12), (
+                name, size,
+            )
+
+    # Orderings at a mid size: DATUM fewest non-local seeks, RAID-5/PRIME
+    # the most.
+    size = 96 if 96 in bench_seek_sizes_kb else bench_seek_sizes_kb[1]
+    nonlocal_ = {n: mixes[(n, size)].non_local for n in LAYOUTS}
+    assert nonlocal_["datum"] == min(nonlocal_.values())
+    assert max(nonlocal_, key=nonlocal_.get) in ("raid5", "prime")
+
+    # Totals: one physical operation per stripe unit read.
+    for name in LAYOUTS:
+        biggest = bench_seek_sizes_kb[-1]
+        assert mixes[(name, biggest)].total == pytest.approx(
+            biggest // 8, rel=0.05
+        )

@@ -1,0 +1,59 @@
+"""Figure 5 — Read response times, failure-free mode.
+
+Regenerates the figure's series: response time vs measured throughput for
+the five layouts, across access sizes and closed-loop client counts.
+Expected shape (paper §4.1):
+
+- at 8 KB all layouts perform similarly;
+- light load: PRIME and RAID-5 lead, PDDL next, DATUM trails;
+- heavy load: the curves cross — DATUM becomes best, PDDL second.
+"""
+
+from repro.array.raidops import ArrayMode
+
+from benchmarks._support import (
+    final_response,
+    first_response,
+    run_figure_sweep,
+)
+
+
+def test_figure5_fault_free_reads(
+    benchmark, bench_sizes_kb, bench_clients, bench_samples
+):
+    panels = benchmark.pedantic(
+        run_figure_sweep,
+        args=(
+            bench_sizes_kb,
+            False,
+            bench_clients,
+            bench_samples,
+            ArrayMode.FAULT_FREE,
+            "Figure 5",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # 8KB: performance is very similar for all layouts.
+    small = panels[8]
+    lights = [first_response(small, name) for name in small]
+    assert max(lights) / min(lights) < 1.3
+
+    for size in bench_sizes_kb:
+        if size < 48:
+            continue
+        curves = panels[size]
+        # Light load: PRIME beats DATUM and Parity Declustering; PDDL beats
+        # DATUM.
+        assert first_response(curves, "prime") < first_response(
+            curves, "datum"
+        )
+        assert first_response(curves, "pddl") < first_response(
+            curves, "datum"
+        )
+        # Heavy load: the crossover — DATUM ends up best or tied-best.
+        finals = {name: final_response(curves, name) for name in curves}
+        assert finals["datum"] <= min(finals.values()) * 1.05
+        # PDDL is competitive at heavy load (within the top half).
+        assert finals["pddl"] <= sorted(finals.values())[2] * 1.10

@@ -1,0 +1,55 @@
+"""Figure 6 — Read response times, single-failure (degraded) mode.
+
+PDDL runs in reconstruction mode (lost units rebuilt on the fly from the
+stripe's survivors).  Expected shape (paper §4.1): the fault-free
+relationships persist quantitatively shifted, except RAID-5, whose
+"run-time performance degrades significantly; this phenomenon is, in fact,
+the rationale for declustering".
+"""
+
+from repro.array.raidops import ArrayMode
+
+from benchmarks._support import (
+    final_response,
+    run_figure_sweep,
+    run_panel,
+)
+
+
+def test_figure6_degraded_reads(
+    benchmark, bench_sizes_kb, bench_clients, bench_samples
+):
+    panels = benchmark.pedantic(
+        run_figure_sweep,
+        args=(
+            bench_sizes_kb,
+            False,
+            bench_clients,
+            bench_samples,
+            ArrayMode.DEGRADED,
+            "Figure 6",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # RAID-5 degrades far more than the declustered layouts: compare the
+    # degraded/fault-free blow-up at a mid access size under load.
+    size = 48 if 48 in panels else list(panels)[1]
+    degraded = panels[size]
+    clean = run_panel(size, False, [bench_clients[-1]], bench_samples)
+    for declustered in ("pddl", "datum", "parity-declustering"):
+        raid5_blowup = (
+            final_response(degraded, "raid5")
+            / final_response(clean, "raid5")
+        )
+        other_blowup = (
+            final_response(degraded, declustered)
+            / final_response(clean, declustered)
+        )
+        assert raid5_blowup > other_blowup
+
+    # Declustered layouts stay ordered sanely under failure: DATUM keeps
+    # its heavy-load lead.
+    finals = {name: final_response(degraded, name) for name in degraded}
+    assert finals["datum"] <= finals["raid5"]

@@ -1,0 +1,50 @@
+"""Figure 7 — Degraded read: seek and no-switch counts.
+
+Expected shape (paper §4.1): similar to the fault-free tallies (Figure 4)
+with quantitative growth — on-the-fly reconstruction adds operations —
+and RAID-5's totals grow the most (its surviving disks absorb the whole
+failed disk's load).
+"""
+
+from repro.array.raidops import ArrayMode
+
+from benchmarks._support import LAYOUTS, print_seek_panel
+
+
+def test_figure7_degraded_read_seeks(
+    benchmark, bench_seek_sizes_kb, bench_samples
+):
+    mixes = benchmark.pedantic(
+        print_seek_panel,
+        args=(
+            "Figure 7: degraded read seek/no-switch counts per access",
+            LAYOUTS,
+            bench_seek_sizes_kb,
+            False,
+            ArrayMode.DEGRADED,
+            bench_samples,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    from repro.experiments.seeks import run_seek_mix
+
+    clean = run_seek_mix(
+        LAYOUTS,
+        bench_seek_sizes_kb,
+        False,
+        mode=ArrayMode.FAULT_FREE,
+        samples_per_point=bench_samples,
+    )
+
+    size = bench_seek_sizes_kb[-1]
+    for name in LAYOUTS:
+        # Reconstruction adds physical operations.
+        assert mixes[(name, size)].total >= clean[(name, size)].total * 0.98
+    # RAID-5 gains the most extra work per degraded access.
+    gains = {
+        name: mixes[(name, size)].total - clean[(name, size)].total
+        for name in LAYOUTS
+    }
+    assert gains["raid5"] == max(gains.values())

@@ -1,0 +1,66 @@
+"""Figure 8 — Write response times, failure-free mode.
+
+Expected shape (paper §4.2): similar at 8 KB; for larger accesses PRIME,
+DATUM and PDDL beat Parity Declustering, with the gap growing with size;
+RAID-5 is much slower at 48 KB because its stripe is 13 wide — every write
+is a small write (read-modify-write), while the k = 4 layouts get frequent
+full-stripe writes.
+"""
+
+from repro.array.raidops import ArrayMode
+
+from benchmarks._support import (
+    final_response,
+    first_response,
+    run_figure_sweep,
+)
+
+
+def test_figure8_fault_free_writes(
+    benchmark, bench_sizes_kb, bench_clients, bench_samples
+):
+    panels = benchmark.pedantic(
+        run_figure_sweep,
+        args=(
+            bench_sizes_kb,
+            True,
+            bench_clients,
+            bench_samples,
+            ArrayMode.FAULT_FREE,
+            "Figure 8",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # 8KB: similar across layouts.
+    small = panels[8]
+    lights = [first_response(small, name) for name in small]
+    assert max(lights) / min(lights) < 1.4
+
+    # 48KB: RAID-5 pays read-modify-write on every access while the
+    # declustered layouts mostly write full stripes.
+    if 48 in panels:
+        curves = panels[48]
+        for name in ("pddl", "datum", "prime"):
+            assert final_response(curves, "raid5") > final_response(
+                curves, name
+            )
+
+    # Large writes: DATUM/PDDL ahead of Parity Declustering under load.
+    biggest = panels[max(panels)]
+    pd = final_response(biggest, "parity-declustering")
+    for name in ("pddl", "datum"):
+        assert final_response(biggest, name) <= pd * 1.10
+
+    # §5: "for light to moderate workloads, PDDL has among the very best
+    # response times especially for write intensive workloads."
+    for size in bench_sizes_kb:
+        if size < 48:
+            continue
+        curves = panels[size]
+        best_light = min(first_response(curves, n) for n in curves)
+        assert first_response(curves, "pddl") <= best_light * 1.05, size
+        # RAID-5 is the worst writer under load at every size.
+        finals = {n: final_response(curves, n) for n in curves}
+        assert finals["raid5"] == max(finals.values()), size

@@ -1,0 +1,51 @@
+"""Figure 9 — Write response times, single-failure (degraded) mode.
+
+Expected shape (paper §4.2): the declustered layouts are *slightly better*
+than failure-free (large writes skip the failed disk); RAID-5 degrades,
+most at small sizes, where every write touching the failed disk is forced
+into large-write form with more physical reads.
+"""
+
+from repro.array.raidops import ArrayMode
+
+from benchmarks._support import (
+    final_response,
+    run_figure_sweep,
+    run_panel,
+)
+
+
+def test_figure9_degraded_writes(
+    benchmark, bench_sizes_kb, bench_clients, bench_samples
+):
+    panels = benchmark.pedantic(
+        run_figure_sweep,
+        args=(
+            bench_sizes_kb,
+            True,
+            bench_clients,
+            bench_samples,
+            ArrayMode.DEGRADED,
+            "Figure 9",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    heavy = bench_clients[-1]
+    for size in (panels.keys() & {96, 240}) or [max(panels)]:
+        degraded = panels[size]
+        clean = run_panel(size, True, [heavy], bench_samples)
+        # Declustered degraded writes: no worse than fault-free + margin.
+        for name in ("pddl", "datum", "prime"):
+            assert final_response(degraded, name) <= (
+                final_response(clean, name) * 1.15
+            ), (name, size)
+
+    # RAID-5 degrades relative to fault-free at the smaller sizes.
+    size = min(p for p in panels if p >= 48)
+    degraded = panels[size]
+    clean = run_panel(size, True, [heavy], bench_samples)
+    assert final_response(degraded, "raid5") > final_response(
+        clean, "raid5"
+    ) * 0.95

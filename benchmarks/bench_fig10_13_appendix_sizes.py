@@ -1,0 +1,69 @@
+"""Figures 10-13 — Appendix access sizes (24..288 KB), reads and writes,
+fault-free and degraded.
+
+The appendix panels fill in the sizes between the body figures; their
+expected shapes are identical in kind: light-load order PRIME/RAID-5 >
+PDDL > Parity Declustering > DATUM for reads, crossover to DATUM/PDDL
+under heavy load, and declustered writes beating Parity Declustering.
+"""
+
+from repro.array.raidops import ArrayMode
+
+from benchmarks._support import (
+    final_response,
+    first_response,
+    run_panel,
+    print_panel,
+)
+
+APPENDIX_SIZES_KB = (24, 72, 120, 168, 216, 288)
+
+
+def _subset(full: bool):
+    return APPENDIX_SIZES_KB if full else (24, 120, 288)
+
+
+def test_figures10_to_13_appendix_sizes(benchmark, bench_samples):
+    import os
+
+    sizes = _subset(os.environ.get("REPRO_BENCH_FULL", "0") == "1")
+    clients = (1, 25)
+
+    def run_all():
+        out = {}
+        for size in sizes:
+            for is_write, mode, figure in (
+                (False, ArrayMode.FAULT_FREE, "Figure 10"),
+                (True, ArrayMode.FAULT_FREE, "Figure 11"),
+                (False, ArrayMode.DEGRADED, "Figure 12"),
+                (True, ArrayMode.DEGRADED, "Figure 13"),
+            ):
+                curves = run_panel(
+                    size, is_write, clients, bench_samples, mode=mode
+                )
+                kind = "writes" if is_write else "reads"
+                print_panel(
+                    f"{figure}: {size}KB {kind}, {mode.value}", curves
+                )
+                out[(size, is_write, mode)] = curves
+        return out
+
+    panels = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for size in sizes:
+        if size < 48:
+            continue
+        ff_reads = panels[(size, False, ArrayMode.FAULT_FREE)]
+        # Light load: PRIME leads DATUM.
+        assert first_response(ff_reads, "prime") < first_response(
+            ff_reads, "datum"
+        )
+        # Heavy load: DATUM within 10% of the best.
+        finals = {n: final_response(ff_reads, n) for n in ff_reads}
+        assert finals["datum"] <= min(finals.values()) * 1.10
+
+        ff_writes = panels[(size, True, ArrayMode.FAULT_FREE)]
+        # Declustered writes beat Parity Declustering as size grows.
+        if size >= 120:
+            pd = final_response(ff_writes, "parity-declustering")
+            assert final_response(ff_writes, "pddl") <= pd * 1.10

@@ -1,0 +1,48 @@
+"""Figure 14 — 336 KB accesses: all four type/mode combinations.
+
+The paper's largest access size.  Expected shape: PDDL and DATUM at or
+near the front for both reads and writes under load ("PDDL expeditiously
+carries out its tasks" for very large accesses — §5 links this to goal #8
+super-stripe behaviour), with Parity Declustering trailing on writes.
+"""
+
+from repro.array.raidops import ArrayMode
+
+from benchmarks._support import final_response, print_panel, run_panel
+
+
+def test_figure14_336kb_accesses(benchmark, bench_samples):
+    clients = (1, 10, 25)
+
+    def run_all():
+        out = {}
+        for is_write, mode in (
+            (False, ArrayMode.FAULT_FREE),
+            (True, ArrayMode.FAULT_FREE),
+            (False, ArrayMode.DEGRADED),
+            (True, ArrayMode.DEGRADED),
+        ):
+            curves = run_panel(336, is_write, clients, bench_samples, mode=mode)
+            kind = "writes" if is_write else "reads"
+            print_panel(f"Figure 14: 336KB {kind}, {mode.value}", curves)
+            out[(is_write, mode)] = curves
+        return out
+
+    panels = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    ff_reads = panels[(False, ArrayMode.FAULT_FREE)]
+    finals = {n: final_response(ff_reads, n) for n in ff_reads}
+    ranked = sorted(finals, key=finals.get)
+    # Heavy-load very-large reads: DATUM and PDDL in the top three.
+    assert "datum" in ranked[:3]
+    assert "pddl" in ranked[:3]
+
+    ff_writes = panels[(True, ArrayMode.FAULT_FREE)]
+    pd = final_response(ff_writes, "parity-declustering")
+    assert final_response(ff_writes, "pddl") <= pd * 1.05
+
+    # Degraded writes stay no worse than fault-free for PDDL.
+    f1_writes = panels[(True, ArrayMode.DEGRADED)]
+    assert final_response(f1_writes, "pddl") <= (
+        final_response(ff_writes, "pddl") * 1.15
+    )

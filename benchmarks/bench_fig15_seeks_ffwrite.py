@@ -1,0 +1,52 @@
+"""Figure 15 — Fault-free write: seek and no-switch counts.
+
+Expected shape (paper appendix): totals exceed the read tallies (pre-reads
+plus parity writes); RAID-5's 48 KB column is inflated by universal
+read-modify-write; the distribution across local classes mirrors the
+fault-free read tallies.
+"""
+
+from repro.array.raidops import ArrayMode
+
+from benchmarks._support import LAYOUTS, print_seek_panel
+
+
+def test_figure15_fault_free_write_seeks(
+    benchmark, bench_seek_sizes_kb, bench_samples
+):
+    mixes = benchmark.pedantic(
+        print_seek_panel,
+        args=(
+            "Figure 15: fault-free write seek/no-switch counts per access",
+            LAYOUTS,
+            bench_seek_sizes_kb,
+            True,
+            ArrayMode.FAULT_FREE,
+            bench_samples,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    from repro.experiments.seeks import run_seek_mix
+
+    reads = run_seek_mix(
+        LAYOUTS,
+        bench_seek_sizes_kb,
+        False,
+        mode=ArrayMode.FAULT_FREE,
+        samples_per_point=bench_samples,
+    )
+    for name in LAYOUTS:
+        for size in bench_seek_sizes_kb:
+            # Writes always do more physical work than same-size reads.
+            assert mixes[(name, size)].total > reads[(name, size)].total
+
+    # RAID-5 implements every 48KB write as a small write (read old data +
+    # parity), roughly doubling its operation count relative to the k=4
+    # layouts, which mostly write full stripes.
+    if 48 in bench_seek_sizes_kb:
+        assert (
+            mixes[("raid5", 48)].total
+            > mixes[("pddl", 48)].total * 1.3
+        )

@@ -1,0 +1,55 @@
+"""Figure 16 — Degraded write: seek and no-switch counts.
+
+Expected shape (paper appendix): declustered layouts do *less* physical
+work than fault-free (the failed disk cannot be written; one disk's worth
+of writes disappears), while RAID-5's small accesses are forced into
+large-write form with extra reads.
+"""
+
+from repro.array.raidops import ArrayMode
+
+from benchmarks._support import LAYOUTS, print_seek_panel
+
+
+def test_figure16_degraded_write_seeks(
+    benchmark, bench_seek_sizes_kb, bench_samples
+):
+    mixes = benchmark.pedantic(
+        print_seek_panel,
+        args=(
+            "Figure 16: degraded write seek/no-switch counts per access",
+            LAYOUTS,
+            bench_seek_sizes_kb,
+            True,
+            ArrayMode.DEGRADED,
+            bench_samples,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    from repro.experiments.seeks import run_seek_mix
+
+    clean = run_seek_mix(
+        LAYOUTS,
+        bench_seek_sizes_kb,
+        True,
+        mode=ArrayMode.FAULT_FREE,
+        samples_per_point=bench_samples,
+    )
+
+    # Declustered layouts: degraded writes at large sizes do no more work.
+    size = bench_seek_sizes_kb[-1]
+    for name in ("pddl", "datum", "prime", "parity-declustering"):
+        assert mixes[(name, size)].total <= clean[(name, size)].total * 1.05
+
+    # RAID-5 at small sizes: a stripe that lost a *written* unit is forced
+    # into large-write form, reading the k-1-m untouched units — far more
+    # than the small write's m+1 pre-reads when m is small.  (At ~half a
+    # stripe the two forms cost the same, so the paper notes the effect
+    # "is less pronounced for larger access sizes".)
+    small = bench_seek_sizes_kb[0]
+    assert (
+        mixes[("raid5", small)].total
+        > clean[("raid5", small)].total * 0.99
+    )

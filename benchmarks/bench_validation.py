@@ -1,0 +1,40 @@
+"""Validation — analytic model vs event simulation.
+
+Extends the paper's Figure-3-vs-Figure-4 cross-check: every quantity the
+library can compute both analytically (exact plan enumeration) and by
+simulation (mechanical drives + SSTF queues) must agree within sampling
+noise.  Failures here mean simulator drift, not workload variance.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.validation import validation_rows
+
+
+def test_validation_analytic_vs_simulated(benchmark, bench_samples):
+    rows = benchmark.pedantic(
+        validation_rows,
+        kwargs=dict(samples=max(250, bench_samples)),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print("Validation: analytic vs simulated")
+    print(
+        render_table(
+            ["quantity", "layout", "analytic", "simulated", "rel err"],
+            [
+                [
+                    row.quantity,
+                    row.layout,
+                    f"{row.analytic:.3f}",
+                    f"{row.simulated:.3f}",
+                    f"{row.relative_error:.1%}",
+                ]
+                for row in rows
+            ],
+        )
+    )
+
+    for row in rows:
+        assert row.relative_error < 0.10, (row.quantity, row.layout)

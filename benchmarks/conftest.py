@@ -1,0 +1,59 @@
+"""Shared configuration for the figure/table reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the reproduced rows/series.  Runs are bounded by default so the
+full suite finishes in minutes; set ``REPRO_BENCH_SCALE`` (default 1) to
+2-10 for paper-strength sample counts, and ``REPRO_BENCH_FULL=1`` to sweep
+every access size and client count instead of the representative subsets.
+"""
+
+import os
+
+import pytest
+
+
+def _scale() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def _full() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> int:
+    """Multiplier on per-point sample counts."""
+    return _scale()
+
+
+@pytest.fixture(scope="session")
+def bench_samples(bench_scale) -> int:
+    """Closed-loop samples per simulated point."""
+    return 150 * bench_scale
+
+
+@pytest.fixture(scope="session")
+def bench_sizes_kb():
+    """Access sizes for response-time figures."""
+    if _full():
+        return (8, 48, 96, 144, 192, 240)
+    return (8, 48, 96, 240)
+
+
+@pytest.fixture(scope="session")
+def bench_clients():
+    """Closed-loop client counts for response-time figures."""
+    if _full():
+        return (1, 2, 4, 8, 10, 15, 20, 25)
+    return (1, 4, 10, 25)
+
+
+@pytest.fixture(scope="session")
+def bench_seek_sizes_kb():
+    """Access sizes for the seek-mix figures (4, 7, 15, 16)."""
+    if _full():
+        return (8, 48, 96, 144, 192, 240, 288, 336)
+    return (8, 48, 96, 192, 336)
+
+
+LAYOUTS = ("datum", "parity-declustering", "raid5", "pddl", "prime")

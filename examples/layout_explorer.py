@@ -1,0 +1,68 @@
+"""Explore every layout's goal profile, working sets, and mapping costs.
+
+Prints the paper's qualitative comparison as three tables: the goal matrix
+(§1's eight goals, machine-checked), the Figure 3 working sets, and the
+Table 3 implementation costs.
+
+Run:  python examples/layout_explorer.py
+"""
+
+from repro import check_layout, make_layout
+from repro.experiments.report import render_table, render_working_set_table
+from repro.experiments.table3 import table3_rows
+from repro.layouts.registry import DISPLAY_NAMES
+from repro.stats.workingset import working_set_table
+
+CONFIGS = {
+    "pddl": (13, 4),
+    "datum": (13, 4),
+    "prime": (13, 4),
+    "parity-declustering": (13, 4),
+    "raid5": (13, 13),
+    "pseudo-random": (13, 4),
+}
+
+
+def main() -> None:
+    layouts = {
+        name: make_layout(name, n, k) for name, (n, k) in CONFIGS.items()
+    }
+
+    print("Goal matrix (paper §1; o = satisfied):")
+    rows = []
+    for name, layout in layouts.items():
+        report = check_layout(layout)
+        met = set(report.goals_met())
+        rows.append(
+            [DISPLAY_NAMES[name]]
+            + [("o" if goal in met else ".") for goal in range(1, 9)]
+        )
+    print(render_table(["layout", *(f"#{g}" for g in range(1, 9))], rows))
+
+    print("\nDisk working sets, 96KB accesses (Figure 3 excerpt):")
+    subset = {n: layouts[n] for n in ("pddl", "datum", "prime",
+                                      "parity-declustering", "raid5")}
+    table = working_set_table(subset, sizes_kb=[96])
+    print(render_working_set_table(table, [96]))
+
+    print("\nImplementation costs (Table 3):")
+    rows3 = table3_rows(iterations=20_000)
+    print(
+        render_table(
+            ["scheme", "table entries", "sparing", "period", "ns/mapping"],
+            [
+                [
+                    row.scheme,
+                    row.table_entries,
+                    "yes" if row.sparing else "no",
+                    row.period_rows or "expected only",
+                    f"{row.translation_ns:.0f}",
+                ]
+                for row in rows3.values()
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

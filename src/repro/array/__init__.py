@@ -1,0 +1,23 @@
+"""Array controller: logical accesses to per-disk physical operations.
+
+:mod:`~repro.array.raidops` is the pure planning core — given a layout, an
+operating mode, and a logical access it produces the phased operation graph
+(pre-reads before writes, on-the-fly reconstruction for degraded reads,
+spare-space redirection after rebuild).  :mod:`~repro.array.controller`
+executes plans on the event engine against mechanical drives;
+:mod:`~repro.array.reconstructor` is the background rebuild process.
+"""
+
+from repro.array.controller import ArrayController, LogicalAccess
+from repro.array.raidops import AccessPlan, ArrayMode, UnitOp, plan_access
+from repro.array.reconstructor import Reconstructor
+
+__all__ = [
+    "AccessPlan",
+    "ArrayController",
+    "ArrayMode",
+    "LogicalAccess",
+    "Reconstructor",
+    "UnitOp",
+    "plan_access",
+]

@@ -1,0 +1,323 @@
+"""The array controller: executes access plans on mechanical drives.
+
+One :class:`DiskServer` per spindle owns a scheduler queue and serializes
+service; the controller fans each logical access's current phase out to the
+servers and advances to the next phase when all its operations complete.
+Response time is measured from ``submit`` to final completion, matching the
+paper's "average time elapsed from the moment a client requests a logical
+access, to the moment the array completes the access".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.array.raidops import AccessPlan, ArrayMode, plan_access
+from repro.disk.drive import DiskDrive, DiskRequest
+from repro.disk.hp2247 import make_hp2247
+from repro.disk.scheduler import Scheduler, make_scheduler
+from repro.disk.stats import DiskStats, classify_operation
+from repro.errors import ConfigurationError, SimulationError
+from repro.layouts.base import Layout
+from repro.sim.engine import SimulationEngine
+
+
+@dataclass(frozen=True)
+class LogicalAccess:
+    """A client request: ``unit_count`` contiguous data units."""
+
+    access_id: int
+    first_unit: int
+    unit_count: int
+    is_write: bool
+
+
+@dataclass
+class _InFlight:
+    access: LogicalAccess
+    plan: AccessPlan
+    submitted_ms: float
+    on_complete: Callable[[LogicalAccess, float], None]
+    phase: int = 0
+    outstanding: int = 0
+
+
+class DiskServer:
+    """One drive + queue + busy state, attached to the engine."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        drive: DiskDrive,
+        scheduler: Scheduler,
+        on_done: Callable[[DiskRequest], None],
+    ):
+        self.engine = engine
+        self.drive = drive
+        self.scheduler = scheduler
+        self.stats = DiskStats()
+        self.busy = False
+        self.failed = False
+        self._on_done = on_done
+
+    def submit(self, request: DiskRequest) -> None:
+        if self.failed:
+            raise SimulationError("request routed to a failed disk")
+        self.scheduler.push(request)
+        if not self.busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        request = self.scheduler.pop(self.drive.cylinder)
+        if request is None:
+            self.busy = False
+            return
+        self.busy = True
+        record = self.drive.service(request, self.engine.now)
+        local = self.stats.last_access_id == request.access_id
+        self.stats.last_access_id = request.access_id
+        self.stats.record(
+            classify_operation(
+                local, record.cylinder_changed, record.head_changed
+            ),
+            record.seek_ms,
+            record.latency_ms,
+            record.transfer_ms,
+        )
+        self.engine.schedule(
+            record.total_ms, lambda req=request: self._complete(req)
+        )
+
+    def _complete(self, request: DiskRequest) -> None:
+        self._on_done(request)
+        self._start_next()
+
+
+class ArrayController:
+    """A simulated disk array.
+
+    >>> from repro.sim.engine import SimulationEngine
+    >>> from repro.layouts import make_layout
+    >>> engine = SimulationEngine()
+    >>> array = ArrayController(engine, make_layout("raid5", 13, 13))
+    >>> array.addressable_data_units > 1_000_000
+    True
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        layout: Layout,
+        drive_factory: Callable[[], DiskDrive] = make_hp2247,
+        scheduler_name: str = "sstf",
+        scheduler_window: int = 20,
+        stripe_unit_kb: int = 8,
+        sector_bytes: int = 512,
+        coalesce: bool = True,
+    ):
+        if stripe_unit_kb < 1:
+            raise ConfigurationError("stripe unit must be >= 1 KB")
+        self.coalesce = coalesce
+        self.engine = engine
+        self.layout = layout
+        self.stripe_unit_sectors = stripe_unit_kb * 1024 // sector_bytes
+        self.mode = ArrayMode.FAULT_FREE
+        self.failed_disk: Optional[int] = None
+        self.servers: List[DiskServer] = []
+        for _ in range(layout.n):
+            drive = drive_factory()
+            scheduler = make_scheduler(
+                scheduler_name, drive.geometry, window=scheduler_window
+            )
+            self.servers.append(
+                DiskServer(engine, drive, scheduler, self._request_done)
+            )
+        units_per_disk = (
+            self.servers[0].drive.geometry.total_sectors
+            // self.stripe_unit_sectors
+        )
+        self.periods = units_per_disk // layout.period
+        if self.periods < 1:
+            raise ConfigurationError(
+                "disk too small for one layout pattern"
+            )
+        self.addressable_data_units = (
+            self.periods * layout.data_units_per_period
+        )
+        self._in_flight: Dict[int, _InFlight] = {}
+        self._raw_callbacks: Dict[int, Callable[[], None]] = {}
+        self._raw_counter = 0
+        self.completed_accesses = 0
+
+    # ------------------------------------------------------------------
+    # Failure control.
+    # ------------------------------------------------------------------
+
+    def fail_disk(self, disk: int) -> None:
+        """Enter degraded (reconstruction) mode."""
+        if not 0 <= disk < self.layout.n:
+            raise ConfigurationError(f"no disk {disk}")
+        self.failed_disk = disk
+        self.servers[disk].failed = True
+        self.mode = ArrayMode.DEGRADED
+
+    def finish_reconstruction(self) -> None:
+        """Enter post-reconstruction mode (spare space holds rebuilt data)."""
+        if self.mode is not ArrayMode.DEGRADED:
+            raise SimulationError("no reconstruction in progress")
+        self.mode = ArrayMode.POST_RECONSTRUCTION
+
+    # ------------------------------------------------------------------
+    # Access submission.
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        access: LogicalAccess,
+        on_complete: Callable[[LogicalAccess, float], None],
+    ) -> None:
+        """Plan and launch a logical access; ``on_complete(access,
+        response_ms)`` fires when the last physical operation finishes."""
+        if access.first_unit + access.unit_count > self.addressable_data_units:
+            raise ConfigurationError(
+                f"access beyond addressable range: {access}"
+            )
+        if access.access_id in self._in_flight:
+            raise SimulationError(f"duplicate access id {access.access_id}")
+        plan = plan_access(
+            self.layout,
+            access.first_unit,
+            access.unit_count,
+            access.is_write,
+            mode=self.mode,
+            failed_disk=self.failed_disk,
+        )
+        state = _InFlight(
+            access=access,
+            plan=plan,
+            submitted_ms=self.engine.now,
+            on_complete=on_complete,
+        )
+        self._in_flight[access.access_id] = state
+        self._launch_phase(state)
+
+    def _launch_phase(self, state: _InFlight) -> None:
+        phase = state.plan.phases[state.phase]
+        if not phase:
+            self._advance(state)
+            return
+        requests = self._phase_requests(state, phase)
+        state.outstanding = len(requests)
+        for disk, request in requests:
+            self.servers[disk].submit(request)
+
+    def _phase_requests(self, state: _InFlight, phase):
+        """Build per-disk requests, merging physically contiguous
+        stripe-unit operations of the same type (RAIDframe-style
+        coalescing) when enabled."""
+        if not self.coalesce:
+            return [
+                (
+                    op.disk,
+                    DiskRequest(
+                        lba=op.offset * self.stripe_unit_sectors,
+                        sectors=self.stripe_unit_sectors,
+                        is_write=op.is_write,
+                        access_id=state.access.access_id,
+                        tag=state.phase,
+                    ),
+                )
+                for op in phase
+            ]
+        by_disk: Dict[tuple, List[int]] = {}
+        for op in phase:
+            by_disk.setdefault((op.disk, op.is_write), []).append(op.offset)
+        requests = []
+        for (disk, is_write), offsets in by_disk.items():
+            offsets.sort()
+            run_start = offsets[0]
+            previous = offsets[0]
+            for offset in offsets[1:] + [None]:
+                if offset is not None and offset == previous + 1:
+                    previous = offset
+                    continue
+                length = previous - run_start + 1
+                requests.append(
+                    (
+                        disk,
+                        DiskRequest(
+                            lba=run_start * self.stripe_unit_sectors,
+                            sectors=length * self.stripe_unit_sectors,
+                            is_write=is_write,
+                            access_id=state.access.access_id,
+                            tag=state.phase,
+                        ),
+                    )
+                )
+                if offset is not None:
+                    run_start = offset
+                    previous = offset
+        return requests
+
+    def submit_raw(
+        self,
+        disk: int,
+        offset: int,
+        is_write: bool,
+        access_id: int,
+        callback: Callable[[], None],
+        tag: object = None,
+    ) -> None:
+        """Issue one background stripe-unit operation (rebuild traffic).
+
+        ``callback`` fires on completion; ``access_id`` feeds the locality
+        classification like any other traffic.
+        """
+        self._raw_counter += 1
+        token = self._raw_counter
+        self._raw_callbacks[token] = callback
+        request = DiskRequest(
+            lba=offset * self.stripe_unit_sectors,
+            sectors=self.stripe_unit_sectors,
+            is_write=is_write,
+            access_id=access_id,
+            tag=("raw", token, tag),
+        )
+        self.servers[disk].submit(request)
+
+    def _request_done(self, request: DiskRequest) -> None:
+        if isinstance(request.tag, tuple) and request.tag[0] == "raw":
+            callback = self._raw_callbacks.pop(request.tag[1], None)
+            if callback is not None:
+                callback()
+            return
+        state = self._in_flight.get(request.access_id)
+        if state is None:
+            return  # stray background traffic
+        state.outstanding -= 1
+        if state.outstanding == 0:
+            self._advance(state)
+
+    def _advance(self, state: _InFlight) -> None:
+        state.phase += 1
+        if state.phase < len(state.plan.phases):
+            self._launch_phase(state)
+            return
+        del self._in_flight[state.access.access_id]
+        self.completed_accesses += 1
+        response = self.engine.now - state.submitted_ms
+        state.on_complete(state.access, response)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def disk_stats(self) -> List[DiskStats]:
+        return [server.stats for server in self.servers]
+
+    def total_stats(self) -> DiskStats:
+        total = DiskStats()
+        for server in self.servers:
+            total.merge(server.stats)
+        return total

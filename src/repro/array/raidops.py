@@ -1,0 +1,299 @@
+"""Pure RAID operation planning.
+
+Translates a logical access into phases of per-unit physical operations,
+with no reference to time or devices — the simulator executes plans, and the
+analytic tools (disk working sets of Figure 3, operation counts of Figures
+4/7/15/16) evaluate the *same* plans, which is what keeps the two views of
+each experiment consistent.
+
+Write handling follows §4.2:
+
+- *full-stripe write*: every data unit of the stripe is written — no
+  pre-reads, write data + new parity;
+- *small write* (read-modify-write): read old data of the written units and
+  the old parity, then write new data and parity; chosen when at most half
+  of the stripe's data units change;
+- *large write* (reconstruct write): read the untouched data units, then
+  write new data and parity; chosen above half.
+
+Degraded mode (one disk failed, lost data not yet in spare space):
+
+- reads of lost units fan out to the stripe's surviving units;
+- a write whose stripe lost a *written* data unit is forced large (paper:
+  "every logical write must be implemented as a large write"); a stripe
+  that lost an *untouched* data unit is forced small; a stripe that lost
+  its parity writes data only.
+
+Post-reconstruction mode (PDDL's distributed sparing): lost units have been
+rebuilt into the same-row spare units, so accesses are simply redirected.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError, MappingError
+from repro.layouts.address import PhysicalAddress
+from repro.layouts.base import Layout
+
+
+class ArrayMode(enum.Enum):
+    """Operating condition of the array (paper's ff / f1 / post-recon)."""
+
+    FAULT_FREE = "fault-free"
+    DEGRADED = "degraded"                      # f1, reconstruction mode
+    POST_RECONSTRUCTION = "post-reconstruction"  # spare space holds rebuilt data
+
+
+class UnitOp(NamedTuple):
+    """One stripe-unit-sized physical operation."""
+
+    disk: int
+    offset: int
+    is_write: bool
+
+
+class AccessPlan(NamedTuple):
+    """Phased operation graph; phase i+1 starts when phase i completes."""
+
+    phases: List[List[UnitOp]]
+
+    def all_ops(self) -> List[UnitOp]:
+        return [op for phase in self.phases for op in phase]
+
+    def disks_touched(self) -> Set[int]:
+        """The paper's *disk working set* of the access."""
+        return {op.disk for op in self.all_ops()}
+
+    def operation_count(self) -> int:
+        return sum(len(phase) for phase in self.phases)
+
+
+def plan_access(
+    layout: Layout,
+    first_unit: int,
+    unit_count: int,
+    is_write: bool,
+    mode: ArrayMode = ArrayMode.FAULT_FREE,
+    failed_disk: Optional[int] = None,
+) -> AccessPlan:
+    """Plan a logical access of ``unit_count`` contiguous data units.
+
+    ``failed_disk`` is required (and only allowed) outside fault-free mode.
+    """
+    if unit_count < 1:
+        raise ConfigurationError(f"access needs >= 1 unit, got {unit_count}")
+    if first_unit < 0:
+        raise ConfigurationError(f"negative start unit {first_unit}")
+    if mode is ArrayMode.FAULT_FREE:
+        if failed_disk is not None:
+            raise ConfigurationError("fault-free mode has no failed disk")
+    else:
+        if failed_disk is None or not 0 <= failed_disk < layout.n:
+            raise ConfigurationError(
+                f"mode {mode.value} needs a valid failed disk"
+            )
+    if mode is ArrayMode.POST_RECONSTRUCTION and not layout.has_sparing:
+        raise MappingError(
+            f"{layout.name} has no spare space for post-reconstruction mode"
+        )
+
+    units = range(first_unit, first_unit + unit_count)
+    if is_write:
+        plan = _plan_write(layout, units, mode, failed_disk)
+    else:
+        plan = _plan_read(layout, units, mode, failed_disk)
+    return _dedupe(plan)
+
+
+# ----------------------------------------------------------------------
+# Reads.
+# ----------------------------------------------------------------------
+
+
+def _plan_read(
+    layout: Layout,
+    units: range,
+    mode: ArrayMode,
+    failed_disk: Optional[int],
+) -> AccessPlan:
+    ops: List[UnitOp] = []
+    for unit in units:
+        addr = layout.data_unit_address(unit)
+        if mode is ArrayMode.FAULT_FREE or addr.disk != failed_disk:
+            ops.append(UnitOp(addr.disk, addr.offset, False))
+        elif mode is ArrayMode.POST_RECONSTRUCTION:
+            spare = layout.relocation_target(addr)
+            ops.append(UnitOp(spare.disk, spare.offset, False))
+        else:  # DEGRADED: reconstruct on the fly from the stripe's survivors
+            stripe = layout.stripe_of_data_unit(unit)
+            for other in layout.stripe_units(stripe).all_units():
+                if other.disk != failed_disk:
+                    ops.append(UnitOp(other.disk, other.offset, False))
+    return AccessPlan(phases=[ops])
+
+
+# ----------------------------------------------------------------------
+# Writes.
+# ----------------------------------------------------------------------
+
+
+def _stripe_groups(
+    layout: Layout, units: range
+) -> Dict[int, List[Tuple[int, int]]]:
+    """Group accessed units by stripe: stripe -> [(position, unit), ...]."""
+    groups: Dict[int, List[Tuple[int, int]]] = {}
+    for unit in units:
+        stripe = layout.stripe_of_data_unit(unit)
+        position = unit % layout.data_per_stripe
+        groups.setdefault(stripe, []).append((position, unit))
+    return groups
+
+
+def _redirect(
+    layout: Layout, addr: PhysicalAddress, mode: ArrayMode, failed: Optional[int]
+) -> PhysicalAddress:
+    if mode is ArrayMode.POST_RECONSTRUCTION and addr.disk == failed:
+        return layout.relocation_target(addr)
+    return addr
+
+
+def _plan_write(
+    layout: Layout,
+    units: range,
+    mode: ArrayMode,
+    failed_disk: Optional[int],
+) -> AccessPlan:
+    pre_reads: List[UnitOp] = []
+    writes: List[UnitOp] = []
+    for stripe, touched in _stripe_groups(layout, units).items():
+        stripe_units = layout.stripe_units(stripe)
+        written_positions = {position for position, _ in touched}
+        if mode is ArrayMode.DEGRADED:
+            reads, wr = _plan_stripe_write_degraded(
+                layout, stripe_units, written_positions, failed_disk
+            )
+        else:
+            reads, wr = _plan_stripe_write_clean(
+                layout, stripe_units, written_positions, mode, failed_disk
+            )
+        pre_reads.extend(reads)
+        writes.extend(wr)
+    if pre_reads:
+        return AccessPlan(phases=[pre_reads, writes])
+    return AccessPlan(phases=[writes])
+
+
+def _plan_stripe_write_clean(
+    layout: Layout,
+    stripe_units,
+    written: Set[int],
+    mode: ArrayMode,
+    failed: Optional[int],
+) -> Tuple[List[UnitOp], List[UnitOp]]:
+    """Fault-free and post-reconstruction stripe write planning."""
+    dps = layout.data_per_stripe
+    m = len(written)
+
+    def addr(a: PhysicalAddress) -> PhysicalAddress:
+        return _redirect(layout, a, mode, failed)
+
+    check = [addr(a) for a in stripe_units.check]
+    reads: List[UnitOp] = []
+    writes: List[UnitOp] = [
+        UnitOp(*addr(stripe_units.data[p]), True) for p in sorted(written)
+    ]
+    if m == dps:
+        # Full-stripe write: parity computed from new data alone.
+        writes.extend(UnitOp(*a, True) for a in check)
+    elif m <= dps // 2:
+        # Small write: read old data + old parity.
+        reads.extend(
+            UnitOp(*addr(stripe_units.data[p]), False) for p in sorted(written)
+        )
+        reads.extend(UnitOp(*a, False) for a in check)
+        writes.extend(UnitOp(*a, True) for a in check)
+    else:
+        # Large (reconstruct) write: read the untouched data units.
+        reads.extend(
+            UnitOp(*addr(stripe_units.data[p]), False)
+            for p in range(dps)
+            if p not in written
+        )
+        writes.extend(UnitOp(*a, True) for a in check)
+    return reads, writes
+
+
+def _plan_stripe_write_degraded(
+    layout: Layout,
+    stripe_units,
+    written: Set[int],
+    failed: int,
+) -> Tuple[List[UnitOp], List[UnitOp]]:
+    """Degraded-mode stripe write planning (§4.2's forced large writes)."""
+    dps = layout.data_per_stripe
+    m = len(written)
+    check_failed = any(a.disk == failed for a in stripe_units.check)
+    failed_data_position = next(
+        (
+            p
+            for p in range(dps)
+            if stripe_units.data[p].disk == failed
+        ),
+        None,
+    )
+
+    reads: List[UnitOp] = []
+    writes: List[UnitOp] = [
+        UnitOp(*stripe_units.data[p], True)
+        for p in sorted(written)
+        if stripe_units.data[p].disk != failed
+    ]
+
+    if check_failed:
+        # Parity lost: write the surviving data units, nothing to maintain.
+        return reads, writes
+
+    check_writes = [UnitOp(*a, True) for a in stripe_units.check]
+    if failed_data_position is None:
+        # Stripe untouched by the failure: plan as fault-free.
+        return _plan_stripe_write_clean(
+            layout, stripe_units, written, ArrayMode.FAULT_FREE, None
+        )
+    if failed_data_position in written:
+        # Lost unit is being overwritten: forced large write — read every
+        # untouched data unit (all survive), fold in the new data, write
+        # survivors + parity.
+        reads.extend(
+            UnitOp(*stripe_units.data[p], False)
+            for p in range(dps)
+            if p not in written
+        )
+        writes.extend(check_writes)
+    else:
+        # Lost unit is untouched: forced small write — its old value is
+        # unreadable, but the parity delta needs only old data of written
+        # units plus old parity, all of which survive.
+        reads.extend(
+            UnitOp(*stripe_units.data[p], False) for p in sorted(written)
+        )
+        reads.extend(UnitOp(*a, False) for a in stripe_units.check)
+        writes.extend(check_writes)
+        if m == dps:  # unreachable guard: failed unit would be in `written`
+            raise MappingError("inconsistent degraded write planning")
+    return reads, writes
+
+
+def _dedupe(plan: AccessPlan) -> AccessPlan:
+    """Drop duplicate operations within each phase, preserving order."""
+    phases: List[List[UnitOp]] = []
+    for phase in plan.phases:
+        seen: Set[UnitOp] = set()
+        unique: List[UnitOp] = []
+        for op in phase:
+            if op not in seen:
+                seen.add(op)
+                unique.append(op)
+        phases.append(unique)
+    return AccessPlan(phases=phases)

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the experiment drivers, so every table and
+figure of the paper can be regenerated from a shell:
+
+- ``goals``      — the §1 goal matrix, machine-checked per layout
+- ``figure3``    — disk working set sizes
+- ``response``   — response-time points (Figures 5/6/8/9/...)
+- ``seeks``      — seek/no-switch mixes (Figures 4/7/15/16)
+- ``table1``     — satisfactory base permutation search
+- ``table3``     — scheme implementation costs
+- ``plan``       — PDDL capacity planning for an (n, k) array
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.array.raidops import ArrayMode
+from repro.errors import ReproError
+
+_MODES = {
+    "ff": ArrayMode.FAULT_FREE,
+    "f1": ArrayMode.DEGRADED,
+    "post": ArrayMode.POST_RECONSTRUCTION,
+}
+
+DEFAULT_LAYOUTS = ["datum", "parity-declustering", "raid5", "pddl", "prime"]
+
+
+def _cmd_goals(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_table
+    from repro.layouts import make_layout
+    from repro.layouts.properties import check_layout
+    from repro.layouts.registry import DISPLAY_NAMES
+
+    rows = []
+    for name in args.layouts:
+        k = args.disks if name in ("raid5", "raid-5") else args.width
+        layout = make_layout(name, args.disks, k)
+        met = set(check_layout(layout).goals_met())
+        rows.append(
+            [DISPLAY_NAMES.get(name, name)]
+            + ["o" if g in met else "." for g in range(1, 9)]
+        )
+    print(render_table(["layout", *(f"#{g}" for g in range(1, 9))], rows))
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_working_set_table
+    from repro.experiments.workingset import figure3_table
+
+    table = figure3_table(
+        sizes_kb=args.sizes, layout_names=tuple(args.layouts)
+    )
+    print(render_working_set_table(table, args.sizes))
+    return 0
+
+
+def _cmd_response(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_response_curves
+    from repro.experiments.response import run_figure
+    from repro.workload.spec import AccessSpec
+
+    curves = run_figure(
+        args.layouts,
+        AccessSpec(args.size, args.write),
+        args.clients,
+        mode=_MODES[args.mode],
+        max_samples=args.samples,
+        use_stopping_rule=not args.no_stopping_rule,
+        seed=args.seed,
+    )
+    print(render_response_curves(curves))
+    return 0
+
+
+def _cmd_seeks(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_seek_mix_table
+    from repro.experiments.seeks import run_seek_mix
+
+    mixes = run_seek_mix(
+        args.layouts,
+        args.sizes,
+        args.write,
+        mode=_MODES[args.mode],
+        samples_per_point=args.samples,
+    )
+    print(render_seek_mix_table(mixes, args.sizes))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.core.tables import PAPER_TABLE1
+    from repro.experiments.report import render_table
+    from repro.experiments.table1 import reproduce_table1
+
+    cells = reproduce_table1(
+        widths=args.widths,
+        stripe_counts=args.stripes,
+        restarts=args.restarts,
+        max_steps=args.max_steps,
+    )
+    rows = []
+    for g in args.stripes:
+        row = [f"g={g}"]
+        for k in args.widths:
+            paper = PAPER_TABLE1.get((k, g))
+            row.append(
+                f"{cells[(k, g)].rendered()}|"
+                f"{'?' if paper is None else paper}"
+            )
+        rows.append(row)
+    print("ours | paper")
+    print(render_table(["", *(f"k={k}" for k in args.widths)], rows))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.experiments.table3 import table3_rows
+
+    for row in table3_rows(iterations=args.iterations).values():
+        print(row.as_row())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro import check_layout, pddl_for
+
+    n, k = args.disks, args.width
+    if (n - 1) % k != 0:
+        print(f"error: {n} disks cannot host width-{k} stripes + 1 spare")
+        return 2
+    layout = pddl_for((n - 1) // k, k)
+    print(layout.describe())
+    for i, perm in enumerate(layout.group.permutations):
+        print(f"permutation {i}: {perm.values}")
+    print(f"goals met: {check_layout(layout).goals_met()}")
+    print(
+        f"capacity: data {1 - layout.parity_overhead - layout.spare_overhead:.1%},"
+        f" parity {layout.parity_overhead:.1%},"
+        f" spare {layout.spare_overhead:.1%}"
+    )
+    return 0
+
+
+def _int_list(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PDDL disk-array declustering reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    goals = sub.add_parser("goals", help="machine-checked layout goals")
+    goals.add_argument("--layouts", nargs="+", default=DEFAULT_LAYOUTS)
+    goals.add_argument("--disks", "-n", type=int, default=13)
+    goals.add_argument("--width", "-k", type=int, default=4)
+    goals.set_defaults(func=_cmd_goals)
+
+    fig3 = sub.add_parser("figure3", help="disk working set sizes")
+    fig3.add_argument(
+        "--sizes", type=_int_list, default=[8, 48, 96, 144, 192, 240]
+    )
+    fig3.add_argument("--layouts", nargs="+", default=DEFAULT_LAYOUTS)
+    fig3.set_defaults(func=_cmd_figure3)
+
+    resp = sub.add_parser("response", help="response-time experiment")
+    resp.add_argument("--size", type=int, default=96, help="access KB")
+    resp.add_argument("--write", action="store_true")
+    resp.add_argument("--clients", type=_int_list, default=[1, 8, 25])
+    resp.add_argument("--mode", choices=sorted(_MODES), default="ff")
+    resp.add_argument("--samples", type=int, default=300)
+    resp.add_argument("--seed", type=int, default=0)
+    resp.add_argument("--no-stopping-rule", action="store_true")
+    resp.add_argument("--layouts", nargs="+", default=DEFAULT_LAYOUTS)
+    resp.set_defaults(func=_cmd_response)
+
+    seeks = sub.add_parser("seeks", help="seek/no-switch operation mixes")
+    seeks.add_argument("--sizes", type=_int_list, default=[8, 96, 336])
+    seeks.add_argument("--write", action="store_true")
+    seeks.add_argument("--mode", choices=sorted(_MODES), default="ff")
+    seeks.add_argument("--samples", type=int, default=200)
+    seeks.add_argument("--layouts", nargs="+", default=DEFAULT_LAYOUTS)
+    seeks.set_defaults(func=_cmd_seeks)
+
+    t1 = sub.add_parser("table1", help="base permutation search")
+    t1.add_argument("--widths", type=_int_list, default=[5, 6, 7])
+    t1.add_argument("--stripes", type=_int_list, default=[1, 2, 3, 4])
+    t1.add_argument("--restarts", type=int, default=10)
+    t1.add_argument("--max-steps", type=int, default=2000)
+    t1.set_defaults(func=_cmd_table1)
+
+    t3 = sub.add_parser("table3", help="scheme implementation costs")
+    t3.add_argument("--iterations", type=int, default=20_000)
+    t3.set_defaults(func=_cmd_table3)
+
+    plan = sub.add_parser("plan", help="plan a PDDL deployment")
+    plan.add_argument("disks", type=int)
+    plan.add_argument("width", type=int)
+    plan.set_defaults(func=_cmd_plan)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Combinatorial designs underlying declustered layouts.
+
+Parity Declustering stores a balanced incomplete block design (BIBD) as its
+layout table; PDDL's satisfactory base permutations are equivalent to
+difference families / near-resolvable designs (paper appendix).  This package
+provides:
+
+- :class:`~repro.designs.bibd.BlockDesign` with full validation,
+- cyclic development of difference sets and families
+  (:mod:`~repro.designs.difference`),
+- near-resolvable design checks (:mod:`~repro.designs.resolvable`),
+- a catalog of the designs the paper's configurations need
+  (:mod:`~repro.designs.catalog`).
+"""
+
+from repro.designs.bibd import BlockDesign, complete_block_design
+from repro.designs.catalog import known_bibd, known_difference_set
+from repro.designs.difference import (
+    develop_difference_family,
+    develop_difference_set,
+    is_difference_family,
+    is_difference_set,
+)
+from repro.designs.resolvable import is_near_resolvable, near_resolvable_classes
+
+__all__ = [
+    "BlockDesign",
+    "complete_block_design",
+    "develop_difference_family",
+    "develop_difference_set",
+    "is_difference_family",
+    "is_difference_set",
+    "is_near_resolvable",
+    "known_bibd",
+    "known_difference_set",
+    "near_resolvable_classes",
+]

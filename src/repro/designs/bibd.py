@@ -1,0 +1,140 @@
+"""Balanced incomplete block designs (BIBDs) and complete block designs.
+
+A ``(v, k, lambda)``-BIBD arranges ``v`` points into blocks of size ``k`` so
+that every unordered pair of points occurs in exactly ``lambda`` blocks.
+Holland & Gibson's Parity Declustering stripes a disk array with the blocks of
+a BIBD; DATUM uses the *complete* block design (all ``C(v, k)`` blocks).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import DesignError
+
+
+class BlockDesign:
+    """An immutable block design on points ``0 .. v-1``.
+
+    The constructor validates structural sanity (point range, block size
+    uniformity, no repeated points in a block).  Balance is checked separately
+    by :meth:`pair_counts` / :meth:`is_balanced` so that "relaxed" designs
+    (Schwabe & Sutherland style) can still be represented.
+
+    >>> d = BlockDesign(7, [(0, 1, 3), (1, 2, 4), (2, 3, 5), (3, 4, 6),
+    ...                     (4, 5, 0), (5, 6, 1), (6, 0, 2)])
+    >>> d.is_balanced()
+    True
+    >>> d.lambda_
+    1
+    """
+
+    def __init__(self, v: int, blocks: Sequence[Sequence[int]]):
+        if v < 2:
+            raise DesignError(f"need at least 2 points, got {v}")
+        if not blocks:
+            raise DesignError("a design needs at least one block")
+        normalized: List[Tuple[int, ...]] = []
+        k = len(blocks[0])
+        for block in blocks:
+            if len(block) != k:
+                raise DesignError(
+                    f"block size mismatch: {len(block)} != {k}"
+                )
+            if len(set(block)) != len(block):
+                raise DesignError(f"repeated point in block {tuple(block)}")
+            for point in block:
+                if not 0 <= point < v:
+                    raise DesignError(f"point {point} outside 0..{v - 1}")
+            normalized.append(tuple(block))
+        self.v = v
+        self.k = k
+        self.blocks: Tuple[Tuple[int, ...], ...] = tuple(normalized)
+
+    @property
+    def b(self) -> int:
+        """Number of blocks."""
+        return len(self.blocks)
+
+    def replication_counts(self) -> List[int]:
+        """How many blocks contain each point (the design's ``r`` per point)."""
+        counts = [0] * self.v
+        for block in self.blocks:
+            for point in block:
+                counts[point] += 1
+        return counts
+
+    def pair_counts(self) -> Dict[Tuple[int, int], int]:
+        """Occurrences of every unordered point pair across blocks."""
+        counts: Dict[Tuple[int, int], int] = {
+            pair: 0 for pair in combinations(range(self.v), 2)
+        }
+        for block in self.blocks:
+            for pair in combinations(sorted(block), 2):
+                counts[pair] += 1
+        return counts
+
+    def is_balanced(self) -> bool:
+        """True if every pair occurs equally often (the BIBD condition)."""
+        counts = set(self.pair_counts().values())
+        return len(counts) == 1
+
+    @property
+    def lambda_(self) -> int:
+        """The common pair count; raises if the design is not balanced."""
+        counts = set(self.pair_counts().values())
+        if len(counts) != 1:
+            raise DesignError("design is not balanced; lambda undefined")
+        return counts.pop()
+
+    def validate_bibd(self) -> None:
+        """Assert all BIBD identities: r(k-1) = lambda(v-1) and bk = vr."""
+        if not self.is_balanced():
+            raise DesignError("pair counts are not uniform")
+        reps = set(self.replication_counts())
+        if len(reps) != 1:
+            raise DesignError("replication counts are not uniform")
+        r = reps.pop()
+        lam = self.lambda_
+        if r * (self.k - 1) != lam * (self.v - 1):
+            raise DesignError("r(k-1) != lambda(v-1)")
+        if self.b * self.k != self.v * r:
+            raise DesignError("bk != vr")
+
+    def max_pair_imbalance(self) -> int:
+        """max - min pair count; 0 for a BIBD, small for relaxed designs."""
+        counts = self.pair_counts().values()
+        return max(counts) - min(counts)
+
+    def __repr__(self) -> str:
+        return f"BlockDesign(v={self.v}, k={self.k}, b={self.b})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BlockDesign)
+            and other.v == self.v
+            and other.blocks == self.blocks
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.v, self.blocks))
+
+
+def complete_block_design(v: int, k: int) -> BlockDesign:
+    """The design whose blocks are *all* ``C(v, k)`` k-subsets of the points.
+
+    This is DATUM's underlying design ("complete block designs", paper §1).
+    Blocks are emitted in colexicographic order, the order DATUM's binomial
+    addressing uses.
+
+    >>> complete_block_design(4, 2).blocks
+    ((0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3))
+    """
+    if not 2 <= k <= v:
+        raise DesignError(f"need 2 <= k <= v, got k={k}, v={v}")
+    blocks = sorted(combinations(range(v), k), key=lambda blk: blk[::-1])
+    design = BlockDesign(v, blocks)
+    assert design.b == comb(v, k)
+    return design

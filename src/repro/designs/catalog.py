@@ -1,0 +1,76 @@
+"""Catalog of the concrete designs the paper's configurations need.
+
+Holland & Gibson shipped a database of BIBDs (``BD_database.tar.Z``); we
+construct the relevant ones instead.  The paper's simulated array is 13 disks
+with stripe width 4, whose Parity Declustering table is the (13, 4, 1) design
+developed from the Singer difference set {0, 1, 3, 9} mod 13.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.designs.bibd import BlockDesign
+from repro.designs.difference import (
+    develop_difference_family,
+    develop_difference_set,
+    find_difference_set,
+)
+from repro.errors import DesignError
+
+#: Known cyclic difference sets, keyed by (v, k).  All have lambda =
+#: k(k-1)/(v-1).  Sources: Singer difference sets for projective planes
+#: (q = 2, 3, 4, 5) and classic biplanes.
+_DIFFERENCE_SETS: Dict[Tuple[int, int], Tuple[int, ...]] = {
+    (7, 3): (0, 1, 3),            # Fano plane, PG(2, 2)
+    (13, 4): (0, 1, 3, 9),        # PG(2, 3) — the paper's n=13, k=4 design
+    (21, 5): (0, 1, 6, 8, 18),    # PG(2, 4)
+    (31, 6): (0, 1, 3, 8, 12, 18),  # PG(2, 5)
+    (11, 5): (0, 1, 2, 4, 7),     # (11, 5, 2) biplane
+    (15, 7): (0, 1, 2, 4, 5, 8, 10),  # (15, 7, 3)
+}
+
+#: Known difference families (several base blocks), keyed by (v, k).
+_DIFFERENCE_FAMILIES: Dict[Tuple[int, int], Tuple[Tuple[int, ...], ...]] = {
+    # (13, 3, 1): classic Netto-style family.
+    (13, 3): ((0, 1, 4), (0, 2, 7)),
+    # (7, 3, 2): the Bose blocks from the paper's worked example.
+    (7, 3): ((1, 2, 4), (3, 6, 5)),
+    # (19, 3, 1)
+    (19, 3): ((0, 1, 8), (0, 2, 5), (0, 6, 15)),
+}
+
+
+def known_difference_set(v: int, k: int) -> Tuple[int, ...]:
+    """Return a known (v, k) difference set, searching if not cataloged.
+
+    >>> known_difference_set(13, 4)
+    (0, 1, 3, 9)
+    """
+    if (v, k) in _DIFFERENCE_SETS:
+        return _DIFFERENCE_SETS[(v, k)]
+    return find_difference_set(v, k)
+
+
+def known_bibd(v: int, k: int) -> BlockDesign:
+    """Return a BIBD on ``v`` points with block size ``k``.
+
+    Tries, in order: cataloged difference sets, cataloged difference
+    families, exhaustive difference-set search.  Raises
+    :class:`~repro.errors.DesignError` if nothing is found — in that case the
+    caller should fall back to a relaxed design or a different layout.
+
+    >>> d = known_bibd(13, 4)
+    >>> (d.b, d.lambda_)
+    (13, 1)
+    """
+    if (v, k) in _DIFFERENCE_SETS:
+        return develop_difference_set(_DIFFERENCE_SETS[(v, k)], v)
+    if (v, k) in _DIFFERENCE_FAMILIES:
+        return develop_difference_family(_DIFFERENCE_FAMILIES[(v, k)], v)
+    try:
+        return develop_difference_set(find_difference_set(v, k), v)
+    except DesignError as exc:
+        raise DesignError(
+            f"no cataloged or searchable BIBD for (v={v}, k={k})"
+        ) from exc

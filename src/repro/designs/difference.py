@@ -1,0 +1,132 @@
+"""Cyclic difference sets and difference families.
+
+A ``(v, k, lambda)`` difference set ``D`` in Z_v has every nonzero residue
+appearing exactly ``lambda`` times among the differences ``d_i - d_j``.
+Developing it (adding each t in Z_v) yields a symmetric BIBD — this is how the
+(13, 4, 1) design used for Parity Declustering on the paper's 13-disk array is
+built.  A *difference family* generalizes this to several base blocks; the
+paper's appendix notes that a solitary satisfactory PDDL base permutation is
+exactly a difference family whose blocks partition the nonzero residues.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.designs.bibd import BlockDesign
+from repro.errors import DesignError
+
+
+def difference_multiset(block: Sequence[int], v: int) -> Dict[int, int]:
+    """Count each nonzero difference ``(a - b) mod v`` over ordered pairs.
+
+    >>> sorted(difference_multiset([1, 2, 4], 7).items())
+    [(1, 1), (2, 1), (3, 1), (4, 1), (5, 1), (6, 1)]
+    """
+    counts: Dict[int, int] = {}
+    for a in block:
+        for b in block:
+            if a == b:
+                continue
+            diff = (a - b) % v
+            counts[diff] = counts.get(diff, 0) + 1
+    return counts
+
+
+def is_difference_set(block: Sequence[int], v: int, lam: int = 1) -> bool:
+    """True if ``block`` is a ``(v, k, lam)`` difference set in Z_v.
+
+    >>> is_difference_set([0, 1, 3, 9], 13)
+    True
+    >>> is_difference_set([0, 1, 2, 3], 13)
+    False
+    """
+    counts = difference_multiset(block, v)
+    return all(counts.get(d, 0) == lam for d in range(1, v))
+
+
+def is_difference_family(
+    blocks: Sequence[Sequence[int]], v: int, lam: int = 1
+) -> bool:
+    """True if the blocks jointly cover every nonzero difference ``lam`` times.
+
+    The Bose blocks B_1 = {1, 2, 4}, B_2 = {3, 6, 5} for v = 7 form a
+    (7, 3, 2) difference family:
+
+    >>> is_difference_family([[1, 2, 4], [3, 6, 5]], 7, lam=2)
+    True
+    """
+    totals: Dict[int, int] = {}
+    for block in blocks:
+        for diff, count in difference_multiset(block, v).items():
+            totals[diff] = totals.get(diff, 0) + count
+    return all(totals.get(d, 0) == lam for d in range(1, v))
+
+
+def develop_difference_set(block: Sequence[int], v: int) -> BlockDesign:
+    """Develop a difference set into the symmetric BIBD it generates.
+
+    >>> d = develop_difference_set([0, 1, 3, 9], 13)
+    >>> (d.v, d.k, d.b, d.lambda_)
+    (13, 4, 13, 1)
+    """
+    if not is_difference_set(block, v, lam=_implied_lambda([block], v)):
+        raise DesignError(f"{tuple(block)} is not a difference set mod {v}")
+    blocks = [
+        tuple(sorted((x + t) % v for x in block)) for t in range(v)
+    ]
+    return BlockDesign(v, blocks)
+
+
+def develop_difference_family(
+    base_blocks: Sequence[Sequence[int]], v: int
+) -> BlockDesign:
+    """Develop every base block through all ``v`` translations.
+
+    Produces a BIBD with ``lam = sum k_i (k_i - 1) / (v - 1)``.
+
+    >>> d = develop_difference_family([[1, 2, 4], [3, 6, 5]], 7)
+    >>> (d.b, d.lambda_)
+    (14, 2)
+    """
+    lam = _implied_lambda(base_blocks, v)
+    if not is_difference_family(base_blocks, v, lam=lam):
+        raise DesignError("base blocks do not form a difference family")
+    blocks = [
+        tuple(sorted((x + t) % v for x in block))
+        for block in base_blocks
+        for t in range(v)
+    ]
+    return BlockDesign(v, blocks)
+
+
+def _implied_lambda(blocks: Sequence[Sequence[int]], v: int) -> int:
+    """The lambda a difference family of these block sizes would have."""
+    total = sum(len(b) * (len(b) - 1) for b in blocks)
+    if total % (v - 1) != 0:
+        raise DesignError(
+            f"block sizes {sorted(len(b) for b in blocks)} cannot form a"
+            f" difference family mod {v}"
+        )
+    return total // (v - 1)
+
+
+def find_difference_set(v: int, k: int) -> Tuple[int, ...]:
+    """Exhaustively search for a (v, k, lambda) difference set containing 0, 1.
+
+    Exponential; intended for the small parameters that occur as stripe
+    widths.  Raises :class:`DesignError` when none exists.
+
+    >>> find_difference_set(7, 3)
+    (0, 1, 3)
+    """
+    from itertools import combinations
+
+    if k * (k - 1) % (v - 1) != 0:
+        raise DesignError(f"no ({v}, {k}) difference set: divisibility fails")
+    lam = k * (k - 1) // (v - 1)
+    for rest in combinations(range(2, v), k - 2):
+        candidate = (0, 1) + rest
+        if is_difference_set(candidate, v, lam):
+            return candidate
+    raise DesignError(f"no ({v}, {k}, {lam}) difference set found")

@@ -1,0 +1,191 @@
+"""The mechanical drive service model.
+
+A drive serves one request at a time: position the arm (full seek when the
+cylinder changes, a head switch when only the head does), wait for the start
+sector to rotate under the head, then transfer, paying a head switch per
+track boundary and a cylinder switch when the transfer spills into the next
+cylinder (ideal track skew assumed: no extra rotational wait after a
+switch).  The platter spins continuously, so rotational latency is derived
+from absolute time, which is what couples queueing order to service time and
+makes SSTF matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.seek import SeekModel
+from repro.errors import ConfigurationError
+
+
+class DiskRequest(NamedTuple):
+    """One physical transfer: ``sectors`` blocks starting at ``lba``.
+
+    ``access_id`` ties the request to its logical access (for the paper's
+    local / non-local operation classification); ``tag`` is free for the
+    array controller.
+    """
+
+    lba: int
+    sectors: int
+    is_write: bool
+    access_id: int
+    tag: object = None
+
+
+@dataclass(frozen=True)
+class ServiceRecord:
+    """Timing decomposition of one serviced request."""
+
+    seek_ms: float
+    latency_ms: float
+    transfer_ms: float
+    cylinder_changed: bool
+    head_changed: bool
+
+    @property
+    def total_ms(self) -> float:
+        return self.seek_ms + self.latency_ms + self.transfer_ms
+
+
+class DiskDrive:
+    """Stateful mechanical model of one spindle.
+
+    >>> from repro.disk.hp2247 import make_hp2247
+    >>> drive = make_hp2247()
+    >>> rec = drive.service(DiskRequest(0, 16, False, access_id=0), now_ms=0.0)
+    >>> rec.total_ms > 0
+    True
+    """
+
+    def __init__(
+        self,
+        geometry: DiskGeometry,
+        seek_model: SeekModel,
+        rpm: float,
+        head_switch_ms: float,
+        cylinder_switch_ms: float,
+        track_buffer: bool = False,
+        buffer_hit_ms: float = 0.2,
+    ):
+        if seek_model.cylinders != geometry.cylinders:
+            raise ConfigurationError(
+                "seek model and geometry disagree on cylinder count"
+            )
+        if rpm <= 0:
+            raise ConfigurationError(f"rpm must be positive, got {rpm}")
+        if buffer_hit_ms < 0:
+            raise ConfigurationError("buffer hit time must be >= 0")
+        self.geometry = geometry
+        self.seek_model = seek_model
+        self.revolution_ms = 60_000.0 / rpm
+        self.head_switch_ms = head_switch_ms
+        self.cylinder_switch_ms = cylinder_switch_ms
+        self.track_buffer = track_buffer
+        self.buffer_hit_ms = buffer_hit_ms
+        self.cylinder = 0
+        self.head = 0
+        self._buffered_track = None  # (cylinder, head) of the cached track
+        self.buffer_hits = 0
+
+    def reset(self) -> None:
+        self.cylinder = 0
+        self.head = 0
+        self._buffered_track = None
+        self.buffer_hits = 0
+
+    def _rotational_wait(self, now_ms: float, sector: int, spt: int) -> float:
+        """Time until ``sector`` passes under the head, from ``now_ms``."""
+        rev = self.revolution_ms
+        target_angle = (sector / spt) * rev
+        current_angle = now_ms % rev
+        return (target_angle - current_angle) % rev
+
+    def service(self, request: DiskRequest, now_ms: float) -> ServiceRecord:
+        """Serve ``request`` starting at absolute time ``now_ms``.
+
+        Returns the timing decomposition and leaves the arm at the final
+        track.  The caller (simulation engine) owns queueing; this method
+        assumes the drive is idle.
+        """
+        if request.sectors < 1:
+            raise ConfigurationError(f"empty transfer: {request}")
+        chs = self.geometry.lba_to_chs(request.lba)
+        last = self.geometry.lba_to_chs(request.lba + request.sectors - 1)
+        cylinder_changed = chs.cylinder != self.cylinder
+        head_changed = chs.head != self.head
+
+        # Track-buffer hit: a read entirely within the cached track is
+        # served from the buffer at electronic speed — no arm or platter
+        # involvement, arm position unchanged.
+        if (
+            self.track_buffer
+            and not request.is_write
+            and self._buffered_track == (chs.cylinder, chs.head)
+            and (last.cylinder, last.head) == self._buffered_track
+        ):
+            self.buffer_hits += 1
+            return ServiceRecord(
+                seek_ms=0.0,
+                latency_ms=0.0,
+                transfer_ms=self.buffer_hit_ms,
+                cylinder_changed=False,
+                head_changed=False,
+            )
+
+        if cylinder_changed:
+            seek_ms = self.seek_model.seek_time(
+                abs(chs.cylinder - self.cylinder)
+            )
+        elif head_changed:
+            seek_ms = self.head_switch_ms
+        else:
+            seek_ms = 0.0
+
+        spt = self.geometry.sectors_per_track(chs.cylinder)
+        latency_ms = self._rotational_wait(
+            now_ms + seek_ms, chs.sector, spt
+        )
+
+        transfer_ms = 0.0
+        cylinder, head, sector = chs
+        remaining = request.sectors
+        while remaining > 0:
+            spt = self.geometry.sectors_per_track(cylinder)
+            chunk = min(remaining, spt - sector)
+            transfer_ms += chunk * self.revolution_ms / spt
+            remaining -= chunk
+            sector += chunk
+            if remaining > 0:
+                sector = 0
+                head += 1
+                if head == self.geometry.heads:
+                    head = 0
+                    cylinder += 1
+                    transfer_ms += self.cylinder_switch_ms
+                else:
+                    transfer_ms += self.head_switch_ms
+
+        self.cylinder = cylinder
+        self.head = head
+        if self.track_buffer:
+            # Reading fills the buffer with the final track touched;
+            # writes invalidate it (write-through, no read-back).
+            if request.is_write:
+                self._buffered_track = None
+            else:
+                self._buffered_track = (cylinder, head)
+        return ServiceRecord(
+            seek_ms=seek_ms,
+            latency_ms=latency_ms,
+            transfer_ms=transfer_ms,
+            cylinder_changed=cylinder_changed,
+            head_changed=head_changed,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskDrive({self.geometry!r}, rev={self.revolution_ms:.2f}ms)"
+        )

@@ -1,0 +1,148 @@
+"""Zoned disk geometry: LBA <-> cylinder/head/sector translation.
+
+Modern-for-1998 drives record more sectors on outer tracks; the HP 2247 of
+the paper's Table 2 has 8 zones over 1981 cylinders and 13 heads.  Logical
+blocks are numbered cylinder-major: all sectors of cylinder 0 (head 0's
+track, then head 1's, ...), then cylinder 1, and so on — the conventional
+serpentine-free layout, which makes sequential transfers cross a head switch
+every track and a cylinder switch every ``heads`` tracks.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, NamedTuple, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A contiguous cylinder range recorded at one areal density."""
+
+    first_cylinder: int
+    cylinders: int
+    sectors_per_track: int
+
+    def __post_init__(self):
+        if self.cylinders < 1 or self.sectors_per_track < 1:
+            raise ConfigurationError(f"degenerate zone {self}")
+
+
+class Chs(NamedTuple):
+    """A physical sector position."""
+
+    cylinder: int
+    head: int
+    sector: int
+
+
+class DiskGeometry:
+    """Immutable zoned geometry with O(log zones) LBA translation.
+
+    >>> g = DiskGeometry(heads=2, zones=[Zone(0, 2, 10), Zone(2, 2, 8)])
+    >>> g.total_sectors
+    72
+    >>> g.lba_to_chs(25)
+    Chs(cylinder=1, head=0, sector=5)
+    >>> g.chs_to_lba(Chs(1, 0, 5))
+    25
+    """
+
+    def __init__(self, heads: int, zones: Sequence[Zone]):
+        if heads < 1:
+            raise ConfigurationError(f"need >= 1 head, got {heads}")
+        if not zones:
+            raise ConfigurationError("need at least one zone")
+        expected_start = 0
+        for zone in zones:
+            if zone.first_cylinder != expected_start:
+                raise ConfigurationError(
+                    f"zone starting at {zone.first_cylinder} leaves a gap"
+                    f" (expected {expected_start})"
+                )
+            expected_start += zone.cylinders
+        self.heads = heads
+        self.zones: Tuple[Zone, ...] = tuple(zones)
+        self.cylinders = expected_start
+        # Cumulative sector count at the start of each zone.
+        self._zone_first_lba: List[int] = []
+        self._zone_first_cyl: List[int] = []
+        lba = 0
+        for zone in self.zones:
+            self._zone_first_lba.append(lba)
+            self._zone_first_cyl.append(zone.first_cylinder)
+            lba += zone.cylinders * heads * zone.sectors_per_track
+        self.total_sectors = lba
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Capacity assuming 512-byte sectors."""
+        return self.total_sectors * 512
+
+    def zone_of_cylinder(self, cylinder: int) -> Zone:
+        if not 0 <= cylinder < self.cylinders:
+            raise ConfigurationError(
+                f"cylinder {cylinder} outside 0..{self.cylinders - 1}"
+            )
+        index = bisect.bisect_right(self._zone_first_cyl, cylinder) - 1
+        return self.zones[index]
+
+    def sectors_per_track(self, cylinder: int) -> int:
+        return self.zone_of_cylinder(cylinder).sectors_per_track
+
+    def lba_to_chs(self, lba: int) -> Chs:
+        """Translate a logical block address to cylinder/head/sector."""
+        if not 0 <= lba < self.total_sectors:
+            raise ConfigurationError(
+                f"LBA {lba} outside 0..{self.total_sectors - 1}"
+            )
+        index = bisect.bisect_right(self._zone_first_lba, lba) - 1
+        zone = self.zones[index]
+        within = lba - self._zone_first_lba[index]
+        per_cylinder = self.heads * zone.sectors_per_track
+        cyl_in_zone, rest = divmod(within, per_cylinder)
+        head, sector = divmod(rest, zone.sectors_per_track)
+        return Chs(zone.first_cylinder + cyl_in_zone, head, sector)
+
+    def chs_to_lba(self, chs: Chs) -> int:
+        zone = self.zone_of_cylinder(chs.cylinder)
+        if not 0 <= chs.head < self.heads:
+            raise ConfigurationError(f"head {chs.head} out of range")
+        if not 0 <= chs.sector < zone.sectors_per_track:
+            raise ConfigurationError(f"sector {chs.sector} out of range")
+        index = self.zones.index(zone)
+        within = (
+            (chs.cylinder - zone.first_cylinder)
+            * self.heads
+            * zone.sectors_per_track
+            + chs.head * zone.sectors_per_track
+            + chs.sector
+        )
+        return self._zone_first_lba[index] + within
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskGeometry(cylinders={self.cylinders}, heads={self.heads},"
+            f" zones={len(self.zones)}, sectors={self.total_sectors})"
+        )
+
+
+def uniform_zones(
+    cylinders: int, zone_count: int, sectors_per_track: Sequence[int]
+) -> List[Zone]:
+    """Split ``cylinders`` into ``zone_count`` contiguous zones.
+
+    ``sectors_per_track[i]`` is zone i's density (outer zones first).
+    """
+    if len(sectors_per_track) != zone_count:
+        raise ConfigurationError("one density per zone required")
+    base, extra = divmod(cylinders, zone_count)
+    zones = []
+    start = 0
+    for i in range(zone_count):
+        size = base + (1 if i < extra else 0)
+        zones.append(Zone(start, size, sectors_per_track[i]))
+        start += size
+    return zones

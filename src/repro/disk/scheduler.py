@@ -1,0 +1,117 @@
+"""Head-scheduling policies.
+
+Table 2: "dynamic request reordering following the shortest-seek-time-first
+(SSTF) policy ... on 20-request queue".  FIFO and LOOK are provided for the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Tuple
+
+from repro.disk.drive import DiskRequest
+from repro.disk.geometry import DiskGeometry
+from repro.errors import ConfigurationError
+
+
+class Scheduler(abc.ABC):
+    """A per-disk request queue with a pick-next policy."""
+
+    name: str = "abstract"
+
+    def __init__(self, geometry: DiskGeometry):
+        self.geometry = geometry
+        self._queue: List[Tuple[int, DiskRequest]] = []  # (cylinder, req)
+
+    def push(self, request: DiskRequest) -> None:
+        cylinder = self.geometry.lba_to_chs(request.lba).cylinder
+        self._queue.append((cylinder, request))
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def peek_all(self) -> List[DiskRequest]:
+        return [req for _, req in self._queue]
+
+    @abc.abstractmethod
+    def pop(self, current_cylinder: int) -> Optional[DiskRequest]:
+        """Remove and return the next request, or None when empty."""
+
+
+class FifoScheduler(Scheduler):
+    """First come, first served."""
+
+    name = "fifo"
+
+    def pop(self, current_cylinder: int) -> Optional[DiskRequest]:
+        if not self._queue:
+            return None
+        return self._queue.pop(0)[1]
+
+
+class SstfScheduler(Scheduler):
+    """Shortest seek time first over a bounded inspection window.
+
+    Only the oldest ``window`` queued requests are candidates (Table 2's
+    "20-request queue"), which bounds starvation the way the paper's
+    simulator did.
+    """
+
+    name = "sstf"
+
+    def __init__(self, geometry: DiskGeometry, window: int = 20):
+        super().__init__(geometry)
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.window = window
+
+    def pop(self, current_cylinder: int) -> Optional[DiskRequest]:
+        if not self._queue:
+            return None
+        candidates = self._queue[: self.window]
+        best_index = min(
+            range(len(candidates)),
+            key=lambda i: (abs(candidates[i][0] - current_cylinder), i),
+        )
+        return self._queue.pop(best_index)[1]
+
+
+class LookScheduler(Scheduler):
+    """Elevator (LOOK): sweep in one direction, reverse at the last request."""
+
+    name = "look"
+
+    def __init__(self, geometry: DiskGeometry):
+        super().__init__(geometry)
+        self._direction = 1
+
+    def pop(self, current_cylinder: int) -> Optional[DiskRequest]:
+        if not self._queue:
+            return None
+        ahead = [
+            (cyl, i)
+            for i, (cyl, _) in enumerate(self._queue)
+            if (cyl - current_cylinder) * self._direction >= 0
+        ]
+        if not ahead:
+            self._direction = -self._direction
+            ahead = [(cyl, i) for i, (cyl, _) in enumerate(self._queue)]
+        _, index = min(
+            ahead, key=lambda item: abs(item[0] - current_cylinder)
+        )
+        return self._queue.pop(index)[1]
+
+
+def make_scheduler(
+    name: str, geometry: DiskGeometry, window: int = 20
+) -> Scheduler:
+    """Factory by policy name: "sstf", "fifo", or "look"."""
+    key = name.lower()
+    if key == "sstf":
+        return SstfScheduler(geometry, window=window)
+    if key == "fifo":
+        return FifoScheduler(geometry)
+    if key == "look":
+        return LookScheduler(geometry)
+    raise ConfigurationError(f"unknown scheduler {name!r}")

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the PDDL reproduction library.
+
+Every error raised by ``repro`` derives from :class:`ReproError`, so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with parameters that make no sense.
+
+    Examples: a layout with ``n != g * k + 1``, a disk with zero cylinders,
+    a workload referencing a nonexistent disk.
+    """
+
+
+class MappingError(ReproError):
+    """An address could not be translated between virtual and physical form."""
+
+
+class DesignError(ReproError):
+    """A combinatorial design could not be built or failed validation."""
+
+
+class SearchError(ReproError):
+    """A permutation search failed to find a satisfactory result."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class FieldError(ReproError):
+    """Invalid finite-field construction or operation."""

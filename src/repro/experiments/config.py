@@ -1,0 +1,47 @@
+"""The paper's simulation parameters (Table 2), as code.
+
+Array: 13 disks; stripe width 4 for the declustered layouts, 13 for RAID-5;
+8 KB stripe units; HP 2247 drives; SSTF on a 20-request queue.  Workloads:
+fixed-size aligned accesses, uniform over all data, 1-25 closed-loop
+clients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.layouts.base import Layout
+from repro.layouts.registry import make_layout
+
+PAPER_DISKS = 13
+PAPER_STRIPE_WIDTH = 4           # PRIME / Parity Declustering / PDDL / DATUM
+PAPER_STRIPE_UNIT_KB = 8
+PAPER_SCHEDULER = "sstf"
+PAPER_SCHEDULER_WINDOW = 20
+
+#: The five schemes of the evaluation, in the figures' legend order.
+PAPER_LAYOUT_NAMES = (
+    "datum",
+    "parity-declustering",
+    "raid5",
+    "pddl",
+    "prime",
+)
+
+
+def paper_layout(name: str) -> Layout:
+    """One evaluation layout at its Table 2 configuration."""
+    k = PAPER_DISKS if name in ("raid5", "raid-5") else PAPER_STRIPE_WIDTH
+    return make_layout(name, PAPER_DISKS, k)
+
+
+def paper_layouts(names: Optional[tuple] = None) -> Dict[str, Layout]:
+    """All (or a subset of) the evaluation layouts, keyed by registry name.
+
+    >>> sorted(paper_layouts())
+    ['datum', 'parity-declustering', 'pddl', 'prime', 'raid5']
+    """
+    return {
+        name: paper_layout(name)
+        for name in (names or PAPER_LAYOUT_NAMES)
+    }

@@ -1,0 +1,172 @@
+"""ASCII rendering of experiment results.
+
+Benchmarks and examples print through these helpers so every figure
+reproduction emits the same rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.experiments.response import ResponseCurve
+from repro.layouts.registry import DISPLAY_NAMES
+from repro.stats.seekcount import SeekMix
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width table with a separator rule."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def render_working_set_table(
+    table: Mapping[Tuple[str, int, str], float],
+    sizes_kb: Sequence[int],
+    conditions: Sequence[str] = ("ffread", "ffwrite", "f1read", "f1write"),
+) -> str:
+    """Figure 3 as rows of (layout, size) x condition."""
+    layouts = sorted({key[0] for key in table})
+    rows: List[List[object]] = []
+    for size in sizes_kb:
+        for name in layouts:
+            row: List[object] = [f"{size}KB", DISPLAY_NAMES.get(name, name)]
+            for cond in conditions:
+                row.append(f"{table[(name, size, cond)]:.2f}")
+            rows.append(row)
+    return render_table(["size", "layout", *conditions], rows)
+
+
+def render_seek_mix_table(
+    mixes: Mapping[Tuple[str, int], SeekMix], sizes_kb: Sequence[int]
+) -> str:
+    """Figures 4/7/15/16 as one row per (layout, size)."""
+    layouts = sorted({key[0] for key in mixes})
+    rows = []
+    for name in layouts:
+        for size in sizes_kb:
+            mix = mixes[(name, size)]
+            rows.append(
+                [
+                    DISPLAY_NAMES.get(name, name),
+                    f"{size}KB",
+                    f"{mix.non_local:.2f}",
+                    f"{mix.cylinder_switch:.2f}",
+                    f"{mix.track_switch:.2f}",
+                    f"{mix.no_switch:.2f}",
+                    f"{mix.total:.2f}",
+                ]
+            )
+    return render_table(
+        ["layout", "size", "non-local", "cyl-switch", "trk-switch",
+         "no-switch", "total"],
+        rows,
+    )
+
+
+def render_response_curves(curves: Dict[str, ResponseCurve]) -> str:
+    """A figure panel: one series per layout, the paper's (x, y) pairs."""
+    rows = []
+    for name, curve in curves.items():
+        for point in curve.points:
+            rows.append(
+                [
+                    DISPLAY_NAMES.get(name, name),
+                    point.spec_label,
+                    point.mode,
+                    point.clients,
+                    f"{point.throughput_per_s:.2f}",
+                    f"{point.mean_response_ms:.2f}",
+                    point.samples,
+                ]
+            )
+    return render_table(
+        ["layout", "workload", "mode", "clients", "accesses/s",
+         "response ms", "n"],
+        rows,
+    )
+
+
+def render_ascii_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "accesses/sec",
+    y_label: str = "response ms",
+) -> str:
+    """Plot (x, y) series as an ASCII scatter — the paper's figure shape.
+
+    Each series gets a marker (the figures use filled/open shapes; we use
+    letters).  Axes are linear and jointly scaled across series.
+    """
+    points = [
+        (x, y) for pts in series.values() for x, y in pts
+    ]
+    if not points:
+        return "(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ABCDEFGHIJ"
+    legend = []
+    for index, (name, pts) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker}={name}")
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = [f"{y_label}  {y_hi:.0f}"]
+    lines.extend("  |" + "".join(row) for row in grid)
+    lines.append("  +" + "-" * width)
+    lines.append(
+        f"   {x_lo:.0f}{' ' * max(1, width - 12)}{x_hi:.0f}  {x_label}"
+    )
+    lines.append("   " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def curves_to_series(
+    curves: Dict[str, ResponseCurve]
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Convert response curves into plottable (throughput, response)
+    series, keyed by display name."""
+    return {
+        DISPLAY_NAMES.get(name, name): [
+            (p.throughput_per_s, p.mean_response_ms) for p in curve.points
+        ]
+        for name, curve in curves.items()
+    }
+
+
+def ranking_at_heaviest_load(curves: Dict[str, ResponseCurve]) -> List[str]:
+    """Layouts ordered best-to-worst at the largest client count."""
+    finals = {
+        name: curve.points[-1].mean_response_ms
+        for name, curve in curves.items()
+    }
+    return sorted(finals, key=finals.get)
+
+
+def ranking_at_lightest_load(curves: Dict[str, ResponseCurve]) -> List[str]:
+    """Layouts ordered best-to-worst at one client."""
+    firsts = {
+        name: curve.points[0].mean_response_ms
+        for name, curve in curves.items()
+    }
+    return sorted(firsts, key=firsts.get)

@@ -1,0 +1,44 @@
+"""Seek / no-switch count experiments (Figures 4, 7, 15, 16).
+
+The paper notes these mixes are "almost independent of the workload"; the
+driver runs a moderate fixed concurrency and reports the per-access mix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.array.raidops import ArrayMode
+from repro.experiments.response import run_response_point
+from repro.stats.seekcount import SeekMix
+from repro.workload.spec import AccessSpec
+
+
+def run_seek_mix(
+    layout_names: Iterable[str],
+    sizes_kb: Iterable[int],
+    is_write: bool,
+    mode: ArrayMode = ArrayMode.FAULT_FREE,
+    clients: int = 8,
+    samples_per_point: int = 250,
+    seed: int = 0,
+) -> Dict[Tuple[str, int], SeekMix]:
+    """(layout, size KB) -> per-access operation mix."""
+    out: Dict[Tuple[str, int], SeekMix] = {}
+    for name in layout_names:
+        for size_kb in sizes_kb:
+            point = run_response_point(
+                name,
+                AccessSpec(size_kb, is_write),
+                clients,
+                mode=mode,
+                seed=seed,
+                max_samples=samples_per_point,
+                use_stopping_rule=False,
+                warmup=0,
+                # Figures 4/7/15/16 decompose *per-stripe-unit* operations;
+                # disable request merging so the mix matches that granularity.
+                coalesce=False,
+            )
+            out[(name, size_kb)] = point.seek_mix
+    return out

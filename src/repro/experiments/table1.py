@@ -1,0 +1,82 @@
+"""Table 1 driver: satisfactory base permutation search.
+
+For each (stripe width, stripe count) cell: constructive routes first (Bose
+for prime n — always a solitary '1'), then hill-climbing for groups of
+growing size under a bounded budget.  Cells the search cannot settle within
+budget are reported as '?', exactly like the paper's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.bose import satisfactory_permutation
+from repro.core.permutation import BasePermutation
+from repro.core.search import search_permutation_group
+from repro.core.tables import PAPER_TABLE1
+from repro.errors import ConfigurationError, SearchError
+from repro.gf.prime import is_prime
+
+
+@dataclass(frozen=True)
+class Table1Cell:
+    """One cell of Table 1: permutations needed, and how we found them."""
+
+    k: int
+    g: int
+    n: int
+    group_size: Optional[int]  # None = not found ('?')
+    method: str                # "bose", "gf2", "search", "none"
+    paper_value: Optional[int]
+
+    def rendered(self) -> str:
+        return "?" if self.group_size is None else str(self.group_size)
+
+
+def solve_cell(
+    k: int,
+    g: int,
+    seed: int = 0,
+    restarts: int = 12,
+    max_steps: int = 1200,
+    p_max: int = 3,
+) -> Table1Cell:
+    """Find the smallest satisfactory permutation group for one cell."""
+    n = g * k + 1
+    paper = PAPER_TABLE1.get((k, g))
+    try:
+        perm = satisfactory_permutation(g, k)
+        if is_prime(n):
+            method = "bose"
+        elif n & (n - 1) == 0:
+            method = "gf2"
+        else:
+            method = "gf"  # odd prime power via GF(p^m)
+        assert isinstance(perm, BasePermutation)
+        return Table1Cell(k, g, n, 1, method, paper)
+    except ConfigurationError:
+        pass
+    try:
+        result = search_permutation_group(
+            g, k, seed=seed, restarts=restarts,
+            max_steps=max_steps, p_max=p_max,
+        )
+        size = 1 if isinstance(result, BasePermutation) else result.p
+        return Table1Cell(k, g, n, size, "search", paper)
+    except SearchError:
+        return Table1Cell(k, g, n, None, "none", paper)
+
+
+def reproduce_table1(
+    widths=range(5, 11),
+    stripe_counts=range(1, 11),
+    seed: int = 0,
+    **search_kwargs,
+) -> Dict[Tuple[int, int], Table1Cell]:
+    """Solve every cell of the Table 1 grid."""
+    return {
+        (k, g): solve_cell(k, g, seed=seed, **search_kwargs)
+        for k in widths
+        for g in stripe_counts
+    }

@@ -1,0 +1,23 @@
+"""Figure 3 driver: exact disk working set sizes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.experiments.config import paper_layouts
+from repro.stats.workingset import working_set_table
+
+#: Figure 3's access sizes (KB).
+FIGURE3_SIZES_KB = (8, 48, 96, 144, 192, 240)
+
+
+def figure3_table(
+    sizes_kb: Iterable[int] = FIGURE3_SIZES_KB,
+    layout_names: Optional[tuple] = None,
+) -> Dict[Tuple[str, int, str], float]:
+    """(layout, size KB, condition) -> mean disk working set size.
+
+    Conditions are ffread / ffwrite / f1read / f1write; for PDDL, f1 is
+    reconstruction mode, as in the figure's caption.
+    """
+    return working_set_table(paper_layouts(layout_names), sizes_kb)

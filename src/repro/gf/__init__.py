@@ -1,0 +1,36 @@
+"""Finite-field arithmetic used by PDDL constructions.
+
+The PDDL mapping develops a base permutation by repeated addition inside a
+finite field: addition modulo ``n`` when the number of disks is prime, and
+bitwise XOR (addition in GF(2^m)) when it is a power of two.  The Bose
+construction of satisfactory base permutations needs primitive elements of
+those fields.
+
+Public surface:
+
+- :class:`~repro.gf.prime.PrimeField` — GF(p) arithmetic.
+- :class:`~repro.gf.binary.BinaryField` — GF(2^m) with log/antilog tables.
+- :mod:`~repro.gf.polynomial` — dense polynomials over GF(p).
+- :func:`~repro.gf.primitives.primitive_root` and friends.
+"""
+
+from repro.gf.binary import BinaryField
+from repro.gf.extension import ExtensionField
+from repro.gf.polynomial import Polynomial
+from repro.gf.prime import PrimeField, is_prime
+from repro.gf.primitives import (
+    find_irreducible,
+    is_primitive_root,
+    primitive_root,
+)
+
+__all__ = [
+    "BinaryField",
+    "ExtensionField",
+    "Polynomial",
+    "PrimeField",
+    "find_irreducible",
+    "is_prime",
+    "is_primitive_root",
+    "primitive_root",
+]

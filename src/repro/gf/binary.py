@@ -1,0 +1,153 @@
+"""GF(2^m) arithmetic with log/antilog tables.
+
+For ``n = 2**m`` disks the PDDL development operation is bitwise XOR — "which
+is available in most hardware environments" (paper §3) — and the Bose
+construction enumerates powers of a primitive element of GF(2^m).  Elements
+are plain ints in ``range(2**m)`` whose bits are polynomial coefficients.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import FieldError
+from repro.gf.polynomial import Polynomial
+from repro.gf.prime import PrimeField
+from repro.gf.primitives import find_primitive_element, is_primitive_element
+
+#: Paper appendix modulus for GF(16): x^4 + x^3 + x^2 + x + 1 (bits 0b11111).
+PAPER_GF16_MODULUS = 0b11111
+
+
+class BinaryField:
+    """The field GF(2^m), elements encoded as integers in ``range(2**m)``.
+
+    Builds log/antilog tables at construction, so multiplication and division
+    are two table lookups — the "fastest possible mapping" flavour the paper's
+    appendix advertises for power-of-two arrays.
+
+    >>> f = BinaryField(4, modulus=PAPER_GF16_MODULUS)
+    >>> f.add(0b1010, 0b0110)
+    12
+    >>> f.generator_powers()[:5]
+    [1, 3, 5, 15, 14]
+    """
+
+    def __init__(
+        self,
+        m: int,
+        modulus: Optional[int] = None,
+        generator: Optional[int] = None,
+    ):
+        if m < 1:
+            raise FieldError("m must be >= 1")
+        self.m = m
+        self.order = 1 << m
+        gf2 = PrimeField(2)
+        if modulus is None:
+            from repro.gf.primitives import find_irreducible
+
+            modulus_poly = find_irreducible(2, m)
+        else:
+            modulus_poly = Polynomial.from_int(gf2, modulus)
+            if modulus_poly.degree != m:
+                raise FieldError(
+                    f"modulus degree {modulus_poly.degree} != m = {m}"
+                )
+            if not modulus_poly.is_irreducible():
+                raise FieldError(f"modulus {modulus:#x} is reducible")
+        self.modulus = modulus_poly.to_int()
+        self._modulus_poly = modulus_poly
+
+        if generator is None:
+            gen_poly = find_primitive_element(modulus_poly)
+        else:
+            gen_poly = Polynomial.from_int(gf2, generator)
+            if not is_primitive_element(gen_poly, modulus_poly):
+                raise FieldError(f"{generator:#x} is not primitive")
+        self.generator = gen_poly.to_int()
+
+        self._exp: List[int] = [0] * (2 * (self.order - 1))
+        self._log: List[int] = [0] * self.order
+        current = Polynomial.one(gf2)
+        for i in range(self.order - 1):
+            value = current.to_int()
+            self._exp[i] = value
+            self._exp[i + self.order - 1] = value
+            self._log[value] = i
+            current = (current * gen_poly) % modulus_poly
+
+    def _check(self, *values: int) -> None:
+        for v in values:
+            if not 0 <= v < self.order:
+                raise FieldError(f"{v} is not an element of GF({self.order})")
+
+    def add(self, a: int, b: int) -> int:
+        """Addition is XOR; this is the PDDL development operation."""
+        self._check(a, b)
+        return a ^ b
+
+    sub = add  # characteristic 2: subtraction equals addition
+
+    def neg(self, a: int) -> int:
+        self._check(a)
+        return a
+
+    def mul(self, a: int, b: int) -> int:
+        """Table-based multiplication."""
+        self._check(a, b)
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def inverse(self, a: int) -> int:
+        self._check(a)
+        if a == 0:
+            raise FieldError("0 has no multiplicative inverse")
+        return self._exp[self.order - 1 - self._log[a]]
+
+    def pow(self, a: int, e: int) -> int:
+        self._check(a)
+        if a == 0:
+            if e == 0:
+                return 1
+            if e < 0:
+                raise FieldError("0 has no negative powers")
+            return 0
+        exponent = (self._log[a] * e) % (self.order - 1)
+        return self._exp[exponent]
+
+    def log(self, a: int) -> int:
+        """Discrete log base the field generator."""
+        self._check(a)
+        if a == 0:
+            raise FieldError("log(0) is undefined")
+        return self._log[a]
+
+    def generator_powers(self) -> List[int]:
+        """All ``2**m - 1`` successive powers of the generator, from 1.
+
+        For the paper's GF(16) example this is
+        ``[1, 3, 5, 15, 14, 13, 8, 7, 9, 4, 12, 11, 2, 6, 10]``.
+        """
+        return list(self._exp[: self.order - 1])
+
+    def elements(self):
+        return iter(range(self.order))
+
+    def __repr__(self) -> str:
+        return (
+            f"BinaryField(m={self.m}, modulus={self.modulus:#x},"
+            f" generator={self.generator:#x})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BinaryField)
+            and other.m == self.m
+            and other.modulus == self.modulus
+            and other.generator == self.generator
+        )
+
+    def __hash__(self) -> int:
+        return hash(("BinaryField", self.m, self.modulus, self.generator))

@@ -1,0 +1,166 @@
+"""General extension fields GF(p^m) with integer-encoded elements.
+
+Completes the field family: :class:`~repro.gf.prime.PrimeField` covers
+GF(p), :class:`~repro.gf.binary.BinaryField` the table-accelerated GF(2^m)
+special case, and this class arbitrary prime powers — the fields behind
+the paper's §3 remark that the Bose construction "also works when n is a
+power of a prime" with addition taken "within the underlying finite field
+GF(n)".  Elements are base-``p`` digit encodings of polynomials, matching
+:class:`~repro.core.development.DigitDevelopment`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.errors import FieldError
+from repro.gf.polynomial import Polynomial
+from repro.gf.prime import PrimeField, is_prime
+from repro.gf.primitives import (
+    find_irreducible,
+    find_primitive_element,
+    is_primitive_element,
+)
+
+
+class ExtensionField:
+    """GF(p^m) with log/antilog tables over integer-encoded elements.
+
+    >>> f = ExtensionField(3, 2)
+    >>> f.order
+    9
+    >>> f.add(5, 4)   # (1,2) + (1,1) = (2,0) -> 6
+    6
+    >>> f.mul(f.generator, f.inverse(f.generator))
+    1
+    """
+
+    def __init__(
+        self,
+        p: int,
+        m: int,
+        modulus: Optional[int] = None,
+        generator: Optional[int] = None,
+    ):
+        if not is_prime(p):
+            raise FieldError(f"{p} is not prime")
+        if m < 1:
+            raise FieldError(f"need m >= 1, got {m}")
+        self.p = p
+        self.m = m
+        self.order = p**m
+        self.characteristic = p
+        base = PrimeField(p)
+        if modulus is None:
+            modulus_poly = find_irreducible(p, m)
+        else:
+            modulus_poly = Polynomial.from_int(base, modulus)
+            if modulus_poly.degree != m or not modulus_poly.is_irreducible():
+                raise FieldError(
+                    f"modulus {modulus} is not an irreducible degree-{m}"
+                    f" polynomial over GF({p})"
+                )
+        self.modulus = modulus_poly.to_int()
+        if generator is None:
+            gen_poly = find_primitive_element(modulus_poly)
+        else:
+            gen_poly = Polynomial.from_int(base, generator)
+            if not is_primitive_element(gen_poly, modulus_poly):
+                raise FieldError(f"{generator} is not primitive")
+        self.generator = gen_poly.to_int()
+
+        group = self.order - 1
+        self._exp: List[int] = [0] * (2 * group)
+        self._log: List[int] = [0] * self.order
+        current = Polynomial.one(base)
+        for i in range(group):
+            value = current.to_int()
+            self._exp[i] = value
+            self._exp[i + group] = value
+            self._log[value] = i
+            current = (current * gen_poly) % modulus_poly
+
+    def _check(self, *values: int) -> None:
+        for v in values:
+            if not 0 <= v < self.order:
+                raise FieldError(f"{v} is not an element of GF({self.order})")
+
+    def _digits(self, value: int) -> List[int]:
+        digits = []
+        for _ in range(self.m):
+            digits.append(value % self.p)
+            value //= self.p
+        return digits
+
+    def _undigits(self, digits: List[int]) -> int:
+        out = 0
+        for d in reversed(digits):
+            out = out * self.p + d
+        return out
+
+    def add(self, a: int, b: int) -> int:
+        """Digit-wise addition mod p — the PDDL development operation."""
+        self._check(a, b)
+        da, db = self._digits(a), self._digits(b)
+        return self._undigits([(x + y) % self.p for x, y in zip(da, db)])
+
+    def sub(self, a: int, b: int) -> int:
+        self._check(a, b)
+        da, db = self._digits(a), self._digits(b)
+        return self._undigits([(x - y) % self.p for x, y in zip(da, db)])
+
+    def neg(self, a: int) -> int:
+        self._check(a)
+        return self._undigits([(-x) % self.p for x in self._digits(a)])
+
+    def mul(self, a: int, b: int) -> int:
+        self._check(a, b)
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def inverse(self, a: int) -> int:
+        self._check(a)
+        if a == 0:
+            raise FieldError("0 has no multiplicative inverse")
+        return self._exp[self.order - 1 - self._log[a]]
+
+    def pow(self, a: int, e: int) -> int:
+        self._check(a)
+        if a == 0:
+            if e == 0:
+                return 1
+            if e < 0:
+                raise FieldError("0 has no negative powers")
+            return 0
+        return self._exp[(self._log[a] * e) % (self.order - 1)]
+
+    def log(self, a: int) -> int:
+        self._check(a)
+        if a == 0:
+            raise FieldError("log(0) is undefined")
+        return self._log[a]
+
+    def generator_powers(self) -> List[int]:
+        """Successive powers of the generator — the Bose ingredient."""
+        return list(self._exp[: self.order - 1])
+
+    def elements(self) -> Iterator[int]:
+        return iter(range(self.order))
+
+    def __repr__(self) -> str:
+        return (
+            f"ExtensionField(GF({self.p}^{self.m}), modulus={self.modulus},"
+            f" generator={self.generator})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ExtensionField)
+            and (other.p, other.m, other.modulus, other.generator)
+            == (self.p, self.m, self.modulus, self.generator)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ExtensionField", self.p, self.m, self.modulus,
+                      self.generator))

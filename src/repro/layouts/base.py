@@ -1,0 +1,249 @@
+"""The abstract layout interface.
+
+Every layout in this library is a deterministic, pure mapping between the
+client's linear data-unit address space and array cells ``(disk, offset)``.
+Layouts are periodic: a *layout pattern* of ``period`` rows repeats down the
+disks.  Within one period there are ``stripes_per_period`` stripes, each
+holding ``data_per_stripe`` contiguous client data units plus check unit(s),
+and optionally distributed spare cells.
+
+The shared machinery here (global/periodic address translation, the inverse
+``locate`` table, structural validation) is what lets the simulator, the
+analytic working-set tool, and the property checker treat PDDL and every
+baseline uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, MappingError
+from repro.layouts.address import PhysicalAddress, Role, StripeUnits, UnitInfo
+
+
+class Layout(abc.ABC):
+    """Abstract data layout over ``n`` disks with stripe width ``k``.
+
+    Subclasses implement :meth:`stripe_units_in_period` (the forward map for
+    one layout pattern) and :meth:`spare_addresses_in_period`; everything
+    else — global stripe addressing, client data-unit translation, the
+    inverse map — derives from those.
+    """
+
+    #: Human-readable scheme name, overridden per subclass.
+    name: str = "abstract"
+
+    def __init__(self, n: int, k: int):
+        if k < 2:
+            raise ConfigurationError(f"stripe width must be >= 2, got {k}")
+        if n < k:
+            raise ConfigurationError(
+                f"need at least k = {k} disks, got n = {n}"
+            )
+        self.n = n
+        self.k = k
+        self._locate_table: Optional[Dict[PhysicalAddress, UnitInfo]] = None
+        self._stripe_cache: Dict[int, StripeUnits] = {}
+
+    # ------------------------------------------------------------------
+    # Quantities subclasses must define.
+    # ------------------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def period(self) -> int:
+        """Rows (offsets) in one layout pattern."""
+
+    @property
+    @abc.abstractmethod
+    def stripes_per_period(self) -> int:
+        """Number of stripes in one layout pattern."""
+
+    @abc.abstractmethod
+    def stripe_units_in_period(self, stripe_index: int) -> StripeUnits:
+        """Physical cells of stripe ``stripe_index`` (0-based within the
+        pattern); all offsets must lie in ``range(period)``."""
+
+    def spare_addresses_in_period(self) -> List[PhysicalAddress]:
+        """Distributed-spare cells of one pattern (empty if no sparing)."""
+        return []
+
+    # ------------------------------------------------------------------
+    # Derived quantities.
+    # ------------------------------------------------------------------
+
+    @property
+    def data_per_stripe(self) -> int:
+        """Contiguous client data units per stripe (goal #4)."""
+        return self.k - 1
+
+    @property
+    def checks_per_stripe(self) -> int:
+        return self.k - self.data_per_stripe
+
+    @property
+    def data_units_per_period(self) -> int:
+        return self.stripes_per_period * self.data_per_stripe
+
+    @property
+    def has_sparing(self) -> bool:
+        return bool(self.spare_addresses_in_period())
+
+    @property
+    def parity_overhead(self) -> float:
+        """Fraction of array cells holding check units."""
+        checks = self.stripes_per_period * self.checks_per_stripe
+        return checks / (self.period * self.n)
+
+    @property
+    def spare_overhead(self) -> float:
+        """Fraction of array cells holding spare units."""
+        return len(self.spare_addresses_in_period()) / (self.period * self.n)
+
+    # ------------------------------------------------------------------
+    # Global (multi-period) addressing.
+    # ------------------------------------------------------------------
+
+    def stripe_units(self, stripe_id: int) -> StripeUnits:
+        """Physical cells of a global stripe (period-extended)."""
+        if stripe_id < 0:
+            raise MappingError(f"negative stripe id {stripe_id}")
+        cycle, index = divmod(stripe_id, self.stripes_per_period)
+        base = self._stripe_cache.get(index)
+        if base is None:
+            base = self.stripe_units_in_period(index)
+            self._stripe_cache[index] = base
+        if cycle == 0:
+            return base
+        shift = cycle * self.period
+        return StripeUnits(
+            data=[PhysicalAddress(d, o + shift) for d, o in base.data],
+            check=[PhysicalAddress(d, o + shift) for d, o in base.check],
+        )
+
+    def stripe_of_data_unit(self, unit: int) -> int:
+        """Global stripe holding client data unit ``unit``."""
+        if unit < 0:
+            raise MappingError(f"negative data unit {unit}")
+        return unit // self.data_per_stripe
+
+    def data_unit_address(self, unit: int) -> PhysicalAddress:
+        """Physical cell of a client data unit."""
+        stripe = self.stripe_of_data_unit(unit)
+        position = unit % self.data_per_stripe
+        return self.stripe_units(stripe).data[position]
+
+    def data_units_of_stripe(self, stripe_id: int) -> range:
+        """Client data units stored in the given global stripe."""
+        lo = stripe_id * self.data_per_stripe
+        return range(lo, lo + self.data_per_stripe)
+
+    # ------------------------------------------------------------------
+    # Inverse mapping.
+    # ------------------------------------------------------------------
+
+    def locate(self, disk: int, offset: int) -> UnitInfo:
+        """What lives at cell ``(disk, offset)``.
+
+        Returns the unit's role, its global stripe id (-1 for spares), and
+        its position within the stripe.
+        """
+        if not 0 <= disk < self.n:
+            raise MappingError(f"disk {disk} outside 0..{self.n - 1}")
+        if offset < 0:
+            raise MappingError(f"negative offset {offset}")
+        cycle, row = divmod(offset, self.period)
+        info = self._period_table()[PhysicalAddress(disk, row)]
+        if info.role is Role.SPARE:
+            return info
+        return UnitInfo(
+            role=info.role,
+            stripe=info.stripe + cycle * self.stripes_per_period,
+            position=info.position,
+        )
+
+    def _period_table(self) -> Dict[PhysicalAddress, UnitInfo]:
+        if self._locate_table is None:
+            table: Dict[PhysicalAddress, UnitInfo] = {}
+            for s in range(self.stripes_per_period):
+                units = self.stripe_units_in_period(s)
+                for j, addr in enumerate(units.data):
+                    self._table_insert(table, addr, UnitInfo(Role.DATA, s, j))
+                for j, addr in enumerate(units.check):
+                    self._table_insert(
+                        table,
+                        addr,
+                        UnitInfo(Role.CHECK, s, self.data_per_stripe + j),
+                    )
+            for addr in self.spare_addresses_in_period():
+                self._table_insert(table, addr, UnitInfo(Role.SPARE, -1, -1))
+            expected = self.period * self.n
+            if len(table) != expected:
+                raise MappingError(
+                    f"{self.name}: pattern covers {len(table)} cells,"
+                    f" expected {expected}"
+                )
+            self._locate_table = table
+        return self._locate_table
+
+    def _table_insert(
+        self,
+        table: Dict[PhysicalAddress, UnitInfo],
+        addr: PhysicalAddress,
+        info: UnitInfo,
+    ) -> None:
+        if not 0 <= addr.disk < self.n or not 0 <= addr.offset < self.period:
+            raise MappingError(
+                f"{self.name}: cell {addr} outside the layout pattern"
+            )
+        if addr in table:
+            raise MappingError(f"{self.name}: cell {addr} mapped twice")
+        table[addr] = info
+
+    # ------------------------------------------------------------------
+    # Sparing hooks (overridden by layouts with distributed spare space).
+    # ------------------------------------------------------------------
+
+    def relocation_target(self, addr: PhysicalAddress) -> PhysicalAddress:
+        """Spare cell that receives the reconstructed copy of ``addr``.
+
+        Only meaningful for layouts with distributed sparing; the default
+        raises.
+        """
+        raise MappingError(f"{self.name} has no spare space")
+
+    # ------------------------------------------------------------------
+    # Validation and reporting.
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural sanity of one full pattern.
+
+        - every cell of the ``period x n`` grid is used exactly once,
+        - no stripe places two units on the same disk (goal #1).
+        """
+        self._period_table()
+        for s in range(self.stripes_per_period):
+            disks = self.stripe_units_in_period(s).disks()
+            if len(set(disks)) != len(disks):
+                raise MappingError(
+                    f"{self.name}: stripe {s} uses a disk twice (goal #1)"
+                )
+
+    def mapping_table_entries(self) -> int:
+        """Entries of persistent state the mapping needs (Table 3 metric).
+
+        0 for purely arithmetic schemes; subclasses override.
+        """
+        return 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(n={self.n}, k={self.k}, period={self.period},"
+            f" stripes/period={self.stripes_per_period},"
+            f" sparing={self.has_sparing})"
+        )
+
+    def __repr__(self) -> str:
+        return self.describe()

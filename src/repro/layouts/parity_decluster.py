@@ -1,0 +1,85 @@
+"""Parity Declustering (Holland & Gibson, ASPLOS-V 1992).
+
+The layout table is a complete BIBD: each block is the disk set of one
+stripe.  The design is duplicated ``k`` times with the check unit rotating
+through the block positions so every disk carries its fair share of parity.
+Mapping is by table lookup — the scheme the paper uses as "the initial and
+typical representation of BIBD-based layouts".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.designs.bibd import BlockDesign
+from repro.designs.catalog import known_bibd
+from repro.errors import ConfigurationError, MappingError
+from repro.layouts.address import PhysicalAddress, StripeUnits
+from repro.layouts.base import Layout
+
+
+class ParityDeclusteringLayout(Layout):
+    """BIBD-table layout with rotated parity.
+
+    One pattern is ``k`` copies of the design; in copy ``c`` stripe ``j``'s
+    check unit is block position ``(j + c) % k``.  Offsets are assigned by
+    occurrence order, giving ``k * r`` rows per pattern (r = replications).
+
+    >>> lay = ParityDeclusteringLayout(13, 4)
+    >>> (lay.period, lay.stripes_per_period)
+    (16, 52)
+    """
+
+    name = "Parity Declustering"
+
+    def __init__(self, n: int, k: int, design: Optional[BlockDesign] = None):
+        super().__init__(n=n, k=k)
+        if design is None:
+            design = known_bibd(n, k)
+        if design.v != n or design.k != k:
+            raise ConfigurationError(
+                f"design is ({design.v}, {design.k}); layout needs ({n}, {k})"
+            )
+        design.validate_bibd()
+        self.design = design
+        self._replication = design.replication_counts()[0]
+        # Offset of each (copy, block, position) unit: within a copy, disk
+        # d's units stack in block order.
+        self._offsets = {}
+        for copy in range(k):
+            seen = [0] * n
+            for j, block in enumerate(design.blocks):
+                for disk in block:
+                    self._offsets[(copy, j, disk)] = (
+                        copy * self._replication + seen[disk]
+                    )
+                    seen[disk] += 1
+
+    @property
+    def period(self) -> int:
+        return self.k * self._replication
+
+    @property
+    def stripes_per_period(self) -> int:
+        return self.k * self.design.b
+
+    def stripe_units_in_period(self, stripe_index: int) -> StripeUnits:
+        if not 0 <= stripe_index < self.stripes_per_period:
+            raise MappingError(f"stripe {stripe_index} outside pattern")
+        copy, j = divmod(stripe_index, self.design.b)
+        block = self.design.blocks[j]
+        check_pos = (j + copy) % self.k
+        data = []
+        check = []
+        for position, disk in enumerate(block):
+            addr = PhysicalAddress(disk, self._offsets[(copy, j, disk)])
+            if position == check_pos:
+                check.append(addr)
+            else:
+                data.append(addr)
+        return StripeUnits(data=data, check=check)
+
+    def mapping_table_entries(self) -> int:
+        """Table 3: the stored design, ``b * k`` entries (= n(n-1)/(k-1)
+        for the lambda = 1 designs the paper ships)."""
+        return self.design.b * self.k

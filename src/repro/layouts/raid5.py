@@ -1,0 +1,52 @@
+"""Left-symmetric RAID-5 (Patterson/Gibson/Katz; paper's non-declustered
+baseline).
+
+Stripe width equals the array width (``k = n``); parity rotates right-to-left
+one disk per stripe, and each stripe's first data unit sits immediately after
+its parity disk, so consecutive client data units fall on consecutive disks —
+RAID-5 "satisfies the maximal parallelism property optimally" (paper §4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, MappingError
+from repro.layouts.address import PhysicalAddress, StripeUnits
+from repro.layouts.base import Layout
+
+
+class LeftSymmetricRaid5Layout(Layout):
+    """Left-symmetric RAID-5 over ``n`` disks.
+
+    >>> lay = LeftSymmetricRaid5Layout(5)
+    >>> lay.stripe_units_in_period(0)
+    StripeUnits(data=[PhysicalAddress(disk=0, offset=0), PhysicalAddress(disk=1, offset=0), PhysicalAddress(disk=2, offset=0), PhysicalAddress(disk=3, offset=0)], check=[PhysicalAddress(disk=4, offset=0)])
+    """
+
+    name = "RAID-5"
+
+    def __init__(self, n: int, k: int = 0):
+        if k and k != n:
+            raise ConfigurationError(
+                f"RAID-5 stripe width equals the array width; got k={k}, n={n}"
+            )
+        super().__init__(n=n, k=n)
+
+    @property
+    def period(self) -> int:
+        return self.n
+
+    @property
+    def stripes_per_period(self) -> int:
+        return self.n
+
+    def stripe_units_in_period(self, stripe_index: int) -> StripeUnits:
+        if not 0 <= stripe_index < self.n:
+            raise MappingError(f"stripe {stripe_index} outside pattern")
+        parity_disk = (self.n - 1 - stripe_index) % self.n
+        data = [
+            PhysicalAddress((parity_disk + 1 + j) % self.n, stripe_index)
+            for j in range(self.n - 1)
+        ]
+        return StripeUnits(
+            data=data, check=[PhysicalAddress(parity_disk, stripe_index)]
+        )

@@ -1,0 +1,22 @@
+"""Analytic reliability models.
+
+Quantifies the paper's §5 claim that "the provision of a spare is one of
+the most effective ways to increase mean time to data loss": Markov MTTDL
+models for RAID-5, declustered arrays without sparing, and PDDL-style
+arrays with distributed sparing, driven by the simulator's measured
+rebuild times.
+"""
+
+from repro.reliability.mttdl import (
+    ArrayReliability,
+    mttdl_declustered,
+    mttdl_distributed_sparing,
+    mttdl_raid5,
+)
+
+__all__ = [
+    "ArrayReliability",
+    "mttdl_declustered",
+    "mttdl_distributed_sparing",
+    "mttdl_raid5",
+]

@@ -1,0 +1,11 @@
+"""Discrete-event simulation kernel.
+
+A small deterministic event engine (binary-heap scheduler with FIFO
+tie-breaking) in the RAIDframe tradition: components schedule callbacks, the
+engine advances virtual time in milliseconds.
+"""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.random import RandomStreams
+
+__all__ = ["SimulationEngine", "RandomStreams"]

@@ -1,0 +1,78 @@
+"""The event loop.
+
+Deterministic: events at equal times fire in scheduling order.  Time is a
+float in milliseconds (matching the disk model's units).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class SimulationEngine:
+    """A binary-heap discrete-event scheduler.
+
+    >>> engine = SimulationEngine()
+    >>> fired = []
+    >>> engine.schedule(5.0, lambda: fired.append(engine.now))
+    >>> engine.schedule(1.0, lambda: fired.append(engine.now))
+    >>> engine.run()
+    >>> fired
+    [1.0, 5.0]
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callback]] = []
+        self._counter = itertools.count()
+        self._stopped = False
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callback) -> None:
+        """Run ``callback`` ``delay`` ms from the current time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay})")
+        self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callback) -> None:
+        """Run ``callback`` at absolute time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now = {self.now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event."""
+        self._stopped = True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired (whichever comes first)."""
+        self._stopped = False
+        processed = 0
+        while self._heap and not self._stopped:
+            if max_events is not None and processed >= max_events:
+                break
+            time, _, callback = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            heapq.heappop(self._heap)
+            self.now = time
+            callback()
+            processed += 1
+            self.events_processed += 1
+
+    def pending(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,33 @@
+"""Named, independently seeded random streams.
+
+Keeping each stochastic component (one stream per client, one for failures,
+...) on its own generator makes experiments reproducible under configuration
+changes: adding a client does not perturb the other clients' draws.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+
+class RandomStreams:
+    """A family of :class:`random.Random` instances keyed by name.
+
+    >>> streams = RandomStreams(42)
+    >>> a = streams.get("client-0").random()
+    >>> b = RandomStreams(42).get("client-0").random()
+    >>> a == b
+    True
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def get(self, name: str) -> random.Random:
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(f"{self.seed}/{name}")
+            self._streams[name] = stream
+        return stream

@@ -1,0 +1,18 @@
+"""Measurement: summaries, stopping rules, and analytic layout metrics."""
+
+from repro.stats.confidence import StoppingRule
+from repro.stats.seekcount import SeekMix, seek_mix_per_access
+from repro.stats.summary import SummaryStats
+from repro.stats.workingset import (
+    average_working_set,
+    working_set_table,
+)
+
+__all__ = [
+    "SeekMix",
+    "StoppingRule",
+    "SummaryStats",
+    "average_working_set",
+    "seek_mix_per_access",
+    "working_set_table",
+]

@@ -1,0 +1,72 @@
+"""Run-length control.
+
+The paper: "Experiments run until the measured access response time is
+within 2% of the true average with 95% confidence."  The stopping rule
+discards a warmup prefix, then checks the relative CI half-width every
+``check_interval`` samples; a sample cap keeps pathological runs bounded.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.stats.summary import SummaryStats
+
+
+class StoppingRule:
+    """Feed response samples; :meth:`offer` returns True when done.
+
+    >>> rule = StoppingRule(rel_precision=0.5, warmup=0, min_samples=4,
+    ...                     check_interval=1)
+    >>> done = [rule.offer(x) for x in [10.0, 10.1, 9.9, 10.0]]
+    >>> done[-1]
+    True
+    """
+
+    def __init__(
+        self,
+        rel_precision: float = 0.02,
+        confidence: float = 0.95,
+        warmup: int = 100,
+        min_samples: int = 200,
+        max_samples: int = 200_000,
+        check_interval: int = 50,
+    ):
+        if not 0 < rel_precision < 1:
+            raise ConfigurationError("rel_precision must be in (0, 1)")
+        if min_samples < 2:
+            raise ConfigurationError("min_samples must be >= 2")
+        if max_samples < min_samples:
+            raise ConfigurationError("max_samples < min_samples")
+        if check_interval < 1:
+            raise ConfigurationError("check_interval must be >= 1")
+        self.rel_precision = rel_precision
+        self.confidence = confidence
+        self.warmup = warmup
+        self.min_samples = min_samples
+        self.max_samples = max_samples
+        self.check_interval = check_interval
+        self.stats = SummaryStats()
+        self._seen = 0
+        self.converged = False
+        self.capped = False
+
+    def offer(self, sample: float) -> bool:
+        """Record one sample; True means the run may stop."""
+        self._seen += 1
+        if self._seen <= self.warmup:
+            return False
+        self.stats.push(sample)
+        n = self.stats.count
+        if n >= self.max_samples:
+            self.capped = True
+            return True
+        if n < self.min_samples or n % self.check_interval != 0:
+            return False
+        if self.stats.relative_precision(self.confidence) <= self.rel_precision:
+            self.converged = True
+            return True
+        return False
+
+    @property
+    def samples(self) -> int:
+        return self.stats.count

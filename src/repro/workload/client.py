@@ -1,0 +1,76 @@
+"""Closed-loop clients.
+
+Each simulated client issues one logical access, blocks until the array
+completes it, and immediately issues the next — Table 2's workload model.
+Response samples flow into a collector that may stop the run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.array.controller import ArrayController, LogicalAccess
+from repro.workload.generators import LocationGenerator
+from repro.workload.spec import AccessSpec
+
+#: Each client owns a block of access ids: client c's i-th access has id
+#: c * CLIENT_ID_STRIDE + i.
+CLIENT_ID_STRIDE = 1 << 24
+
+
+class ClosedLoopClient:
+    """One synthetic client.
+
+    ``on_response(client, access, response_ms)`` is called per completion
+    and returns True to keep the client running, False to park it.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        controller: ArrayController,
+        generator: LocationGenerator,
+        spec: AccessSpec,
+        on_response: Callable[
+            ["ClosedLoopClient", LogicalAccess, float], bool
+        ],
+        stripe_unit_kb: int = 8,
+        think_time_ms: float = 0.0,
+    ):
+        self.client_id = client_id
+        self.controller = controller
+        self.generator = generator
+        self.spec = spec
+        self.on_response = on_response
+        self.think_time_ms = think_time_ms
+        self.units = spec.units(stripe_unit_kb)
+        self.issued = 0
+        self.completed = 0
+        self._parked = False
+
+    def start(self) -> None:
+        self._issue()
+
+    def park(self) -> None:
+        """Stop after the in-flight access completes."""
+        self._parked = True
+
+    def _issue(self) -> None:
+        access = LogicalAccess(
+            access_id=self.client_id * CLIENT_ID_STRIDE + self.issued,
+            first_unit=self.generator.next_start(),
+            unit_count=self.units,
+            is_write=self.spec.is_write,
+        )
+        self.issued += 1
+        self.controller.submit(access, self._completed)
+
+    def _completed(self, access: LogicalAccess, response_ms: float) -> None:
+        self.completed += 1
+        keep_going = self.on_response(self, access, response_ms)
+        if not keep_going or self._parked:
+            return
+        if self.think_time_ms > 0:
+            self.controller.engine.schedule(self.think_time_ms, self._issue)
+        else:
+            self._issue()

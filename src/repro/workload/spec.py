@@ -1,0 +1,53 @@
+"""Access specifications.
+
+Table 2's workloads are streams of fixed-size logical accesses of one type,
+aligned to stripe-unit boundaries; sizes range from 8 KB (one unit) to
+336 KB (42 units).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: The access sizes of the paper's figures, in KB.
+PAPER_ACCESS_SIZES_KB = (
+    8, 24, 48, 72, 96, 120, 144, 168, 192, 216, 240, 288, 336,
+)
+
+#: Client concurrency levels of Table 2.
+PAPER_CLIENT_COUNTS = (1, 2, 4, 8, 10, 15, 20, 25)
+
+
+@dataclass(frozen=True)
+class AccessSpec:
+    """Fixed-size, fixed-type access stream parameters.
+
+    >>> AccessSpec(size_kb=96, is_write=False).units(stripe_unit_kb=8)
+    12
+    """
+
+    size_kb: int
+    is_write: bool
+
+    def __post_init__(self):
+        if self.size_kb < 1:
+            raise ConfigurationError(f"size must be >= 1 KB, got {self.size_kb}")
+
+    def units(self, stripe_unit_kb: int = 8) -> int:
+        """Stripe units this access spans (must divide evenly: Table 2's
+        accesses 'span an integer number of stripe units')."""
+        if self.size_kb % stripe_unit_kb != 0:
+            raise ConfigurationError(
+                f"{self.size_kb} KB access is not a whole number of"
+                f" {stripe_unit_kb} KB stripe units"
+            )
+        return self.size_kb // stripe_unit_kb
+
+    @property
+    def kind(self) -> str:
+        return "write" if self.is_write else "read"
+
+    def label(self) -> str:
+        return f"{self.size_kb}KB {self.kind}s"

@@ -1,0 +1,180 @@
+"""Integration tests for the array controller on the event engine."""
+
+import pytest
+
+from repro.array.controller import ArrayController, LogicalAccess
+from repro.array.raidops import ArrayMode
+from repro.errors import ConfigurationError, SimulationError
+from repro.layouts import make_layout
+from repro.sim.engine import SimulationEngine
+
+
+def build(layout_name="pddl", n=13, k=4, **kwargs):
+    engine = SimulationEngine()
+    controller = ArrayController(engine, make_layout(layout_name, n, k), **kwargs)
+    return engine, controller
+
+
+def run_one(engine, controller, access):
+    done = {}
+
+    def on_complete(acc, response):
+        done["response"] = response
+
+    controller.submit(access, on_complete)
+    engine.run()
+    assert "response" in done
+    return done["response"]
+
+
+class TestBasicOperation:
+    def test_single_read_completes(self):
+        engine, controller = build()
+        response = run_one(
+            engine, controller, LogicalAccess(1, 0, 12, is_write=False)
+        )
+        assert 0 < response < 200
+        assert controller.completed_accesses == 1
+
+    def test_single_write_takes_two_phases(self):
+        engine, controller = build()
+        read_resp = run_one(
+            engine, controller, LogicalAccess(1, 0, 1, is_write=False)
+        )
+        engine2, controller2 = build()
+        write_resp = run_one(
+            engine2, controller2, LogicalAccess(1, 0, 1, is_write=True)
+        )
+        # A small write (pre-read then write) must take longer than a read.
+        assert write_resp > read_resp
+
+    def test_concurrent_accesses_interleave(self):
+        engine, controller = build()
+        responses = []
+        for i in range(4):
+            controller.submit(
+                LogicalAccess(i, i * 100, 6, is_write=False),
+                lambda acc, ms: responses.append(ms),
+            )
+        engine.run()
+        assert len(responses) == 4
+
+    def test_out_of_range_access_rejected(self):
+        engine, controller = build()
+        too_far = controller.addressable_data_units
+        with pytest.raises(ConfigurationError):
+            controller.submit(
+                LogicalAccess(1, too_far, 1, False), lambda a, m: None
+            )
+
+    def test_duplicate_access_id_rejected(self):
+        engine, controller = build()
+        controller.submit(LogicalAccess(1, 0, 1, False), lambda a, m: None)
+        with pytest.raises(SimulationError):
+            controller.submit(LogicalAccess(1, 8, 1, False), lambda a, m: None)
+
+    def test_stats_accumulate(self):
+        engine, controller = build(coalesce=False)
+        run_one(engine, controller, LogicalAccess(1, 0, 12, False))
+        assert controller.total_stats().operations == 12
+
+    def test_coalescing_reduces_operations(self):
+        engine, controller = build(coalesce=True)
+        run_one(engine, controller, LogicalAccess(1, 0, 12, False))
+        merged = controller.total_stats().operations
+        # 12 PDDL units span >1 row, so some disk holds adjacent offsets.
+        assert merged < 12
+
+    def test_coalesced_request_covers_same_sectors(self):
+        # The same access must transfer the same total sectors either way.
+        def total_sectors(coalesce):
+            engine, controller = build(coalesce=coalesce)
+            counted = []
+            original_factories = []
+            for server in controller.servers:
+                orig = server.drive.service
+
+                def wrapped(request, now_ms, orig=orig):
+                    counted.append(request.sectors)
+                    return orig(request, now_ms)
+
+                server.drive.service = wrapped
+            run_one(engine, controller, LogicalAccess(1, 0, 12, False))
+            return sum(counted)
+
+        assert total_sectors(True) == total_sectors(False)
+
+
+class TestFailureModes:
+    def test_fail_disk_switches_mode(self):
+        engine, controller = build()
+        controller.fail_disk(3)
+        assert controller.mode is ArrayMode.DEGRADED
+        assert controller.servers[3].failed
+
+    def test_degraded_read_avoids_failed_disk(self):
+        engine, controller = build()
+        controller.fail_disk(0)
+        run_one(engine, controller, LogicalAccess(1, 0, 36, False))
+        assert controller.servers[0].stats.operations == 0
+
+    def test_post_reconstruction_mode(self):
+        engine, controller = build()
+        controller.fail_disk(0)
+        controller.finish_reconstruction()
+        assert controller.mode is ArrayMode.POST_RECONSTRUCTION
+        run_one(engine, controller, LogicalAccess(1, 0, 12, False))
+        assert controller.servers[0].stats.operations == 0
+
+    def test_finish_without_failure_rejected(self):
+        engine, controller = build()
+        with pytest.raises(SimulationError):
+            controller.finish_reconstruction()
+
+    def test_invalid_disk(self):
+        engine, controller = build()
+        with pytest.raises(ConfigurationError):
+            controller.fail_disk(13)
+
+    def test_direct_submit_to_failed_server_rejected(self):
+        from repro.disk.drive import DiskRequest
+
+        engine, controller = build()
+        controller.fail_disk(2)
+        with pytest.raises(SimulationError):
+            controller.servers[2].submit(DiskRequest(0, 16, False, 1))
+
+
+class TestSchedulerEffect:
+    def test_sstf_beats_fifo_under_load(self):
+        """SSTF must not be slower than FIFO for a seek-heavy burst."""
+        def total_time(scheduler):
+            engine, controller = build(scheduler_name=scheduler)
+            done = []
+            for i in range(24):
+                controller.submit(
+                    LogicalAccess(i, (i * 7919) % 100_000, 1, False),
+                    lambda a, m: done.append(m),
+                )
+            engine.run()
+            return engine.now
+
+        assert total_time("sstf") <= total_time("fifo") * 1.05
+
+
+class TestConfigErrors:
+    def test_bad_stripe_unit(self):
+        engine = SimulationEngine()
+        with pytest.raises(ConfigurationError):
+            ArrayController(
+                engine, make_layout("pddl", 13, 4), stripe_unit_kb=0
+            )
+
+
+class TestRawSubmission:
+    def test_raw_callback_fires(self):
+        engine, controller = build()
+        done = []
+        controller.submit_raw(0, 0, False, 999, lambda: done.append(1))
+        engine.run()
+        assert done == [1]

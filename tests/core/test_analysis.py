@@ -1,0 +1,105 @@
+"""Tests for the analytic models, cross-checked against exact computation."""
+
+import pytest
+
+from repro.core.analysis import (
+    declustering_ratio,
+    degraded_read_inflation,
+    expected_degraded_read_ops,
+    expected_read_ops,
+    rebuild_reads_per_pattern,
+    super_stripe_units,
+    surviving_disk_load_factor,
+    write_cost,
+)
+from repro.core.reconstruction import rebuild_read_tally
+from repro.errors import ConfigurationError
+from repro.layouts import make_layout
+
+
+@pytest.fixture(scope="module")
+def pddl():
+    return make_layout("pddl", 13, 4)
+
+
+@pytest.fixture(scope="module")
+def raid5():
+    return make_layout("raid5", 13, 13)
+
+
+class TestRatios:
+    def test_declustering_ratio(self, pddl, raid5):
+        assert declustering_ratio(raid5) == 1.0
+        assert declustering_ratio(pddl) == pytest.approx(0.25)
+
+    def test_load_factor_paper_motivation(self, pddl, raid5):
+        assert surviving_disk_load_factor(raid5) == 2.0
+        assert surviving_disk_load_factor(pddl) == 1.25
+
+    def test_load_factor_matches_rebuild_tally(self, pddl):
+        # The analytic alpha equals the exact per-survivor rebuild reads
+        # divided by the failed disk's lost units.
+        tally = rebuild_read_tally(pddl, 0)
+        lost = pddl.period - 1  # one spare cell per pattern on any disk
+        per_survivor = tally[1]
+        assert per_survivor / lost == pytest.approx(
+            declustering_ratio(pddl)
+        )
+
+
+class TestDegradedReadInflation:
+    def test_matches_exact_average(self, pddl):
+        from repro.array.raidops import ArrayMode
+        from repro.stats.workingset import average_operation_count
+
+        analytic = degraded_read_inflation(pddl)
+        exact = average_operation_count(
+            pddl, 1, False, mode=ArrayMode.DEGRADED, failed_disk=0
+        )
+        assert analytic == pytest.approx(exact, rel=0.05)
+
+    def test_expected_ops_scale_linearly(self, pddl):
+        assert expected_degraded_read_ops(pddl, 10) == pytest.approx(
+            10 * degraded_read_inflation(pddl)
+        )
+        assert expected_read_ops(pddl, 10) == 10.0
+
+    def test_validation(self, pddl):
+        with pytest.raises(ConfigurationError):
+            expected_read_ops(pddl, 0)
+        with pytest.raises(ConfigurationError):
+            expected_degraded_read_ops(pddl, 0)
+
+
+class TestWriteCost:
+    def test_matches_planner(self, pddl, raid5):
+        from repro.array.raidops import plan_access
+
+        for layout in (pddl, raid5):
+            for m in range(1, layout.data_per_stripe + 1):
+                cost = write_cost(layout, m)
+                plan = plan_access(layout, 0, m, is_write=True)
+                assert plan.operation_count() == cost.total, (layout.name, m)
+
+    def test_raid5_48kb_small_write(self, raid5):
+        cost = write_cost(raid5, 6)
+        assert cost.pre_reads == 7 and cost.writes == 7
+
+    def test_bounds(self, pddl):
+        with pytest.raises(ConfigurationError):
+            write_cost(pddl, 0)
+        with pytest.raises(ConfigurationError):
+            write_cost(pddl, 4)
+
+
+class TestStructure:
+    def test_super_stripe(self, pddl):
+        assert super_stripe_units(pddl) == 13 - 3 - 1
+
+    def test_super_stripe_needs_sparing(self, raid5):
+        with pytest.raises(ConfigurationError):
+            super_stripe_units(raid5)
+
+    def test_rebuild_reads_match_tally(self, pddl):
+        total = sum(rebuild_read_tally(pddl, 0).values())
+        assert rebuild_reads_per_pattern(pddl) == total

@@ -1,0 +1,142 @@
+"""Tests for the Bose construction."""
+
+import pytest
+
+from repro.core.bose import (
+    bose_base_permutation,
+    bose_gf2_base_permutation,
+    satisfactory_permutation,
+)
+from repro.core.development import XorDevelopment
+from repro.designs.difference import is_difference_family
+from repro.errors import ConfigurationError
+from repro.gf.binary import PAPER_GF16_MODULUS, BinaryField
+
+
+class TestPrimeConstruction:
+    def test_paper_seven_disk_example(self):
+        perm = bose_base_permutation(2, 3, omega=3)
+        assert perm.values == (0, 1, 2, 4, 3, 6, 5)
+
+    @pytest.mark.parametrize(
+        "g,k",
+        [(1, 4), (2, 3), (3, 4), (2, 5), (6, 5), (4, 7), (10, 6), (5, 12)],
+    )
+    def test_always_satisfactory(self, g, k):
+        perm = bose_base_permutation(g, k)
+        assert perm.is_satisfactory()
+
+    def test_blocks_form_difference_family(self):
+        # The appendix's equivalence: the permutation's groups are a
+        # difference family in Z_n.
+        perm = bose_base_permutation(3, 4)  # n = 13
+        blocks = [
+            [perm.values[c] for c in perm.group_columns(i)]
+            for i in range(perm.g)
+        ]
+        assert is_difference_family(blocks, 13, lam=perm.k - 1)
+
+    def test_rejects_composite_n(self):
+        with pytest.raises(ConfigurationError):
+            bose_base_permutation(3, 3)  # n = 10
+
+    def test_rejects_nonprimitive_omega(self):
+        with pytest.raises(ConfigurationError):
+            bose_base_permutation(2, 3, omega=2)  # 2 has order 3 mod 7
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            bose_base_permutation(0, 3)
+        with pytest.raises(ConfigurationError):
+            bose_base_permutation(2, 1)
+
+
+class TestGF2Construction:
+    def test_paper_gf16_example(self):
+        field = BinaryField(4, modulus=PAPER_GF16_MODULUS)
+        perm = bose_gf2_base_permutation(3, 5, field=field)
+        assert perm.values == (
+            0, 1, 15, 8, 4, 2, 3, 14, 7, 12, 6, 5, 13, 9, 11, 10,
+        )
+
+    def test_satisfactory_under_xor(self):
+        field = BinaryField(4, modulus=PAPER_GF16_MODULUS)
+        perm = bose_gf2_base_permutation(3, 5, field=field)
+        assert perm.is_satisfactory(XorDevelopment(16))
+
+    def test_gf8(self):
+        perm = bose_gf2_base_permutation(1, 7)  # n = 8
+        assert perm.is_satisfactory(XorDevelopment(8))
+
+    def test_gf32(self):
+        perm = bose_gf2_base_permutation(1, 31)  # n = 32
+        assert perm.is_satisfactory(XorDevelopment(32))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            bose_gf2_base_permutation(2, 3)  # n = 7
+
+    def test_rejects_field_mismatch(self):
+        field = BinaryField(3)
+        with pytest.raises(ConfigurationError):
+            bose_gf2_base_permutation(3, 5, field=field)
+
+
+class TestSatisfactoryPermutation:
+    def test_prime_route(self):
+        perm = satisfactory_permutation(3, 4)
+        assert perm.is_satisfactory()
+
+    def test_power_of_two_route(self):
+        perm = satisfactory_permutation(3, 5)
+        assert perm.is_satisfactory(XorDevelopment(16))
+
+    def test_composite_raises(self):
+        with pytest.raises(ConfigurationError):
+            satisfactory_permutation(3, 3)  # n = 10 needs a group
+
+
+class TestGFPrimePowerConstruction:
+    """The general GF(p^m) Bose construction (odd prime powers)."""
+
+    @pytest.mark.parametrize(
+        "g,k,p,m",
+        [(2, 4, 3, 2), (4, 6, 5, 2), (2, 13, 3, 3), (6, 8, 7, 2)],
+    )
+    def test_satisfactory_under_digit_development(self, g, k, p, m):
+        from repro.core.bose import bose_gf_base_permutation
+        from repro.core.development import DigitDevelopment
+
+        perm = bose_gf_base_permutation(g, k, p, m)
+        assert perm.is_satisfactory(DigitDevelopment(p, m))
+
+    def test_not_satisfactory_under_modular(self):
+        from repro.core.bose import bose_gf_base_permutation
+
+        perm = bose_gf_base_permutation(2, 4, 3, 2)
+        # Development must be the field's addition, not integer addition.
+        assert not perm.is_satisfactory()
+
+    def test_shape_validation(self):
+        from repro.core.bose import bose_gf_base_permutation
+
+        with pytest.raises(ConfigurationError):
+            bose_gf_base_permutation(2, 4, 3, 3)  # 27 != 9
+        with pytest.raises(ConfigurationError):
+            bose_gf_base_permutation(2, 4, 9, 1)  # 9 not prime
+
+    def test_satisfactory_permutation_routes_prime_powers(self):
+        from repro.core.development import DigitDevelopment
+
+        perm = satisfactory_permutation(2, 4)  # n = 9
+        assert perm.is_satisfactory(DigitDevelopment(3, 2))
+
+    def test_pddl_for_builds_gf9_layout(self):
+        from repro.core.development import DigitDevelopment
+        from repro.core.layout import pddl_for
+        from repro.core.reconstruction import reconstruction_deviation
+
+        layout = pddl_for(2, 4)
+        layout.validate()
+        assert isinstance(layout.dev, DigitDevelopment)
+        assert reconstruction_deviation(layout) == 0

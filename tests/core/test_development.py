@@ -1,0 +1,102 @@
+"""Tests for development operators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.development import (
+    DigitDevelopment,
+    ModularDevelopment,
+    XorDevelopment,
+    development_for,
+)
+from repro.errors import ConfigurationError
+
+
+class TestModular:
+    def test_paper_example(self):
+        # §2: "to obtain the permutation for the i-th row, we add i mod 7".
+        dev = ModularDevelopment(7)
+        base = (0, 1, 2, 4, 3, 6, 5)
+        row1 = tuple(dev.shift(v, 1) for v in base)
+        assert row1 == (1, 2, 3, 5, 4, 0, 6)
+        row2 = tuple(dev.shift(v, 2) for v in base)
+        assert row2 == (2, 3, 4, 6, 5, 1, 0)
+
+    def test_shift_unshift_roundtrip(self):
+        dev = ModularDevelopment(13)
+        for v in range(13):
+            for t in range(30):
+                assert dev.unshift(dev.shift(v, t), t) == v
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ConfigurationError):
+            ModularDevelopment(1)
+
+
+class TestXor:
+    def test_needs_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            XorDevelopment(12)
+
+    def test_is_involution(self):
+        dev = XorDevelopment(16)
+        for v in range(16):
+            for t in range(16):
+                assert dev.shift(dev.shift(v, t), t) == v
+
+    def test_matches_paper_mask(self):
+        # Appendix: "(permutation[disk] ^ offset) & 0xf".
+        dev = XorDevelopment(16)
+        assert dev.shift(0b1010, 0b0110) == 0b1100
+        assert dev.shift(15, 17) == (15 ^ 17) & 0xF
+
+
+class TestDigit:
+    def test_gf9_example(self):
+        dev = DigitDevelopment(3, 2)
+        # (1,2) + (1,1) = (2,0)
+        assert dev.shift(5, 4) == 6
+
+    def test_shift_unshift_roundtrip(self):
+        dev = DigitDevelopment(3, 2)
+        for v in range(9):
+            for t in range(9):
+                assert dev.unshift(dev.shift(v, t), t) == v
+
+    def test_reduces_to_xor_for_p2(self):
+        digit = DigitDevelopment(2, 4)
+        xor = XorDevelopment(16)
+        for v in range(16):
+            for t in range(16):
+                assert digit.shift(v, t) == xor.shift(v, t)
+
+    def test_rejects_m_zero(self):
+        with pytest.raises(ConfigurationError):
+            DigitDevelopment(3, 0)
+
+
+class TestDevelopmentFor:
+    def test_prime_gets_modular(self):
+        assert isinstance(development_for(13), ModularDevelopment)
+
+    def test_power_of_two_gets_xor(self):
+        assert isinstance(development_for(16), XorDevelopment)
+
+    def test_odd_prime_power_gets_digits(self):
+        dev = development_for(9)
+        assert isinstance(dev, DigitDevelopment)
+        assert (dev.p, dev.m) == (3, 2)
+
+    def test_composite_gets_modular(self):
+        assert isinstance(development_for(10), ModularDevelopment)
+        assert isinstance(development_for(55), ModularDevelopment)
+
+    @given(st.integers(min_value=2, max_value=100))
+    def test_group_axioms(self, n):
+        dev = development_for(n)
+        # shift by 0 is identity; shifting is a bijection per t.
+        for v in range(min(n, 10)):
+            assert dev.shift(v, 0) == v
+        images = {dev.shift(v, 3) for v in range(n)}
+        assert len(images) == n

@@ -1,0 +1,186 @@
+"""Tests for base permutations and permutation groups."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.development import ModularDevelopment, XorDevelopment
+from repro.core.permutation import (
+    BasePermutation,
+    PermutationGroup,
+    identity_permutation,
+)
+from repro.errors import ConfigurationError
+
+PAPER_N7 = (0, 1, 2, 4, 3, 6, 5)
+
+
+class TestConstruction:
+    def test_paper_example(self):
+        bp = BasePermutation(PAPER_N7, k=3)
+        assert (bp.n, bp.g, bp.spares) == (7, 2, 1)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ConfigurationError):
+            BasePermutation((0, 1, 1, 2, 3, 4, 5), k=3)
+
+    def test_rejects_bad_decomposition(self):
+        with pytest.raises(ConfigurationError):
+            BasePermutation(tuple(range(8)), k=3)  # 8 != 3g + 1
+
+    def test_rejects_k1(self):
+        with pytest.raises(ConfigurationError):
+            BasePermutation((0, 1, 2), k=1)
+
+    def test_zero_spares(self):
+        bp = BasePermutation(tuple(range(6)), k=3, spares=0)
+        assert bp.g == 2 and bp.spares == 0
+
+    def test_two_spares(self):
+        bp = BasePermutation(tuple(range(8)), k=3, spares=2)
+        assert bp.g == 2
+
+
+class TestColumnStructure:
+    def test_roles(self):
+        bp = BasePermutation(PAPER_N7, k=3)
+        assert bp.column_group(0) == -1  # spare
+        assert bp.column_group(1) == 0
+        assert bp.column_group(3) == 0
+        assert bp.column_group(4) == 1
+        assert not bp.is_check_column(0)
+        assert not bp.is_check_column(1)
+        assert bp.is_check_column(3)
+        assert bp.is_check_column(6)
+
+    def test_group_columns(self):
+        bp = BasePermutation(PAPER_N7, k=3)
+        assert list(bp.group_columns(0)) == [1, 2, 3]
+        assert list(bp.group_columns(1)) == [4, 5, 6]
+        with pytest.raises(ConfigurationError):
+            bp.group_columns(2)
+
+    def test_disk_of_column_row0(self):
+        # Figure 2: in row 0, A0->disk1, A1->disk2, PA->disk4.
+        bp = BasePermutation(PAPER_N7, k=3)
+        dev = ModularDevelopment(7)
+        assert bp.disk_of_column(1, 0, dev) == 1
+        assert bp.disk_of_column(2, 0, dev) == 2
+        assert bp.disk_of_column(3, 0, dev) == 4
+
+    def test_disk_of_column_row1(self):
+        # §2: "D1 on disk 5 maps to disk 0 and PD on disk 6 maps to disk 6"
+        # (virtual D1 is column 5, PD column 6, row 1).
+        bp = BasePermutation(PAPER_N7, k=3)
+        dev = ModularDevelopment(7)
+        assert bp.disk_of_column(5, 1, dev) == 0
+        assert bp.disk_of_column(6, 1, dev) == 6
+
+    def test_column_of_disk_inverse(self):
+        bp = BasePermutation(PAPER_N7, k=3)
+        dev = ModularDevelopment(7)
+        for t in range(7):
+            for disk in range(7):
+                column = bp.column_of_disk(disk, t, dev)
+                assert bp.disk_of_column(column, t, dev) == disk
+
+
+class TestReconstructionTally:
+    def test_paper_satisfactory(self):
+        bp = BasePermutation(PAPER_N7, k=3)
+        assert bp.is_satisfactory()
+        assert set(bp.reconstruction_read_tally().values()) == {2}
+
+    def test_identity_unsatisfactory(self):
+        # §2: "(0 1 2 3 4 5 6) ... spread over only four disks".
+        bp = identity_permutation(2, 3)
+        tally = bp.reconstruction_read_tally()
+        busy = [d for d, c in tally.items() if c > 0]
+        assert len(busy) == 4
+        assert not bp.is_satisfactory()
+        assert bp.tally_deviation() > 0
+
+    def test_paper_n10_tallies(self):
+        a = BasePermutation((0, 1, 2, 8, 3, 5, 7, 4, 6, 9), k=3)
+        b = BasePermutation((0, 1, 2, 4, 3, 7, 8, 5, 6, 9), k=3)
+        assert [a.reconstruction_read_tally()[d] for d in range(1, 10)] == [
+            1, 3, 2, 2, 2, 2, 2, 3, 1,
+        ]
+        assert [b.reconstruction_read_tally()[d] for d in range(1, 10)] == [
+            3, 1, 2, 2, 2, 2, 2, 1, 3,
+        ]
+
+    def test_tally_total_is_conserved(self):
+        bp = BasePermutation(PAPER_N7, k=3)
+        tally = bp.reconstruction_read_tally()
+        # n-1 lost stripe units (one spare excluded), k-1 reads each.
+        assert sum(tally.values()) == (bp.n - 1) * (bp.k - 1)
+
+    def test_satisfactory_for_every_failed_disk(self):
+        # Development symmetry: disk 0 being uniform implies all are.
+        bp = BasePermutation(PAPER_N7, k=3)
+        for failed in range(7):
+            tally = bp.reconstruction_read_tally(failed)
+            assert set(tally.values()) == {2}
+
+    def test_write_tally(self):
+        bp = BasePermutation(PAPER_N7, k=3)
+        writes = bp.reconstruction_write_tally()
+        assert sum(writes.values()) == bp.n - 1
+
+    def test_write_tally_needs_spares(self):
+        bp = BasePermutation(tuple(range(6)), k=3, spares=0)
+        with pytest.raises(ConfigurationError):
+            bp.reconstruction_write_tally()
+
+    def test_xor_development(self):
+        values = (0, 1, 15, 8, 4, 2, 3, 14, 7, 12, 6, 5, 13, 9, 11, 10)
+        bp = BasePermutation(values, k=5)
+        assert bp.is_satisfactory(XorDevelopment(16))
+
+    def test_development_size_mismatch(self):
+        bp = BasePermutation(PAPER_N7, k=3)
+        with pytest.raises(ConfigurationError):
+            bp.reconstruction_read_tally(dev=ModularDevelopment(13))
+
+    def test_failed_disk_out_of_range(self):
+        bp = BasePermutation(PAPER_N7, k=3)
+        with pytest.raises(ConfigurationError):
+            bp.reconstruction_read_tally(failed=7)
+
+
+class TestPermutationGroup:
+    def test_paper_pair(self):
+        a = BasePermutation((0, 1, 2, 8, 3, 5, 7, 4, 6, 9), k=3)
+        b = BasePermutation((0, 1, 2, 4, 3, 7, 8, 5, 6, 9), k=3)
+        group = PermutationGroup([a, b])
+        assert group.is_satisfactory()
+        assert set(group.combined_tally().values()) == {4}
+        assert group.tally_deviation() == 0
+
+    def test_rejects_mixed_shapes(self):
+        a = BasePermutation(PAPER_N7, k=3)
+        b = BasePermutation(tuple(range(10)), k=3)
+        with pytest.raises(ConfigurationError):
+            PermutationGroup([a, b])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            PermutationGroup([])
+
+    def test_singleton_group(self):
+        bp = BasePermutation(PAPER_N7, k=3)
+        group = PermutationGroup([bp])
+        assert group.p == 1
+        assert group.is_satisfactory()
+
+
+@given(st.randoms(use_true_random=False))
+def test_any_permutation_has_conserved_tally(rnd):
+    """Goal #3 totals hold for arbitrary (even bad) permutations."""
+    values = list(range(7))
+    rnd.shuffle(values)
+    bp = BasePermutation(values, k=3)
+    tally = bp.reconstruction_read_tally()
+    assert sum(tally.values()) == 12
+    assert all(c >= 0 for c in tally.values())

@@ -1,0 +1,90 @@
+"""Tests for the generic reconstruction planner."""
+
+import pytest
+
+from repro.core.bose import bose_base_permutation
+from repro.core.layout import PDDLLayout
+from repro.core.reconstruction import (
+    rebuild_plan,
+    rebuild_read_tally,
+    rebuild_write_tally,
+    reconstruction_deviation,
+)
+from repro.errors import ConfigurationError
+from repro.layouts import make_layout
+from repro.layouts.address import Role
+
+
+@pytest.fixture(scope="module")
+def seven():
+    return PDDLLayout(bose_base_permutation(2, 3, omega=3))
+
+
+class TestRebuildPlan:
+    def test_step_counts(self, seven):
+        steps = list(rebuild_plan(seven, 0))
+        # Seven rows, one of which holds the failed disk's spare unit.
+        assert len(steps) == 6
+
+    def test_reads_exclude_failed_disk(self, seven):
+        for failed in range(7):
+            for step in rebuild_plan(seven, failed):
+                assert all(a.disk != failed for a in step.reads)
+                assert len(step.reads) == seven.k - 1
+
+    def test_writes_go_to_spare_cells(self, seven):
+        for step in rebuild_plan(seven, 2):
+            assert step.write is not None
+            assert seven.locate(*step.write).role is Role.SPARE
+            assert step.write.offset == step.lost.offset
+
+    def test_paper_worked_example(self, seven):
+        # §2: disk 0 fails.  "row 3 indicates that disks 4 and 5 must be
+        # accessed to reconstruct the parity unit ... stored on the spare
+        # space of disk 3".
+        steps = {s.lost.offset: s for s in rebuild_plan(seven, 0)}
+        row3 = steps[3]
+        assert sorted(a.disk for a in row3.reads) == [4, 5]
+        assert row3.write.disk == 3
+        # "row 5 indicates that disks 2 and 6 ... stored on disk 5".
+        row5 = steps[5]
+        assert sorted(a.disk for a in row5.reads) == [2, 6]
+        assert row5.write.disk == 5
+        # "we access disks 1 and 3 according to row 6 ... stored on disk 6".
+        row6 = steps[6]
+        assert sorted(a.disk for a in row6.reads) == [1, 3]
+        assert row6.write.disk == 6
+
+    def test_no_writes_without_sparing(self):
+        layout = make_layout("raid5", 5, 5)
+        for step in rebuild_plan(layout, 1):
+            assert step.write is None
+
+    def test_invalid_disk(self, seven):
+        with pytest.raises(ConfigurationError):
+            list(rebuild_plan(seven, 9))
+
+
+class TestTallies:
+    def test_matches_permutation_tally(self, seven):
+        perm_tally = seven.group.combined_tally(0)
+        plan_tally = rebuild_read_tally(seven, 0)
+        assert perm_tally == plan_tally
+
+    def test_write_tally_total(self, seven):
+        writes = rebuild_write_tally(seven, 0)
+        assert sum(writes.values()) == 6
+
+    @pytest.mark.parametrize(
+        "name,k", [("pddl", 4), ("datum", 4), ("prime", 4), ("parity-declustering", 4)]
+    )
+    def test_declustered_layouts_have_zero_deviation(self, name, k):
+        layout = make_layout(name, 13, k)
+        assert reconstruction_deviation(layout) == 0
+
+    def test_raid5_doubles_survivor_load(self):
+        layout = make_layout("raid5", 13, 13)
+        tally = rebuild_read_tally(layout, 0)
+        # Every survivor reads once per lost unit: n-1 units + ... each of
+        # the period's 13 lost units needs all 12 survivors.
+        assert set(tally.values()) == {13}

@@ -1,0 +1,76 @@
+"""Tests for the paper's published permutations (core/tables)."""
+
+import pytest
+
+from repro.core import tables
+from repro.core.development import XorDevelopment
+from repro.core.permutation import BasePermutation, PermutationGroup
+from repro.gf.prime import is_prime
+
+
+class TestPublishedPermutations:
+    def test_n7(self):
+        perm = tables.published_group(7, 3)
+        assert isinstance(perm, BasePermutation)
+        assert perm.values == tables.PAPER_N7_K3
+        assert perm.is_satisfactory()
+
+    def test_n10_pair(self):
+        group = tables.published_group(10, 3)
+        assert isinstance(group, PermutationGroup)
+        assert group.p == 2
+        assert group.is_satisfactory()
+
+    def test_n16(self):
+        perm = tables.published_group(16, 5)
+        assert perm.is_satisfactory(XorDevelopment(16))
+
+    def test_n55_figure17_pair(self):
+        group = tables.published_group(55, 6)
+        assert isinstance(group, PermutationGroup)
+        assert group.p == 2
+        assert group.is_satisfactory()
+
+    def test_n55_singles_are_only_almost_satisfactory(self):
+        # Each Figure 17 permutation alone misses goal #3 (that is why the
+        # paper needs the pair).
+        group = tables.published_group(55, 6)
+        for perm in group.permutations:
+            assert not perm.is_satisfactory()
+            assert perm.tally_deviation() <= 2
+
+    def test_n13_experiment_calibration(self):
+        perm = tables.published_group(13, 4)
+        assert isinstance(perm, BasePermutation)
+        assert perm.values == tables.PAPER_N13_K4_EXPERIMENT
+        assert perm.is_satisfactory()
+        # Checks cluster with the spare: non-data columns are {0, 12, 11, 6}.
+        checks = {perm.values[c] for c in range(13) if perm.is_check_column(c)}
+        assert checks == {12, 11, 6}
+
+    def test_unknown_config_returns_none(self):
+        assert tables.published_group(13, 3) is None
+        assert tables.published_group(99, 7) is None
+
+
+class TestTable1:
+    def test_covers_full_grid(self):
+        assert set(tables.PAPER_TABLE1) == {
+            (k, g) for k in range(5, 11) for g in range(1, 11)
+        }
+
+    def test_prime_configs_are_solitary(self):
+        # Wherever n = g*k + 1 is prime, Bose gives a solitary permutation
+        # and Table 1 must record 1.
+        for (k, g), value in tables.PAPER_TABLE1.items():
+            if is_prime(g * k + 1):
+                assert value == 1, (k, g)
+
+    def test_figure17_consistency(self):
+        # Figure 17's n = 55 pair corresponds to Table 1 cell (k=6, g=9).
+        assert tables.PAPER_TABLE1[(6, 9)] == 2
+
+    def test_n10_cell(self):
+        # The paper's §2 ten-disk pair is (k=3, g=3) — outside Table 1's
+        # k range, but its k=9, g=1 transpose-shaped cell must be solitary.
+        assert tables.PAPER_TABLE1[(9, 1)] == 1

@@ -1,0 +1,95 @@
+"""Tests for block designs."""
+
+from math import comb
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.designs.bibd import BlockDesign, complete_block_design
+from repro.errors import DesignError
+
+FANO = [(0, 1, 3), (1, 2, 4), (2, 3, 5), (3, 4, 6), (4, 5, 0), (5, 6, 1), (6, 0, 2)]
+
+
+class TestConstruction:
+    def test_fano(self):
+        d = BlockDesign(7, FANO)
+        assert d.v == 7 and d.k == 3 and d.b == 7
+
+    def test_rejects_mixed_block_sizes(self):
+        with pytest.raises(DesignError):
+            BlockDesign(5, [(0, 1), (2, 3, 4)])
+
+    def test_rejects_repeated_point(self):
+        with pytest.raises(DesignError):
+            BlockDesign(5, [(0, 0, 1)])
+
+    def test_rejects_out_of_range_point(self):
+        with pytest.raises(DesignError):
+            BlockDesign(5, [(0, 1, 5)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DesignError):
+            BlockDesign(5, [])
+        with pytest.raises(DesignError):
+            BlockDesign(1, [(0,)])
+
+
+class TestBalance:
+    def test_fano_is_bibd(self):
+        d = BlockDesign(7, FANO)
+        d.validate_bibd()
+        assert d.lambda_ == 1
+        assert set(d.replication_counts()) == {3}
+
+    def test_unbalanced_design(self):
+        d = BlockDesign(4, [(0, 1), (0, 1), (2, 3)])
+        assert not d.is_balanced()
+        with pytest.raises(DesignError):
+            _ = d.lambda_
+        with pytest.raises(DesignError):
+            d.validate_bibd()
+        assert d.max_pair_imbalance() == 2
+
+    def test_pair_counts_complete(self):
+        d = BlockDesign(7, FANO)
+        counts = d.pair_counts()
+        assert len(counts) == comb(7, 2)
+        assert set(counts.values()) == {1}
+
+
+class TestCompleteBlockDesign:
+    def test_block_count(self):
+        for v, k in [(4, 2), (5, 3), (6, 4), (13, 4)]:
+            assert complete_block_design(v, k).b == comb(v, k)
+
+    def test_colex_order(self):
+        d = complete_block_design(4, 2)
+        assert d.blocks == ((0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3))
+
+    def test_is_bibd(self):
+        d = complete_block_design(6, 3)
+        d.validate_bibd()
+        assert d.lambda_ == comb(4, 1)  # C(v-2, k-2)
+
+    def test_invalid_params(self):
+        with pytest.raises(DesignError):
+            complete_block_design(3, 4)
+        with pytest.raises(DesignError):
+            complete_block_design(5, 1)
+
+    @given(st.integers(min_value=2, max_value=7), st.integers(min_value=2, max_value=7))
+    def test_replication_uniform(self, v, k):
+        if k > v:
+            return
+        d = complete_block_design(v, k)
+        assert set(d.replication_counts()) == {comb(v - 1, k - 1)}
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        a = BlockDesign(7, FANO)
+        b = BlockDesign(7, FANO)
+        assert a == b and hash(a) == hash(b)
+        assert a != BlockDesign(7, FANO[1:] + FANO[:1])

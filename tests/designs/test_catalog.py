@@ -1,0 +1,41 @@
+"""Tests for the design catalog."""
+
+import pytest
+
+from repro.designs.catalog import known_bibd, known_difference_set
+from repro.designs.difference import is_difference_set
+from repro.errors import DesignError
+
+
+class TestKnownDifferenceSets:
+    @pytest.mark.parametrize(
+        "v,k", [(7, 3), (13, 4), (21, 5), (31, 6), (11, 5), (15, 7)]
+    )
+    def test_cataloged_sets_are_valid(self, v, k):
+        block = known_difference_set(v, k)
+        lam = k * (k - 1) // (v - 1)
+        assert is_difference_set(block, v, lam)
+
+    def test_uncataloged_falls_back_to_search(self):
+        block = known_difference_set(5, 4)  # trivial near-complete design
+        assert is_difference_set(block, 5, lam=3)
+
+
+class TestKnownBibd:
+    def test_paper_13_4_design(self):
+        d = known_bibd(13, 4)
+        d.validate_bibd()
+        assert (d.v, d.k, d.b, d.lambda_) == (13, 4, 13, 1)
+
+    def test_family_backed_design(self):
+        d = known_bibd(13, 3)
+        d.validate_bibd()
+        assert d.lambda_ == 1
+
+    def test_search_fallback(self):
+        d = known_bibd(5, 4)
+        d.validate_bibd()
+
+    def test_impossible_raises(self):
+        with pytest.raises(DesignError):
+            known_bibd(8, 3)

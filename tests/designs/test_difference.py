@@ -1,0 +1,99 @@
+"""Tests for difference sets and families."""
+
+import pytest
+
+from repro.designs.difference import (
+    develop_difference_family,
+    develop_difference_set,
+    difference_multiset,
+    find_difference_set,
+    is_difference_family,
+    is_difference_set,
+)
+from repro.errors import DesignError
+
+
+class TestDifferenceMultiset:
+    def test_symmetric(self):
+        counts = difference_multiset([0, 1, 3], 7)
+        # each difference d appears as often as -d
+        for d, c in counts.items():
+            assert counts[(7 - d) % 7] == c
+
+    def test_total_count(self):
+        block = [0, 2, 5, 6]
+        counts = difference_multiset(block, 13)
+        assert sum(counts.values()) == len(block) * (len(block) - 1)
+
+
+class TestDifferenceSet:
+    def test_singer_13_4(self):
+        assert is_difference_set([0, 1, 3, 9], 13, lam=1)
+
+    def test_fano_7_3(self):
+        assert is_difference_set([0, 1, 3], 7, lam=1)
+
+    def test_biplane_11_5(self):
+        assert is_difference_set([0, 1, 2, 4, 7], 11, lam=2)
+
+    def test_not_a_difference_set(self):
+        assert not is_difference_set([0, 1, 2, 3], 13, lam=1)
+
+    def test_translation_invariance(self):
+        base = [0, 1, 3, 9]
+        for t in range(13):
+            shifted = [(x + t) % 13 for x in base]
+            assert is_difference_set(shifted, 13, lam=1)
+
+
+class TestDifferenceFamily:
+    def test_bose_blocks_for_seven_disks(self):
+        # Paper §3: B1 = {1,2,4}, B2 = {3,6,5} — a (7,3,2) family.
+        assert is_difference_family([[1, 2, 4], [3, 6, 5]], 7, lam=2)
+
+    def test_netto_13_3(self):
+        assert is_difference_family([[0, 1, 4], [0, 2, 7]], 13, lam=1)
+
+    def test_not_a_family(self):
+        assert not is_difference_family([[0, 1, 2], [0, 1, 3]], 7, lam=2)
+
+
+class TestDevelopment:
+    def test_develop_13_4(self):
+        d = develop_difference_set([0, 1, 3, 9], 13)
+        d.validate_bibd()
+        assert d.b == 13
+        assert d.lambda_ == 1
+
+    def test_develop_family(self):
+        d = develop_difference_family([[0, 1, 4], [0, 2, 7]], 13)
+        d.validate_bibd()
+        assert d.b == 26
+        assert d.lambda_ == 1
+
+    def test_develop_rejects_nonset(self):
+        with pytest.raises(DesignError):
+            develop_difference_set([0, 1, 2, 3], 13)
+
+    def test_develop_rejects_bad_sizes(self):
+        # k(k-1) not divisible by v-1.
+        with pytest.raises(DesignError):
+            develop_difference_set([0, 1, 3], 8)
+
+
+class TestSearch:
+    def test_finds_fano(self):
+        assert find_difference_set(7, 3) == (0, 1, 3)
+
+    def test_finds_13_4(self):
+        block = find_difference_set(13, 4)
+        assert is_difference_set(block, 13, lam=1)
+
+    def test_divisibility_shortcut(self):
+        with pytest.raises(DesignError):
+            find_difference_set(8, 3)
+
+    def test_nonexistent_raises(self):
+        # (16, 6, 2) difference sets in Z_16 do not exist (known result).
+        with pytest.raises(DesignError):
+            find_difference_set(16, 6)

@@ -1,0 +1,63 @@
+"""Tests for near-resolvable design machinery."""
+
+import pytest
+
+from repro.designs.bibd import BlockDesign
+from repro.designs.difference import develop_difference_family
+from repro.designs.resolvable import (
+    classes_from_rows,
+    is_near_resolvable,
+    near_resolvable_classes,
+)
+from repro.errors import DesignError
+
+
+class TestNearResolvable:
+    def test_bose_family_is_nrd(self):
+        d = develop_difference_family([[1, 2, 4], [3, 6, 5]], 7)
+        classes = near_resolvable_classes(d)
+        assert len(classes) == 7
+        assert [missed for missed, _ in classes] == list(range(7))
+        for missed, blocks in classes:
+            covered = set()
+            for block in blocks:
+                assert covered.isdisjoint(block)
+                covered.update(block)
+            assert covered == set(range(7)) - {missed}
+
+    def test_is_near_resolvable_true(self):
+        d = develop_difference_family([[1, 2, 4], [3, 6, 5]], 7)
+        assert is_near_resolvable(d)
+
+    def test_fano_is_not_nrd(self):
+        # v - 1 = 6 is divisible by k = 3 but the 7 blocks cannot form near
+        # parallel classes (7 is not a multiple of 2 classes-of-2).
+        fano = BlockDesign(
+            7,
+            [(0, 1, 3), (1, 2, 4), (2, 3, 5), (3, 4, 6), (4, 5, 0), (5, 6, 1), (6, 0, 2)],
+        )
+        assert not is_near_resolvable(fano)
+
+    def test_wrong_divisibility(self):
+        d = BlockDesign(6, [(0, 1, 2), (3, 4, 5)])
+        with pytest.raises(DesignError):
+            near_resolvable_classes(d)
+
+
+class TestClassesFromRows:
+    def test_valid_rows(self):
+        rows = [
+            [(1, 2, 4), (3, 6, 5)],
+            [(2, 3, 5), (4, 0, 6)],
+        ]
+        classes = classes_from_rows(rows, 7)
+        assert classes[0][0] == 0
+        assert classes[1][0] == 1
+
+    def test_overlapping_stripes_rejected(self):
+        with pytest.raises(DesignError):
+            classes_from_rows([[(0, 1, 2), (2, 3, 4)]], 7)
+
+    def test_wrong_miss_count_rejected(self):
+        with pytest.raises(DesignError):
+            classes_from_rows([[(0, 1, 2)]], 7)

@@ -1,0 +1,130 @@
+"""Tests for the mechanical drive service model."""
+
+import pytest
+
+from repro.disk.drive import DiskDrive, DiskRequest
+from repro.disk.geometry import DiskGeometry, Zone
+from repro.disk.hp2247 import make_hp2247
+from repro.disk.seek import SeekModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def drive():
+    return make_hp2247()
+
+
+def simple_drive():
+    geometry = DiskGeometry(heads=2, zones=[Zone(0, 10, 10)])
+    seek = SeekModel(10, 2.0, 0.5, 0.1)
+    return DiskDrive(geometry, seek, rpm=6000, head_switch_ms=0.8,
+                     cylinder_switch_ms=2.0)
+
+
+class TestServiceComponents:
+    def test_same_track_no_seek(self):
+        d = simple_drive()
+        rec = d.service(DiskRequest(0, 2, False, access_id=0), now_ms=0.0)
+        assert rec.seek_ms == 0.0
+        assert not rec.cylinder_changed and not rec.head_changed
+
+    def test_head_switch_only(self):
+        d = simple_drive()
+        # LBA 10 is cylinder 0, head 1.
+        rec = d.service(DiskRequest(10, 1, False, access_id=0), now_ms=0.0)
+        assert rec.seek_ms == pytest.approx(0.8)
+        assert rec.head_changed and not rec.cylinder_changed
+
+    def test_cylinder_seek(self):
+        d = simple_drive()
+        # LBA 20 is cylinder 1.
+        rec = d.service(DiskRequest(20, 1, False, access_id=0), now_ms=0.0)
+        assert rec.cylinder_changed
+        assert rec.seek_ms == pytest.approx(d.seek_model.seek_time(1))
+
+    def test_transfer_time_scales_with_sectors(self):
+        d = simple_drive()
+        per_sector = d.revolution_ms / 10
+        rec = d.service(DiskRequest(0, 5, False, access_id=0), now_ms=0.0)
+        assert rec.transfer_ms == pytest.approx(5 * per_sector)
+
+    def test_track_crossing_adds_head_switch(self):
+        d = simple_drive()
+        per_sector = d.revolution_ms / 10
+        rec = d.service(DiskRequest(5, 10, False, access_id=0), now_ms=0.0)
+        assert rec.transfer_ms == pytest.approx(10 * per_sector + 0.8)
+
+    def test_cylinder_crossing_adds_cylinder_switch(self):
+        d = simple_drive()
+        per_sector = d.revolution_ms / 10
+        # Start in last track of cylinder 0 (head 1), spill into cylinder 1.
+        rec = d.service(DiskRequest(15, 10, False, access_id=0), now_ms=0.0)
+        assert rec.transfer_ms == pytest.approx(10 * per_sector + 2.0)
+
+    def test_arm_position_updates(self):
+        d = simple_drive()
+        d.service(DiskRequest(25, 1, False, access_id=0), now_ms=0.0)
+        assert d.cylinder == 1
+        assert d.head == 0
+
+    def test_rotational_latency_bounded_by_revolution(self):
+        d = simple_drive()
+        for now in [0.0, 1.7, 9.93, 123.456]:
+            d.reset()
+            rec = d.service(DiskRequest(3, 1, False, access_id=0), now_ms=now)
+            assert 0 <= rec.latency_ms < d.revolution_ms
+
+    def test_latency_depends_on_arrival_time(self):
+        a = simple_drive()
+        b = simple_drive()
+        ra = a.service(DiskRequest(3, 1, False, access_id=0), now_ms=0.0)
+        rb = b.service(DiskRequest(3, 1, False, access_id=0), now_ms=2.0)
+        assert ra.latency_ms != pytest.approx(rb.latency_ms)
+
+    def test_empty_transfer_rejected(self):
+        d = simple_drive()
+        with pytest.raises(ConfigurationError):
+            d.service(DiskRequest(0, 0, False, access_id=0), now_ms=0.0)
+
+    def test_out_of_range_transfer_rejected(self):
+        d = simple_drive()
+        with pytest.raises(ConfigurationError):
+            d.service(DiskRequest(195, 10, False, access_id=0), now_ms=0.0)
+
+
+class TestHp2247Behaviour:
+    def test_8kb_stripe_unit_service_envelope(self, drive):
+        # A 16-sector read: at most seek + full rotation + ~2 track times.
+        rec = drive.service(
+            DiskRequest(1_000_000, 16, False, access_id=0), now_ms=0.0
+        )
+        assert rec.total_ms < 18.0 + 11.2 + 5.0
+
+    def test_average_rotation_close_to_half_rev(self, drive):
+        # Paper: "the no-switch service time is less than 5.6 ms" — i.e.
+        # mean rotational latency ~ half a revolution.
+        total = 0.0
+        samples = 200
+        for i in range(samples):
+            drive.reset()
+            rec = drive.service(
+                DiskRequest(500, 1, False, access_id=0),
+                now_ms=i * 0.3937,
+            )
+            total += rec.latency_ms
+        mean = total / samples
+        assert 4.5 < mean < 6.5
+
+    def test_mismatched_seek_model_rejected(self):
+        from repro.disk.hp2247 import HP2247_GEOMETRY
+
+        with pytest.raises(ConfigurationError):
+            DiskDrive(HP2247_GEOMETRY, SeekModel(100, 2.9, 0.1, 0.01),
+                      rpm=5400, head_switch_ms=0.8, cylinder_switch_ms=2.9)
+
+    def test_bad_rpm_rejected(self):
+        from repro.disk.hp2247 import HP2247_GEOMETRY, HP2247_SEEK
+
+        with pytest.raises(ConfigurationError):
+            DiskDrive(HP2247_GEOMETRY, HP2247_SEEK, rpm=0,
+                      head_switch_ms=0.8, cylinder_switch_ms=2.9)

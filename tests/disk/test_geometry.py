@@ -1,0 +1,99 @@
+"""Tests for zoned disk geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.disk.geometry import Chs, DiskGeometry, Zone, uniform_zones
+from repro.disk.hp2247 import HP2247_GEOMETRY
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def small():
+    return DiskGeometry(heads=2, zones=[Zone(0, 2, 10), Zone(2, 2, 8)])
+
+
+class TestConstruction:
+    def test_gap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskGeometry(heads=2, zones=[Zone(0, 2, 10), Zone(3, 2, 8)])
+
+    def test_zero_heads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskGeometry(heads=0, zones=[Zone(0, 1, 10)])
+
+    def test_degenerate_zone_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Zone(0, 0, 10)
+        with pytest.raises(ConfigurationError):
+            Zone(0, 5, 0)
+
+    def test_totals(self, small):
+        assert small.total_sectors == 2 * 2 * 10 + 2 * 2 * 8
+        assert small.cylinders == 4
+
+
+class TestTranslation:
+    def test_lba_roundtrip(self, small):
+        for lba in range(small.total_sectors):
+            assert small.chs_to_lba(small.lba_to_chs(lba)) == lba
+
+    def test_chs_monotone_in_lba(self, small):
+        previous = (-1, -1, -1)
+        for lba in range(small.total_sectors):
+            chs = small.lba_to_chs(lba)
+            assert tuple(chs) > previous
+            previous = tuple(chs)
+
+    def test_zone_boundary(self, small):
+        # Last sector of zone 0 vs first of zone 1.
+        last0 = 2 * 2 * 10 - 1
+        assert small.lba_to_chs(last0) == Chs(1, 1, 9)
+        assert small.lba_to_chs(last0 + 1) == Chs(2, 0, 0)
+
+    def test_out_of_range(self, small):
+        with pytest.raises(ConfigurationError):
+            small.lba_to_chs(small.total_sectors)
+        with pytest.raises(ConfigurationError):
+            small.lba_to_chs(-1)
+        with pytest.raises(ConfigurationError):
+            small.chs_to_lba(Chs(0, 2, 0))
+        with pytest.raises(ConfigurationError):
+            small.chs_to_lba(Chs(0, 0, 10))
+
+    def test_sectors_per_track(self, small):
+        assert small.sectors_per_track(0) == 10
+        assert small.sectors_per_track(3) == 8
+        with pytest.raises(ConfigurationError):
+            small.sectors_per_track(4)
+
+    @given(st.integers(min_value=0))
+    def test_hp2247_roundtrip(self, lba):
+        lba %= HP2247_GEOMETRY.total_sectors
+        assert HP2247_GEOMETRY.chs_to_lba(HP2247_GEOMETRY.lba_to_chs(lba)) == lba
+
+
+class TestHp2247Envelope:
+    def test_table2_parameters(self):
+        assert HP2247_GEOMETRY.cylinders == 1981
+        assert HP2247_GEOMETRY.heads == 13
+        assert len(HP2247_GEOMETRY.zones) == 8
+
+    def test_capacity_is_1_03_gb(self):
+        gb = HP2247_GEOMETRY.capacity_bytes / 1e9
+        assert 1.02 <= gb <= 1.05
+
+    def test_outer_zones_denser(self):
+        densities = [z.sectors_per_track for z in HP2247_GEOMETRY.zones]
+        assert densities == sorted(densities, reverse=True)
+
+
+class TestUniformZones:
+    def test_covers_all_cylinders(self):
+        zones = uniform_zones(1981, 8, [96, 91, 86, 81, 76, 71, 66, 61])
+        assert sum(z.cylinders for z in zones) == 1981
+
+    def test_density_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            uniform_zones(100, 3, [10, 9])

@@ -1,0 +1,54 @@
+"""Tests for the seek-time model."""
+
+import pytest
+
+from repro.disk.seek import SeekModel
+from repro.errors import ConfigurationError
+
+
+class TestSeekModel:
+    def test_zero_distance_is_free(self):
+        m = SeekModel(100, 2.9, 0.2, 0.01)
+        assert m.seek_time(0) == 0.0
+
+    def test_single_cylinder(self):
+        m = SeekModel(100, 2.9, 0.2, 0.01)
+        assert m.seek_time(1) == pytest.approx(2.9)
+
+    def test_monotone(self):
+        m = SeekModel(1981, 2.9, 0.17, 0.004)
+        times = [m.seek_time(d) for d in range(1, 1981)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_negative_distance(self):
+        with pytest.raises(ConfigurationError):
+            SeekModel(100, 2.9, 0.2, 0.01).seek_time(-1)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SeekModel(100, -1, 0.2, 0.01)
+        with pytest.raises(ConfigurationError):
+            SeekModel(1, 2.9, 0.2, 0.01)
+
+
+class TestFitted:
+    def test_hits_published_numbers(self):
+        m = SeekModel.fitted(1981, 2.9, 10.0, 18.0)
+        assert m.average_seek_time() == pytest.approx(10.0, abs=1e-9)
+        assert m.seek_time(1980) == pytest.approx(18.0, abs=1e-9)
+        assert m.seek_time(1) == pytest.approx(2.9)
+
+    def test_requires_ordering(self):
+        with pytest.raises(ConfigurationError):
+            SeekModel.fitted(1981, 10.0, 2.9, 18.0)
+
+    def test_non_physical_rejected(self):
+        # An average far above the midpoint of single..max forces a concave
+        # curve with negative coefficients.
+        with pytest.raises(ConfigurationError):
+            SeekModel.fitted(1981, 2.9, 17.5, 18.0)
+
+    def test_other_drive_classes_fit(self):
+        for cyls, single, avg, mx in [(500, 1.0, 6.0, 14.0), (4000, 0.5, 8.0, 16.0)]:
+            m = SeekModel.fitted(cyls, single, avg, mx)
+            assert m.average_seek_time() == pytest.approx(avg, abs=1e-9)

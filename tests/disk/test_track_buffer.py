@@ -1,0 +1,85 @@
+"""Tests for the optional drive track buffer."""
+
+import pytest
+
+from repro.disk.drive import DiskDrive, DiskRequest
+from repro.disk.geometry import DiskGeometry, Zone
+from repro.disk.hp2247 import make_hp2247
+from repro.disk.seek import SeekModel
+from repro.errors import ConfigurationError
+
+
+def buffered_drive():
+    geometry = DiskGeometry(heads=2, zones=[Zone(0, 10, 10)])
+    seek = SeekModel(10, 2.0, 0.5, 0.1)
+    return DiskDrive(
+        geometry, seek, rpm=6000, head_switch_ms=0.8,
+        cylinder_switch_ms=2.0, track_buffer=True, buffer_hit_ms=0.2,
+    )
+
+
+class TestTrackBuffer:
+    def test_second_read_of_track_hits(self):
+        d = buffered_drive()
+        first = d.service(DiskRequest(0, 4, False, access_id=0), now_ms=0.0)
+        assert first.total_ms > 0.2
+        second = d.service(DiskRequest(4, 4, False, access_id=0), now_ms=20.0)
+        assert second.total_ms == pytest.approx(0.2)
+        assert d.buffer_hits == 1
+
+    def test_hit_leaves_arm_unmoved(self):
+        d = buffered_drive()
+        d.service(DiskRequest(0, 2, False, access_id=0), now_ms=0.0)
+        d.service(DiskRequest(25, 1, False, access_id=0), now_ms=20.0)
+        # Arm is at cylinder 1 now; no buffered track for cyl 0.
+        assert d.cylinder == 1
+
+    def test_different_track_misses(self):
+        d = buffered_drive()
+        d.service(DiskRequest(0, 2, False, access_id=0), now_ms=0.0)
+        miss = d.service(DiskRequest(10, 2, False, access_id=0), now_ms=20.0)
+        assert miss.total_ms > 0.2
+        assert d.buffer_hits == 0
+
+    def test_write_invalidates(self):
+        d = buffered_drive()
+        d.service(DiskRequest(0, 2, False, access_id=0), now_ms=0.0)
+        d.service(DiskRequest(5, 1, True, access_id=0), now_ms=20.0)
+        after = d.service(DiskRequest(0, 2, False, access_id=0), now_ms=40.0)
+        assert after.total_ms > 0.2
+
+    def test_write_never_hits(self):
+        d = buffered_drive()
+        d.service(DiskRequest(0, 2, False, access_id=0), now_ms=0.0)
+        write = d.service(DiskRequest(2, 1, True, access_id=0), now_ms=20.0)
+        assert write.total_ms > 0.2
+
+    def test_read_spanning_tracks_misses_but_caches_last(self):
+        d = buffered_drive()
+        d.service(DiskRequest(5, 10, False, access_id=0), now_ms=0.0)
+        # Final track read was (cyl 0, head 1): LBAs 10..14.
+        hit = d.service(DiskRequest(12, 2, False, access_id=0), now_ms=20.0)
+        assert hit.total_ms == pytest.approx(0.2)
+
+    def test_disabled_by_default(self):
+        d = make_hp2247()
+        d.service(DiskRequest(0, 4, False, access_id=0), now_ms=0.0)
+        again = d.service(DiskRequest(0, 4, False, access_id=0), now_ms=20.0)
+        assert again.total_ms > 0.2
+        assert d.buffer_hits == 0
+
+    def test_reset_clears_buffer(self):
+        d = buffered_drive()
+        d.service(DiskRequest(0, 2, False, access_id=0), now_ms=0.0)
+        d.reset()
+        miss = d.service(DiskRequest(0, 2, False, access_id=0), now_ms=20.0)
+        assert miss.total_ms > 0.2
+
+    def test_negative_hit_time_rejected(self):
+        geometry = DiskGeometry(heads=1, zones=[Zone(0, 5, 10)])
+        with pytest.raises(ConfigurationError):
+            DiskDrive(
+                geometry, SeekModel(5, 1.0, 0.1, 0.1), rpm=6000,
+                head_switch_ms=0.8, cylinder_switch_ms=2.0,
+                track_buffer=True, buffer_hit_ms=-1.0,
+            )

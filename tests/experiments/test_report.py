@@ -1,0 +1,103 @@
+"""Tests for the ASCII report renderers."""
+
+from repro.experiments.report import (
+    ranking_at_heaviest_load,
+    ranking_at_lightest_load,
+    render_response_curves,
+    render_seek_mix_table,
+    render_table,
+    render_working_set_table,
+)
+from repro.experiments.response import ResponseCurve, ResponsePoint
+from repro.stats.seekcount import SeekMix
+
+
+def _point(layout, clients, response):
+    return ResponsePoint(
+        layout=layout,
+        spec_label="8KB reads",
+        clients=clients,
+        mode="fault-free",
+        mean_response_ms=response,
+        throughput_per_s=clients / response * 1000,
+        samples=100,
+        converged=True,
+        seek_mix=SeekMix(1.0, 0.0, 0.0, 0.0),
+    )
+
+
+def _curves():
+    return {
+        "pddl": ResponseCurve(
+            "pddl", "8KB reads", "fault-free",
+            [_point("pddl", 1, 20.0), _point("pddl", 25, 100.0)],
+        ),
+        "raid5": ResponseCurve(
+            "raid5", "8KB reads", "fault-free",
+            [_point("raid5", 1, 15.0), _point("raid5", 25, 300.0)],
+        ),
+    }
+
+
+class TestRenderers:
+    def test_render_table_aligns(self):
+        out = render_table(["a", "long-header"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) >= 1
+
+    def test_render_working_set(self):
+        table = {
+            ("pddl", 8, cond): 1.0
+            for cond in ("ffread", "ffwrite", "f1read", "f1write")
+        }
+        out = render_working_set_table(table, [8])
+        assert "PDDL" in out and "ffread" in out
+
+    def test_render_seek_mix(self):
+        out = render_seek_mix_table(
+            {("pddl", 8): SeekMix(1.0, 0.1, 0.2, 0.5)}, [8]
+        )
+        assert "non-local" in out and "1.00" in out
+
+    def test_render_response_curves(self):
+        out = render_response_curves(_curves())
+        assert "PDDL" in out and "RAID 5" in out
+        assert "100.00" in out
+
+    def test_rankings(self):
+        curves = _curves()
+        assert ranking_at_lightest_load(curves) == ["raid5", "pddl"]
+        assert ranking_at_heaviest_load(curves) == ["pddl", "raid5"]
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        from repro.experiments.report import render_ascii_chart
+
+        assert render_ascii_chart({}) == "(no data)"
+
+    def test_markers_and_legend(self):
+        from repro.experiments.report import render_ascii_chart
+
+        chart = render_ascii_chart(
+            {"PDDL": [(10, 20), (50, 100)], "RAID 5": [(10, 25), (40, 200)]},
+            width=40,
+            height=8,
+        )
+        assert "A=PDDL" in chart and "B=RAID 5" in chart
+        assert "A" in chart and "B" in chart
+        assert "accesses/sec" in chart
+
+    def test_single_point_series(self):
+        from repro.experiments.report import render_ascii_chart
+
+        chart = render_ascii_chart({"x": [(5.0, 5.0)]})
+        assert "A=x" in chart
+
+    def test_curves_to_series(self):
+        from repro.experiments.report import curves_to_series
+
+        series = curves_to_series(_curves())
+        assert set(series) == {"PDDL", "RAID 5"}
+        assert series["PDDL"][0][1] == 20.0

@@ -1,0 +1,28 @@
+"""Tests for the analytic-vs-simulated validation harness."""
+
+from repro.experiments.validation import ValidationRow, validation_rows
+
+
+class TestValidationRow:
+    def test_relative_error(self):
+        row = ValidationRow("x", "pddl", analytic=10.0, simulated=10.5)
+        assert row.relative_error == 0.05
+
+    def test_zero_analytic(self):
+        row = ValidationRow("x", "pddl", analytic=0.0, simulated=0.3)
+        assert row.relative_error == 0.3
+
+
+class TestValidationRows:
+    def test_small_run_agrees(self):
+        rows = validation_rows(samples=120)
+        assert len(rows) == 10
+        for row in rows:
+            assert row.relative_error < 0.15, (row.quantity, row.layout)
+
+    def test_covers_reads_writes_and_degraded(self):
+        rows = validation_rows(samples=120)
+        quantities = " ".join(row.quantity for row in rows)
+        assert "write" in quantities
+        assert "degraded" in quantities
+        assert "working set" in quantities

@@ -1,0 +1,118 @@
+"""Tests for GF(2^m) table-based arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.gf.binary import PAPER_GF16_MODULUS, BinaryField
+
+
+@pytest.fixture(scope="module")
+def gf16():
+    return BinaryField(4, modulus=PAPER_GF16_MODULUS)
+
+
+class TestConstruction:
+    def test_reducible_modulus_rejected(self):
+        with pytest.raises(FieldError):
+            BinaryField(4, modulus=0b10001)  # x^4 + 1
+
+    def test_wrong_degree_rejected(self):
+        with pytest.raises(FieldError):
+            BinaryField(4, modulus=0b111)
+
+    def test_nonprimitive_generator_rejected(self):
+        # x (= 2) has order 5 for the paper modulus.
+        with pytest.raises(FieldError):
+            BinaryField(4, modulus=PAPER_GF16_MODULUS, generator=2)
+
+    def test_default_modulus_found(self):
+        f = BinaryField(3)
+        assert f.order == 8
+
+    def test_m_zero_rejected(self):
+        with pytest.raises(FieldError):
+            BinaryField(0)
+
+
+class TestPaperExample:
+    def test_generator_power_sequence(self, gf16):
+        # Appendix: successive powers of x+1 are 1 3 5 15 14 13 8 7 9 4 12
+        # 11 2 6 10.
+        assert gf16.generator_powers() == [
+            1, 3, 5, 15, 14, 13, 8, 7, 9, 4, 12, 11, 2, 6, 10,
+        ]
+
+    def test_generator_is_x_plus_one(self, gf16):
+        assert gf16.generator == 3
+
+
+class TestArithmetic:
+    def test_add_is_xor(self, gf16):
+        assert gf16.add(0b1010, 0b0110) == 0b1100
+        assert gf16.sub(0b1010, 0b0110) == 0b1100
+
+    def test_neg_is_identity(self, gf16):
+        for a in range(16):
+            assert gf16.neg(a) == a
+
+    def test_mul_by_zero(self, gf16):
+        for a in range(16):
+            assert gf16.mul(a, 0) == 0
+            assert gf16.mul(0, a) == 0
+
+    def test_inverse(self, gf16):
+        for a in range(1, 16):
+            assert gf16.mul(a, gf16.inverse(a)) == 1
+
+    def test_inverse_of_zero(self, gf16):
+        with pytest.raises(FieldError):
+            gf16.inverse(0)
+
+    def test_pow(self, gf16):
+        for a in range(1, 16):
+            acc = 1
+            for e in range(16):
+                assert gf16.pow(a, e) == acc
+                acc = gf16.mul(acc, a)
+
+    def test_pow_of_zero(self, gf16):
+        assert gf16.pow(0, 0) == 1
+        assert gf16.pow(0, 5) == 0
+        with pytest.raises(FieldError):
+            gf16.pow(0, -1)
+
+    def test_log_antilog_roundtrip(self, gf16):
+        for a in range(1, 16):
+            assert gf16.pow(gf16.generator, gf16.log(a)) == a
+
+    def test_log_of_zero(self, gf16):
+        with pytest.raises(FieldError):
+            gf16.log(0)
+
+    def test_out_of_range_rejected(self, gf16):
+        with pytest.raises(FieldError):
+            gf16.add(16, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+    )
+    def test_field_axioms(self, a, b, c):
+        f = BinaryField(4, modulus=PAPER_GF16_MODULUS)
+        assert f.mul(a, b) == f.mul(b, a)
+        assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+        assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+
+class TestEquality:
+    def test_equal_fields(self):
+        a = BinaryField(4, modulus=PAPER_GF16_MODULUS)
+        b = BinaryField(4, modulus=PAPER_GF16_MODULUS)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_m(self):
+        assert BinaryField(3) != BinaryField(4)

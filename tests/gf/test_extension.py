@@ -1,0 +1,118 @@
+"""Tests for general extension fields GF(p^m)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.gf.binary import PAPER_GF16_MODULUS, BinaryField
+from repro.gf.extension import ExtensionField
+
+
+@pytest.fixture(scope="module")
+def gf9():
+    return ExtensionField(3, 2)
+
+
+@pytest.fixture(scope="module")
+def gf25():
+    return ExtensionField(5, 2)
+
+
+class TestConstruction:
+    def test_rejects_composite_p(self):
+        with pytest.raises(FieldError):
+            ExtensionField(4, 2)
+
+    def test_rejects_m_zero(self):
+        with pytest.raises(FieldError):
+            ExtensionField(3, 0)
+
+    def test_rejects_reducible_modulus(self):
+        # x^2 + 2x + 1 = (x+1)^2 over GF(3): int encoding 1 + 2*3 + 9 = 16.
+        with pytest.raises(FieldError):
+            ExtensionField(3, 2, modulus=16)
+
+    def test_rejects_nonprimitive_generator(self):
+        f = ExtensionField(3, 2)
+        # Any element of order < 8; -1 has order 2.  Find one.
+        squares = {f.mul(a, a) for a in range(1, 9)}
+        nonprimitive = next(
+            a for a in range(2, 9) if f.pow(a, 4) == 1
+        )
+        with pytest.raises(FieldError):
+            ExtensionField(3, 2, modulus=f.modulus, generator=nonprimitive)
+        assert squares  # silence linters
+
+
+class TestArithmetic:
+    def test_additive_group(self, gf9):
+        for a in range(9):
+            assert gf9.add(a, 0) == a
+            assert gf9.add(a, gf9.neg(a)) == 0
+            assert gf9.sub(a, a) == 0
+
+    def test_multiplicative_group(self, gf9):
+        for a in range(1, 9):
+            assert gf9.mul(a, gf9.inverse(a)) == 1
+        assert gf9.mul(0, 5) == 0
+
+    def test_generator_spans_group(self, gf25):
+        powers = gf25.generator_powers()
+        assert sorted(powers) == list(range(1, 25))
+
+    def test_log_exp_roundtrip(self, gf25):
+        for a in range(1, 25):
+            assert gf25.pow(gf25.generator, gf25.log(a)) == a
+
+    def test_pow_edge_cases(self, gf9):
+        assert gf9.pow(0, 0) == 1
+        assert gf9.pow(0, 3) == 0
+        with pytest.raises(FieldError):
+            gf9.pow(0, -1)
+        with pytest.raises(FieldError):
+            gf9.inverse(0)
+        with pytest.raises(FieldError):
+            gf9.log(0)
+
+    def test_out_of_range(self, gf9):
+        with pytest.raises(FieldError):
+            gf9.add(9, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=8),
+    )
+    def test_field_axioms_gf9(self, a, b, c):
+        f = ExtensionField(3, 2)
+        assert f.mul(a, b) == f.mul(b, a)
+        assert f.add(a, b) == f.add(b, a)
+        assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+        assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+
+
+class TestConsistency:
+    def test_matches_binary_field_for_p2(self):
+        ext = ExtensionField(2, 4, modulus=PAPER_GF16_MODULUS, generator=3)
+        bin_ = BinaryField(4, modulus=PAPER_GF16_MODULUS, generator=3)
+        assert ext.generator_powers() == bin_.generator_powers()
+        for a in range(16):
+            for b in range(16):
+                assert ext.add(a, b) == bin_.add(a, b)
+                assert ext.mul(a, b) == bin_.mul(a, b)
+
+    def test_addition_matches_digit_development(self):
+        from repro.core.development import DigitDevelopment
+
+        f = ExtensionField(3, 3)
+        dev = DigitDevelopment(3, 3)
+        for a in range(0, 27, 5):
+            for t in range(0, 27, 7):
+                assert f.add(a, t) == dev.shift(a, t)
+
+    def test_equality(self):
+        a = ExtensionField(3, 2)
+        b = ExtensionField(3, 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != ExtensionField(5, 2)

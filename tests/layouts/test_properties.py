@@ -1,0 +1,79 @@
+"""Tests for the goal checker itself, and the paper's goal matrix."""
+
+import pytest
+
+from repro.layouts import make_layout
+from repro.layouts.properties import check_layout
+
+
+@pytest.fixture(scope="module")
+def reports():
+    configs = {
+        "pddl": (13, 4),
+        "raid5": (13, 13),
+        "datum": (13, 4),
+        "prime": (13, 4),
+        "parity-declustering": (13, 4),
+    }
+    return {
+        name: check_layout(make_layout(name, n, k))
+        for name, (n, k) in configs.items()
+    }
+
+
+class TestPaperGoalMatrix:
+    """§5: 'PDDL does meet our goals #1, #2, #3, #4, #6, and #7, but PDDL
+    does not satisfy the maximal read parallelism goal #5.  However, PDDL
+    does meet goal #8 for super stripes.'"""
+
+    def test_pddl(self, reports):
+        met = reports["pddl"].goals_met()
+        assert met == [1, 2, 3, 4, 6, 7, 8]
+        assert not reports["pddl"].maximal_read_parallelism.satisfied
+
+    def test_raid5_meets_goal5_optimally(self, reports):
+        assert reports["raid5"].maximal_read_parallelism.satisfied
+        assert reports["raid5"].maximal_read_parallelism.deviation == 0
+
+    def test_datum_and_parity_declustering_miss_goal5(self, reports):
+        assert not reports["datum"].maximal_read_parallelism.satisfied
+        assert not reports[
+            "parity-declustering"
+        ].maximal_read_parallelism.satisfied
+
+    def test_all_layouts_single_failure_correcting(self, reports):
+        for name, report in reports.items():
+            assert report.single_failure_correcting.satisfied, name
+
+    def test_all_layouts_distribute_parity(self, reports):
+        for name, report in reports.items():
+            assert report.distributed_parity.satisfied, name
+
+    def test_all_layouts_distribute_reconstruction(self, reports):
+        for name, report in reports.items():
+            assert report.distributed_reconstruction.satisfied, name
+
+    def test_only_pddl_has_sparing(self, reports):
+        assert reports["pddl"].distributed_sparing is not None
+        assert reports["pddl"].distributed_sparing.satisfied
+        for name in ("raid5", "datum", "prime", "parity-declustering"):
+            assert reports[name].distributed_sparing is None
+
+
+class TestCheckerMechanics:
+    def test_unsatisfactory_permutation_flagged(self):
+        from repro.core.layout import PDDLLayout
+        from repro.core.permutation import identity_permutation
+
+        report = check_layout(PDDLLayout(identity_permutation(2, 3)))
+        assert not report.distributed_reconstruction.satisfied
+        assert report.distributed_reconstruction.deviation > 0
+
+    def test_goal_results_carry_detail(self, reports):
+        for report in reports.values():
+            assert report.efficient_mapping.detail
+
+    def test_goal6_reports_table_entries(self, reports):
+        assert reports["pddl"].efficient_mapping.deviation == 13  # p*n
+        assert reports["datum"].efficient_mapping.deviation == 0
+        assert reports["parity-declustering"].efficient_mapping.deviation == 52

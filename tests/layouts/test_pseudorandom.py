@@ -1,0 +1,71 @@
+"""Tests for the Pseudo-Random layout."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MappingError
+from repro.layouts.address import PhysicalAddress, Role
+from repro.layouts.pseudorandom import PseudoRandomLayout
+
+
+class TestStructure:
+    def test_validates(self):
+        PseudoRandomLayout(13, 4, rows=32, seed=1).validate()
+
+    def test_deterministic_for_seed(self):
+        a = PseudoRandomLayout(13, 4, rows=16, seed=5)
+        b = PseudoRandomLayout(13, 4, rows=16, seed=5)
+        for s in range(a.stripes_per_period):
+            assert a.stripe_units_in_period(s) == b.stripe_units_in_period(s)
+
+    def test_different_seeds_differ(self):
+        a = PseudoRandomLayout(13, 4, rows=16, seed=5)
+        b = PseudoRandomLayout(13, 4, rows=16, seed=6)
+        assert any(
+            a.stripe_units_in_period(s) != b.stripe_units_in_period(s)
+            for s in range(a.stripes_per_period)
+        )
+
+    def test_rows_differ_from_each_other(self):
+        lay = PseudoRandomLayout(13, 4, rows=8, seed=0)
+        rows = {
+            tuple(lay.stripe_units_in_period(r * lay.g).disks())
+            for r in range(8)
+        }
+        assert len(rows) > 1
+
+    def test_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            PseudoRandomLayout(13, 4, spares=2)  # 11 % 4 != 0
+        with pytest.raises(ConfigurationError):
+            PseudoRandomLayout(13, 4, spares=-1)
+        with pytest.raises(ConfigurationError):
+            PseudoRandomLayout(13, 4, rows=0)
+
+    def test_no_spares_variant(self):
+        lay = PseudoRandomLayout(12, 4, spares=0, rows=8)
+        lay.validate()
+        assert lay.spare_addresses_in_period() == []
+        with pytest.raises(MappingError):
+            lay.relocation_target(PhysicalAddress(0, 0))
+
+
+class TestStatisticalBalance:
+    def test_parity_roughly_even(self):
+        lay = PseudoRandomLayout(13, 4, rows=512, seed=3)
+        counts = [0] * 13
+        for s in range(lay.stripes_per_period):
+            counts[lay.stripe_units_in_period(s).check[0].disk] += 1
+        expected = lay.stripes_per_period / 13
+        assert all(0.6 * expected < c < 1.4 * expected for c in counts)
+
+    def test_relocation_lands_on_spare(self):
+        lay = PseudoRandomLayout(13, 4, rows=16, seed=2)
+        addr = lay.stripe_units_in_period(0).data[0]
+        target = lay.relocation_target(addr)
+        assert lay.locate(*target).role is Role.SPARE
+
+    def test_relocating_spare_rejected(self):
+        lay = PseudoRandomLayout(13, 4, rows=16, seed=2)
+        spare = lay.spare_addresses_in_period()[0]
+        with pytest.raises(MappingError):
+            lay.relocation_target(spare)

@@ -1,0 +1,31 @@
+"""Tests for the layout registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.layouts.registry import DISPLAY_NAMES, available_layouts, make_layout
+
+
+class TestRegistry:
+    def test_all_names_buildable(self):
+        shapes = {"raid5": (13, 13)}
+        for name in available_layouts():
+            n, k = shapes.get(name, (13, 4))
+            layout = make_layout(name, n, k)
+            layout.validate()
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_layout("raid6", 13, 4)
+
+    def test_aliases_and_case(self):
+        assert make_layout("RAID-5", 13, 13).name == "RAID-5"
+        assert make_layout("PDDL", 13, 4).name == "PDDL"
+
+    def test_pddl_requires_g_k_shape(self):
+        with pytest.raises(ConfigurationError):
+            make_layout("pddl", 12, 4)
+
+    def test_display_names_cover_registry(self):
+        for name in available_layouts():
+            assert name in DISPLAY_NAMES

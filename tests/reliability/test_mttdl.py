@@ -1,0 +1,94 @@
+"""Tests for the MTTDL reliability models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.reliability.mttdl import (
+    mttdl_declustered,
+    mttdl_distributed_sparing,
+    mttdl_raid5,
+    rebuild_hours_from_simulation,
+)
+
+MTTF = 500_000.0  # hours (typical 1990s datasheet figure)
+
+
+class TestRaid5:
+    def test_classic_formula(self):
+        r = mttdl_raid5(13, MTTF, 24.0)
+        assert r.mttdl_hours == pytest.approx(MTTF**2 / (13 * 12 * 24.0))
+
+    def test_more_disks_less_reliable(self):
+        assert (
+            mttdl_raid5(20, MTTF, 24.0).mttdl_hours
+            < mttdl_raid5(10, MTTF, 24.0).mttdl_hours
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mttdl_raid5(1, MTTF, 24.0)
+        with pytest.raises(ConfigurationError):
+            mttdl_raid5(13, MTTF, -1.0)
+        with pytest.raises(ConfigurationError):
+            mttdl_raid5(13, 10.0, 24.0)  # repair >= mttf
+
+
+class TestDeclustering:
+    def test_narrow_stripes_more_reliable(self):
+        wide = mttdl_declustered(13, 13, MTTF, 24.0)
+        narrow = mttdl_declustered(13, 4, MTTF, 24.0)
+        assert narrow.mttdl_hours > wide.mttdl_hours
+
+    def test_k_equals_n_matches_raid5(self):
+        assert mttdl_declustered(13, 13, MTTF, 24.0).mttdl_hours == (
+            pytest.approx(mttdl_raid5(13, MTTF, 24.0).mttdl_hours)
+        )
+
+    def test_declustering_factor(self):
+        r = mttdl_declustered(13, 4, MTTF, 24.0)
+        raid = mttdl_raid5(13, MTTF, 24.0)
+        assert r.mttdl_hours == pytest.approx(
+            raid.mttdl_hours * (13 - 1) / (4 - 1)
+        )
+
+
+class TestDistributedSparing:
+    def test_sparing_is_a_sure_win(self):
+        # §5: rebuild into spare space (~1 hour) vs waiting a day for a
+        # replacement drive.
+        no_spare = mttdl_declustered(13, 4, MTTF, 24.0)
+        spared = mttdl_distributed_sparing(13, 4, MTTF, 1.0)
+        assert spared.mttdl_hours > 20 * no_spare.mttdl_hours
+
+    def test_reporting(self):
+        r = mttdl_distributed_sparing(13, 4, MTTF, 1.0)
+        assert "PDDL" in r.as_row()
+        assert r.mttdl_years == pytest.approx(r.mttdl_hours / (24 * 365.25))
+
+    @given(
+        st.integers(min_value=5, max_value=60),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_monotone_in_rebuild_time(self, n, rebuild_hours):
+        k = 4
+        if (n - 1) % 1:
+            return
+        fast = mttdl_distributed_sparing(n, k, MTTF, rebuild_hours)
+        slow = mttdl_distributed_sparing(n, k, MTTF, rebuild_hours * 2)
+        assert fast.mttdl_hours > slow.mttdl_hours
+
+
+class TestRebuildConversion:
+    def test_conversion(self):
+        # 1000 ms per pattern, 3.6M patterns -> 1000 hours.
+        assert rebuild_hours_from_simulation(1000.0, 3_600_000) == (
+            pytest.approx(1000.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rebuild_hours_from_simulation(0.0, 10)
+        with pytest.raises(ConfigurationError):
+            rebuild_hours_from_simulation(5.0, 0)

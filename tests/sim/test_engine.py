@@ -1,0 +1,105 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.random import RandomStreams
+
+
+class TestScheduling:
+    def test_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(5.0, lambda: fired.append("b"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(9.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+        assert engine.now == 9.0
+
+    def test_fifo_tie_break(self):
+        engine = SimulationEngine()
+        fired = []
+        for i in range(5):
+            engine.schedule(1.0, lambda i=i: fired.append(i))
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_nested_scheduling(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def first():
+            fired.append(engine.now)
+            engine.schedule(2.0, lambda: fired.append(engine.now))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert fired == [1.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_schedule_into_past_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(5.0, lambda: engine.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestRunControl:
+    def test_stop(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: (fired.append(1), engine.stop()))
+        engine.schedule(2.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1]
+        assert engine.pending() == 1
+
+    def test_until(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_max_events(self):
+        engine = SimulationEngine()
+        fired = []
+        for i in range(10):
+            engine.schedule(float(i + 1), lambda i=i: fired.append(i))
+        engine.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_events_processed_counter(self):
+        engine = SimulationEngine()
+        for i in range(4):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.events_processed == 4
+
+
+class TestRandomStreams:
+    def test_reproducible(self):
+        a = RandomStreams(7).get("x").random()
+        b = RandomStreams(7).get("x").random()
+        assert a == b
+
+    def test_streams_independent(self):
+        streams = RandomStreams(7)
+        x = streams.get("x")
+        first = streams.get("y").random()
+        x.random()  # consuming x must not perturb y
+        assert RandomStreams(7).get("y").random() == first
+
+    def test_same_stream_returned(self):
+        streams = RandomStreams(7)
+        assert streams.get("x") is streams.get("x")

@@ -1,0 +1,112 @@
+"""Tests for the log-bucketed latency histogram."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stats.histogram import LatencyHistogram
+
+
+class TestBasics:
+    def test_empty_queries_raise(self):
+        h = LatencyHistogram()
+        with pytest.raises(ConfigurationError):
+            h.percentile(50)
+        with pytest.raises(ConfigurationError):
+            _ = h.mean
+
+    def test_mean_exact(self):
+        h = LatencyHistogram()
+        for v in [1.0, 2.0, 3.0]:
+            h.record(v)
+        assert h.mean == pytest.approx(2.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram().record(-1.0)
+
+    def test_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(min_ms=0)
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(min_ms=10, max_ms=5)
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(buckets_per_decade=0)
+
+    def test_bad_percentile(self):
+        h = LatencyHistogram()
+        h.record(1.0)
+        with pytest.raises(ConfigurationError):
+            h.percentile(0)
+        with pytest.raises(ConfigurationError):
+            h.percentile(101)
+
+
+class TestAccuracy:
+    def test_percentile_relative_error(self):
+        h = LatencyHistogram()
+        rng = random.Random(1)
+        samples = sorted(rng.expovariate(0.02) + 1.0 for _ in range(5000))
+        for s in samples:
+            h.record(s)
+        for p in (50, 90, 99):
+            exact = samples[int(len(samples) * p / 100) - 1]
+            approx = h.percentile(p)
+            assert approx == pytest.approx(exact, rel=0.08), p
+
+    def test_monotone_percentiles(self):
+        h = LatencyHistogram()
+        rng = random.Random(2)
+        for _ in range(1000):
+            h.record(rng.uniform(0.5, 500))
+        values = [h.percentile(p) for p in (10, 50, 90, 99, 100)]
+        assert values == sorted(values)
+
+    def test_clamping_out_of_range(self):
+        h = LatencyHistogram(min_ms=1.0, max_ms=100.0)
+        h.record(0.001)
+        h.record(1e9)
+        assert h.count == 2
+        assert h.percentile(100) >= 100.0
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e5), min_size=1, max_size=200))
+    def test_percentile_bounds_samples(self, values):
+        h = LatencyHistogram()
+        for v in values:
+            h.record(v)
+        # p100 upper bound must be >= max sample; p-smallest <= ~min*1.05.
+        assert h.percentile(100) >= max(values) * 0.99
+        assert h.percentile(1) >= min(values) * 0.9
+
+
+class TestMerge:
+    def test_merge_equals_combined(self):
+        a, b, c = (LatencyHistogram() for _ in range(3))
+        rng = random.Random(3)
+        for _ in range(500):
+            v = rng.uniform(1, 1000)
+            a.record(v)
+            c.record(v)
+        for _ in range(500):
+            v = rng.uniform(1, 1000)
+            b.record(v)
+            c.record(v)
+        a.merge(b)
+        assert a.count == c.count
+        for p in (50, 95):
+            assert a.percentile(p) == c.percentile(p)
+
+    def test_shape_mismatch(self):
+        a = LatencyHistogram(buckets_per_decade=10)
+        b = LatencyHistogram(buckets_per_decade=20)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_summary_row(self):
+        h = LatencyHistogram()
+        assert h.summary_row() == "empty"
+        h.record(5.0)
+        assert "p95" in h.summary_row()

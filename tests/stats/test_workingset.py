@@ -1,0 +1,131 @@
+"""Tests for the analytic working-set computation (Figure 3)."""
+
+import pytest
+
+from repro.array.raidops import ArrayMode
+from repro.errors import ConfigurationError
+from repro.layouts import make_layout
+from repro.stats.workingset import (
+    average_operation_count,
+    average_working_set,
+    working_set_table,
+)
+
+
+@pytest.fixture(scope="module")
+def layouts():
+    return {
+        "pddl": make_layout("pddl", 13, 4),
+        "raid5": make_layout("raid5", 13, 13),
+        "datum": make_layout("datum", 13, 4),
+        "prime": make_layout("prime", 13, 4),
+        "parity-declustering": make_layout("parity-declustering", 13, 4),
+    }
+
+
+class TestSingleValues:
+    def test_raid5_read_equals_span(self, layouts):
+        for span in (1, 6, 12):
+            assert average_working_set(layouts["raid5"], span, False) == span
+
+    def test_single_unit_read_everywhere(self, layouts):
+        for name, lay in layouts.items():
+            assert average_working_set(lay, 1, False) == 1.0, name
+
+    def test_degraded_single_read_working_set(self, layouts):
+        # 1/n of reads land on the failed disk and fan out to k-1 disks.
+        lay = layouts["pddl"]
+        ws = average_working_set(
+            lay, 1, False, mode=ArrayMode.DEGRADED, failed_disk=0
+        )
+        n, k = 13, 4
+        # In one period, data units on the failed disk: fraction ~1/n... the
+        # exact expectation: (lost * (k-1) + (total - lost) * 1) / total.
+        total = lay.data_units_per_period
+        lost = sum(
+            1
+            for u in range(total)
+            if lay.data_unit_address(u).disk == 0
+        )
+        expected = (lost * (k - 1) + (total - lost)) / total
+        assert ws == pytest.approx(expected)
+
+    def test_bad_span(self, layouts):
+        with pytest.raises(ConfigurationError):
+            average_working_set(layouts["raid5"], 0, False)
+
+    def test_explicit_starts(self, layouts):
+        ws = average_working_set(
+            layouts["raid5"], 12, False, starts=[0, 12, 24]
+        )
+        assert ws == 12.0
+        with pytest.raises(ConfigurationError):
+            average_working_set(layouts["raid5"], 1, False, starts=[])
+
+
+class TestPaperOrderings:
+    """Figure 3's qualitative orderings at the paper's access sizes."""
+
+    @pytest.mark.parametrize("size_kb", [48, 96])
+    def test_small_access_ordering(self, layouts, size_kb):
+        # DWS(DATUM) <= DWS(ParityDecl) <= DWS(PDDL) <= DWS(PRIME) <= RAID5.
+        span = size_kb // 8
+        ws = {
+            name: average_working_set(lay, span, False)
+            for name, lay in layouts.items()
+        }
+        assert ws["datum"] <= ws["parity-declustering"] + 1e-9
+        assert ws["parity-declustering"] <= ws["pddl"] + 1e-9
+        assert ws["pddl"] <= ws["prime"] + 1e-9
+        assert ws["prime"] <= ws["raid5"] + 1e-9
+
+    @pytest.mark.parametrize("size_kb", [192, 240])
+    def test_large_access_ordering(self, layouts, size_kb):
+        # Above 120KB PDDL and Parity Declustering switch places.
+        span = size_kb // 8
+        ws = {
+            name: average_working_set(lay, span, False)
+            for name, lay in layouts.items()
+        }
+        assert ws["datum"] <= ws["pddl"] + 1e-9
+        assert ws["pddl"] <= ws["parity-declustering"] + 1e-9
+        assert ws["prime"] <= ws["raid5"] + 1e-9
+
+    def test_raid5_saturates_first(self, layouts):
+        # RAID-5 reaches its ceiling at smaller sizes than the declustered
+        # layouts; declustered reads never reach 13 at 240KB.
+        span = 30
+        assert average_working_set(layouts["raid5"], span, False) == 13.0
+        for name in ("pddl", "datum", "parity-declustering"):
+            assert average_working_set(layouts[name], span, False) < 13.0
+
+
+class TestOperationCounts:
+    def test_read_ops_equal_span(self, layouts):
+        for name, lay in layouts.items():
+            assert average_operation_count(lay, 6, False) == 6.0, name
+
+    def test_write_ops_exceed_span(self, layouts):
+        for name, lay in layouts.items():
+            assert average_operation_count(lay, 6, True) > 6.0, name
+
+
+class TestTable:
+    def test_full_table_shape(self, layouts):
+        table = working_set_table(
+            {"pddl": layouts["pddl"]}, sizes_kb=[8, 48]
+        )
+        assert set(table) == {
+            ("pddl", 8, "ffread"),
+            ("pddl", 8, "ffwrite"),
+            ("pddl", 8, "f1read"),
+            ("pddl", 8, "f1write"),
+            ("pddl", 48, "ffread"),
+            ("pddl", 48, "ffwrite"),
+            ("pddl", 48, "f1read"),
+            ("pddl", 48, "f1write"),
+        }
+
+    def test_unaligned_size_rejected(self, layouts):
+        with pytest.raises(ConfigurationError):
+            working_set_table({"pddl": layouts["pddl"]}, sizes_kb=[12])

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGoals:
+    def test_default(self, capsys):
+        assert main(["goals"]) == 0
+        out = capsys.readouterr().out
+        assert "PDDL" in out and "#8" in out
+
+    def test_subset(self, capsys):
+        assert main(["goals", "--layouts", "raid5"]) == 0
+        out = capsys.readouterr().out
+        assert "RAID 5" in out and "PDDL" not in out
+
+
+class TestFigure3:
+    def test_custom_sizes(self, capsys):
+        assert main(["figure3", "--sizes", "8,96", "--layouts", "pddl",
+                     "raid5"]) == 0
+        out = capsys.readouterr().out
+        assert "96KB" in out and "ffread" in out
+
+
+class TestResponse:
+    def test_single_point(self, capsys):
+        code = main(
+            [
+                "response", "--size", "8", "--clients", "2",
+                "--samples", "60", "--no-stopping-rule",
+                "--layouts", "raid5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RAID 5" in out and "8KB reads" in out
+
+    def test_degraded_write(self, capsys):
+        code = main(
+            [
+                "response", "--size", "48", "--write", "--mode", "f1",
+                "--clients", "2", "--samples", "50",
+                "--no-stopping-rule", "--layouts", "pddl",
+            ]
+        )
+        assert code == 0
+        assert "48KB writes" in capsys.readouterr().out
+
+
+class TestSeeks:
+    def test_mix_table(self, capsys):
+        code = main(
+            ["seeks", "--sizes", "8", "--samples", "40",
+             "--layouts", "pddl"]
+        )
+        assert code == 0
+        assert "non-local" in capsys.readouterr().out
+
+
+class TestTables:
+    def test_table1_small(self, capsys):
+        code = main(
+            ["table1", "--widths", "5", "--stripes", "1,2",
+             "--restarts", "5", "--max-steps", "500"]
+        )
+        assert code == 0
+        assert "k=5" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["table3", "--iterations", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "pddl" in out and "sparing=yes" in out
+
+
+class TestPlan:
+    def test_valid(self, capsys):
+        assert main(["plan", "13", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "goals met" in out and "parity" in out
+
+    def test_invalid_shape(self, capsys):
+        assert main(["plan", "12", "4"]) == 2
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,32 @@
+"""Run every module's doctests as part of the suite.
+
+The library's docstrings carry worked examples (many straight from the
+paper — the n = 7 permutation, the GF(16) power sequence, Table 3
+periods); this keeps them executable.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        if module_info.name.endswith("__main__"):
+            continue
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module_name}: {results.failed} failures"

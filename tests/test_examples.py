@@ -1,0 +1,72 @@
+"""Smoke tests that run every example script end to end.
+
+Keeps `examples/` from rotting: each must run to completion and print its
+headline content.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "(0, 1, 2, 4, 3, 6, 5)" in out
+        assert "Layout goals met: [1, 2, 3, 4, 6, 7, 8]" in out
+        assert "row 0  S" in out
+
+    def test_storage_server_comparison(self, capsys):
+        run_example("storage_server_comparison.py", ["60"])
+        out = capsys.readouterr().out
+        assert "fault-free" in out and "degraded" in out
+        assert "best-to-worst at heavy load" in out
+
+    def test_failure_recovery_demo(self, capsys):
+        run_example("failure_recovery_demo.py")
+        out = capsys.readouterr().out
+        assert "failing disk 5" in out
+        assert "reconstruction finished" in out
+        assert "post-reconstruction" in out
+
+    def test_layout_explorer(self, capsys):
+        run_example("layout_explorer.py")
+        out = capsys.readouterr().out
+        assert "Goal matrix" in out
+        assert "Pseudo-Random" in out
+        assert "ns/mapping" in out
+
+    def test_capacity_planner_prime(self, capsys):
+        run_example("capacity_planner.py", ["13", "4"])
+        out = capsys.readouterr().out
+        assert "Base permutations needed: 1" in out
+        assert "Goals met" in out
+
+    def test_capacity_planner_gf16(self, capsys):
+        run_example("capacity_planner.py", ["16", "5"])
+        out = capsys.readouterr().out
+        assert "XorDevelopment" in out
+
+    def test_capacity_planner_bad_shape(self, capsys):
+        run_example("capacity_planner.py", ["12", "4"])
+        out = capsys.readouterr().out
+        assert "nearby options" in out
+
+    def test_pq_array_demo(self, capsys):
+        run_example("pq_array_demo.py")
+        out = capsys.readouterr().out
+        assert "double failure" in out.lower()

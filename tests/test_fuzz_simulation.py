@@ -1,0 +1,78 @@
+"""Randomized end-to-end fuzzing of the simulator.
+
+Hypothesis drives random mixed access streams against random layouts and
+modes; whatever the combination, every submitted access must complete,
+no request may touch a failed disk, and the engine must drain.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.array.controller import ArrayController, LogicalAccess
+from repro.layouts import make_layout
+from repro.sim.engine import SimulationEngine
+
+LAYOUT_CONFIGS = [
+    ("pddl", 13, 4),
+    ("raid5", 13, 13),
+    ("datum", 13, 4),
+    ("prime", 13, 4),
+    ("parity-declustering", 13, 4),
+    ("relpr", 13, 4),
+]
+
+
+@st.composite
+def scenarios(draw):
+    name, n, k = draw(st.sampled_from(LAYOUT_CONFIGS))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    count = draw(st.integers(min_value=1, max_value=25))
+    failure = draw(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=n - 1))
+    )
+    post = draw(st.booleans())
+    return name, n, k, seed, count, failure, post
+
+
+@given(scenarios())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_traffic_always_completes(scenario):
+    name, n, k, seed, count, failure, post = scenario
+    engine = SimulationEngine()
+    controller = ArrayController(engine, make_layout(name, n, k))
+    if failure is not None:
+        controller.fail_disk(failure)
+        if post and controller.layout.has_sparing:
+            controller.finish_reconstruction()
+
+    rng = random.Random(seed)
+    completed = []
+    for i in range(count):
+        span = rng.randint(1, 42)
+        start = rng.randrange(controller.addressable_data_units - span)
+        access = LogicalAccess(
+            access_id=i,
+            first_unit=start,
+            unit_count=span,
+            is_write=rng.random() < 0.5,
+        )
+        controller.submit(
+            access, lambda acc, ms: completed.append((acc.access_id, ms))
+        )
+    engine.run()
+
+    # Every access completed exactly once, in finite simulated time.
+    assert sorted(i for i, _ in completed) == list(range(count))
+    assert all(ms > 0 for _, ms in completed)
+    assert engine.pending() == 0
+    # The failed disk serviced nothing.
+    if failure is not None:
+        assert controller.servers[failure].stats.operations == 0
+    # Servers all idle at drain.
+    assert not any(server.busy for server in controller.servers)

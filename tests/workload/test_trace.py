@@ -1,0 +1,131 @@
+"""Tests for trace capture, serialization, and replay."""
+
+import random
+
+import pytest
+
+from repro.array.controller import ArrayController
+from repro.errors import ConfigurationError
+from repro.layouts import make_layout
+from repro.sim.engine import SimulationEngine
+from repro.workload.trace import (
+    Trace,
+    TraceRecord,
+    TraceReplayClient,
+    synthesize_mixed_trace,
+)
+
+
+class TestTraceSerialization:
+    def test_roundtrip(self):
+        trace = Trace(
+            [
+                TraceRecord(0, 4, False),
+                TraceRecord(100, 12, True),
+                TraceRecord(7, 1, False),
+            ]
+        )
+        restored = Trace.loads(trace.dumps())
+        assert restored.records == trace.records
+
+    def test_empty_lines_ignored(self):
+        text = TraceRecord(1, 2, True).to_json() + "\n\n"
+        assert len(Trace.loads(text)) == 1
+
+    def test_malformed_append_rejected(self):
+        trace = Trace()
+        with pytest.raises(ConfigurationError):
+            trace.append(TraceRecord(0, 0, False))
+        with pytest.raises(ConfigurationError):
+            trace.append(TraceRecord(-1, 1, False))
+
+    def test_iteration(self):
+        records = [TraceRecord(i, 1, False) for i in range(5)]
+        assert list(Trace(records)) == records
+
+
+class TestSynthesis:
+    def test_write_fraction_respected(self):
+        trace = synthesize_mixed_trace(
+            2000, 10_000, 4, 0.3, random.Random(1)
+        )
+        writes = sum(1 for r in trace if r.is_write)
+        assert 0.25 < writes / len(trace) < 0.35
+
+    def test_locations_in_range(self):
+        trace = synthesize_mixed_trace(500, 100, 10, 0.5, random.Random(2))
+        for record in trace:
+            assert 0 <= record.first_unit <= 90
+            assert record.unit_count == 10
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ConfigurationError):
+            synthesize_mixed_trace(0, 100, 4, 0.5, rng)
+        with pytest.raises(ConfigurationError):
+            synthesize_mixed_trace(10, 100, 4, 1.5, rng)
+        with pytest.raises(ConfigurationError):
+            synthesize_mixed_trace(10, 2, 4, 0.5, rng)
+
+
+class TestReplay:
+    def _build(self):
+        engine = SimulationEngine()
+        controller = ArrayController(engine, make_layout("pddl", 13, 4))
+        return engine, controller
+
+    def test_replays_whole_trace_in_order(self):
+        engine, controller = self._build()
+        trace = synthesize_mixed_trace(
+            25, controller.addressable_data_units, 6, 0.4, random.Random(3)
+        )
+        seen = []
+        done = {}
+        client = TraceReplayClient(
+            1,
+            controller,
+            trace,
+            on_response=lambda access, ms: seen.append(access.first_unit),
+            on_done=lambda responses: done.update(n=len(responses)),
+        )
+        client.start()
+        engine.run()
+        assert seen == [r.first_unit for r in trace]
+        assert done["n"] == 25
+
+    def test_mixed_trace_exercises_both_paths(self):
+        engine, controller = self._build()
+        trace = synthesize_mixed_trace(
+            30, controller.addressable_data_units, 4, 0.5, random.Random(4)
+        )
+        kinds = set()
+        TraceReplayClient(
+            1,
+            controller,
+            trace,
+            on_response=lambda access, ms: kinds.add(access.is_write),
+        ).start()
+        engine.run()
+        assert kinds == {True, False}
+
+    def test_empty_trace_rejected(self):
+        engine, controller = self._build()
+        with pytest.raises(ConfigurationError):
+            TraceReplayClient(1, controller, Trace(), lambda a, m: None)
+
+    def test_identical_replays_identical_timings(self):
+        def run():
+            engine, controller = self._build()
+            trace = synthesize_mixed_trace(
+                15, controller.addressable_data_units, 6, 0.3,
+                random.Random(5),
+            )
+            out = []
+            TraceReplayClient(
+                1, controller, trace,
+                on_response=lambda access, ms: out.append(ms),
+            ).start()
+            engine.run()
+            return out
+
+        assert run() == run()
