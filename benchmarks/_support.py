@@ -1,7 +1,17 @@
-"""Helpers shared by the response-time figure benchmarks."""
+"""Helpers shared by the response-time figure benchmarks.
+
+The simulation points run through :mod:`repro.runner`: set
+``REPRO_BENCH_WORKERS=N`` to fan sweep points across N worker processes
+(results are bit-identical to serial), and ``REPRO_BENCH_CACHE`` to
+memoize points on disk (``1`` for the default cache dir, anything else
+is used as the cache root).  Overlapping sweeps — e.g. Figure 6's
+degraded/fault-free blow-up baseline re-running Figure 5 points — then
+cost one simulation, not two.
+"""
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Sequence
 
 from repro.array.raidops import ArrayMode
@@ -9,11 +19,28 @@ from repro.experiments.report import (
     render_response_curves,
     render_seek_mix_table,
 )
-from repro.experiments.response import ResponseCurve, run_figure
+from repro.experiments.response import ResponseCurve
 from repro.experiments.seeks import run_seek_mix
-from repro.workload.spec import AccessSpec
+from repro.runner import (
+    ParallelRunner,
+    ResultCache,
+    curves_from_records,
+    default_cache_dir,
+    mode_name,
+    response_sweep_specs,
+)
 
 LAYOUTS = ("datum", "parity-declustering", "raid5", "pddl", "prime")
+
+
+def bench_runner() -> ParallelRunner:
+    """The env-configured runner shared by all figure/table benchmarks."""
+    cache_env = os.environ.get("REPRO_BENCH_CACHE", "")
+    cache = None
+    if cache_env:
+        root = default_cache_dir() if cache_env == "1" else cache_env
+        cache = ResultCache(root)
+    return ParallelRunner(cache=cache)  # workers: $REPRO_BENCH_WORKERS
 
 
 def run_panel(
@@ -26,16 +53,17 @@ def run_panel(
     seed: int = 0,
 ) -> Dict[str, ResponseCurve]:
     """One figure panel (all layout curves at one access size/type/mode)."""
-    return run_figure(
-        layouts,
-        AccessSpec(size_kb, is_write),
+    specs = response_sweep_specs(
+        (size_kb,),
         clients,
-        mode=mode,
-        max_samples=samples,
-        use_stopping_rule=False,
-        warmup=max(10, samples // 10),
+        is_write,
+        mode_name(mode),
+        samples,
         seed=seed,
+        layouts=layouts,
     )
+    report = bench_runner().run(specs)
+    return curves_from_records(report.records)[size_kb]
 
 
 def print_panel(title: str, curves: Dict[str, ResponseCurve]) -> None:
@@ -51,16 +79,20 @@ def run_figure_sweep(
     samples: int,
     mode: ArrayMode,
     figure_name: str,
+    seed: int = 0,
 ) -> Dict[int, Dict[str, ResponseCurve]]:
-    """All panels of one figure, printing as it goes."""
-    panels = {}
+    """All panels of one figure in a single runner batch."""
+    specs = response_sweep_specs(
+        sizes_kb, clients, is_write, mode_name(mode), samples, seed=seed
+    )
+    report = bench_runner().run(specs)
+    panels = curves_from_records(report.records)
+    kind = "writes" if is_write else "reads"
     for size_kb in sizes_kb:
-        curves = run_panel(size_kb, is_write, clients, samples, mode=mode)
-        kind = "writes" if is_write else "reads"
         print_panel(
-            f"{figure_name}: {size_kb}KB {kind}, {mode.value}", curves
+            f"{figure_name}: {size_kb}KB {kind}, {mode.value}",
+            panels[size_kb],
         )
-        panels[size_kb] = curves
     return panels
 
 

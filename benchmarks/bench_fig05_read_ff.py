@@ -2,7 +2,10 @@
 
 Regenerates the figure's series: response time vs measured throughput for
 the five layouts, across access sizes and closed-loop client counts.
-Expected shape (paper §4.1):
+The sweep executes on :mod:`repro.runner` — ``REPRO_BENCH_WORKERS=N``
+parallelizes the points bit-identically, ``REPRO_BENCH_CACHE=1`` reuses
+previously simulated points (this figure's points seed the cache for
+Figure 6's fault-free baseline).  Expected shape (paper §4.1):
 
 - at 8 KB all layouts perform similarly;
 - light load: PRIME and RAID-5 lead, PDDL next, DATUM trails;

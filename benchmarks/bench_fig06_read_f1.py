@@ -5,6 +5,10 @@ stripe's survivors).  Expected shape (paper §4.1): the fault-free
 relationships persist quantitatively shifted, except RAID-5, whose
 "run-time performance degrades significantly; this phenomenon is, in fact,
 the rationale for declustering".
+
+Runs on :mod:`repro.runner` (``REPRO_BENCH_WORKERS``,
+``REPRO_BENCH_CACHE`` — with the cache on, the fault-free blow-up
+baseline below reuses Figure 5's cached points instead of re-simulating).
 """
 
 from repro.array.raidops import ArrayMode

@@ -8,15 +8,28 @@ stochastic and budget-bound, so cells may come out '?' where the paper
 found a group (and occasionally vice versa).
 
 The default budget solves the small-n region; REPRO_BENCH_SCALE grows
-the search budget for the large composite cells.
+the search budget for the large composite cells.  Cells are independent
+searches, so the grid fans out across the :mod:`repro.runner` worker
+pool (``REPRO_BENCH_WORKERS``) and completed cells memoize under
+``REPRO_BENCH_CACHE``.
 """
 
 import os
 
 from repro.core.tables import PAPER_TABLE1
 from repro.experiments.report import render_table
-from repro.experiments.table1 import reproduce_table1
 from repro.gf.prime import is_prime
+from repro.runner import cells_from_records, table1_specs
+
+from benchmarks._support import bench_runner
+
+
+def _run_grid(widths, stripe_counts, restarts, max_steps):
+    specs = table1_specs(
+        widths, stripe_counts, restarts=restarts, max_steps=max_steps,
+        p_max=3,
+    )
+    return cells_from_records(bench_runner().run(specs).records)
 
 
 def test_table1_base_permutation_search(benchmark, bench_scale):
@@ -25,13 +38,12 @@ def test_table1_base_permutation_search(benchmark, bench_scale):
     stripe_counts = range(1, 11) if full else range(1, 6)
 
     cells = benchmark.pedantic(
-        reproduce_table1,
+        _run_grid,
         kwargs=dict(
             widths=widths,
             stripe_counts=stripe_counts,
             restarts=8 * bench_scale,
             max_steps=1500 * bench_scale,
-            p_max=3,
         ),
         rounds=1,
         iterations=1,

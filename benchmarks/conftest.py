@@ -5,6 +5,11 @@ prints the reproduced rows/series.  Runs are bounded by default so the
 full suite finishes in minutes; set ``REPRO_BENCH_SCALE`` (default 1) to
 2-10 for paper-strength sample counts, and ``REPRO_BENCH_FULL=1`` to sweep
 every access size and client count instead of the representative subsets.
+
+Execution knobs (see RUNNER.md): ``REPRO_BENCH_WORKERS=N`` fans sweep
+points across N processes with bit-identical results, and
+``REPRO_BENCH_CACHE`` (``1`` or a directory) memoizes completed points
+so repeated and overlapping sweeps skip simulation entirely.
 """
 
 import os

@@ -21,6 +21,7 @@ from repro.disk.stats import DiskStats, classify_operation
 from repro.errors import ConfigurationError, SimulationError
 from repro.layouts.base import Layout
 from repro.sim.engine import SimulationEngine
+from repro.sim.instrument import TraceRecorder, engine_snapshot
 
 
 @dataclass(frozen=True)
@@ -44,7 +45,14 @@ class _InFlight:
 
 
 class DiskServer:
-    """One drive + queue + busy state, attached to the engine."""
+    """One drive + queue + busy state, attached to the engine.
+
+    Tracks its queue depth (queued + in service) with a high-water mark;
+    when ``record_timelines`` is set, every depth change and service start
+    is appended to ``queue_timeline`` / ``busy_timeline`` as ``(time_ms,
+    value)`` pairs.  An attached :class:`TraceRecorder` sees every
+    serviced request.
+    """
 
     def __init__(
         self,
@@ -52,6 +60,8 @@ class DiskServer:
         drive: DiskDrive,
         scheduler: Scheduler,
         on_done: Callable[[DiskRequest], None],
+        disk_id: int = 0,
+        record_timelines: bool = False,
     ):
         self.engine = engine
         self.drive = drive
@@ -59,12 +69,30 @@ class DiskServer:
         self.stats = DiskStats()
         self.busy = False
         self.failed = False
+        self.disk_id = disk_id
+        self.queue_depth = 0
+        self.queue_high_water = 0
+        self.queue_timeline: Optional[List[tuple]] = (
+            [] if record_timelines else None
+        )
+        self.busy_timeline: Optional[List[tuple]] = (
+            [] if record_timelines else None
+        )
+        self.trace: Optional[TraceRecorder] = None
         self._on_done = on_done
+
+    def _note_depth(self, delta: int) -> None:
+        self.queue_depth += delta
+        if self.queue_depth > self.queue_high_water:
+            self.queue_high_water = self.queue_depth
+        if self.queue_timeline is not None:
+            self.queue_timeline.append((self.engine.now, self.queue_depth))
 
     def submit(self, request: DiskRequest) -> None:
         if self.failed:
             raise SimulationError("request routed to a failed disk")
         self.scheduler.push(request)
+        self._note_depth(+1)
         if not self.busy:
             self._start_next()
 
@@ -75,6 +103,8 @@ class DiskServer:
             return
         self.busy = True
         record = self.drive.service(request, self.engine.now)
+        if self.trace is not None:
+            self.trace.record(self.disk_id, self.engine.now, request, record)
         local = self.stats.last_access_id == request.access_id
         self.stats.last_access_id = request.access_id
         self.stats.record(
@@ -85,11 +115,14 @@ class DiskServer:
             record.latency_ms,
             record.transfer_ms,
         )
+        if self.busy_timeline is not None:
+            self.busy_timeline.append((self.engine.now, self.stats.busy_ms))
         self.engine.schedule(
             record.total_ms, lambda req=request: self._complete(req)
         )
 
     def _complete(self, request: DiskRequest) -> None:
+        self._note_depth(-1)
         self._on_done(request)
         self._start_next()
 
@@ -115,6 +148,7 @@ class ArrayController:
         stripe_unit_kb: int = 8,
         sector_bytes: int = 512,
         coalesce: bool = True,
+        record_timelines: bool = False,
     ):
         if stripe_unit_kb < 1:
             raise ConfigurationError("stripe unit must be >= 1 KB")
@@ -125,13 +159,20 @@ class ArrayController:
         self.mode = ArrayMode.FAULT_FREE
         self.failed_disk: Optional[int] = None
         self.servers: List[DiskServer] = []
-        for _ in range(layout.n):
+        for disk_id in range(layout.n):
             drive = drive_factory()
             scheduler = make_scheduler(
                 scheduler_name, drive.geometry, window=scheduler_window
             )
             self.servers.append(
-                DiskServer(engine, drive, scheduler, self._request_done)
+                DiskServer(
+                    engine,
+                    drive,
+                    scheduler,
+                    self._request_done,
+                    disk_id=disk_id,
+                    record_timelines=record_timelines,
+                )
             )
         units_per_disk = (
             self.servers[0].drive.geometry.total_sectors
@@ -312,6 +353,50 @@ class ArrayController:
     # ------------------------------------------------------------------
     # Introspection.
     # ------------------------------------------------------------------
+
+    def attach_trace(self, recorder: TraceRecorder) -> TraceRecorder:
+        """Log every serviced physical operation into ``recorder``."""
+        for server in self.servers:
+            server.trace = recorder
+        return recorder
+
+    def instrumentation_record(
+        self, include_timelines: bool = False
+    ) -> dict:
+        """Engine + per-disk counters as one JSON-able record.
+
+        Per disk: operation count, time decomposition, queue-depth
+        high-water, and drive-level counters; ``include_timelines`` adds
+        the raw ``(time_ms, value)`` series when the controller was built
+        with ``record_timelines=True``.
+        """
+        disks = []
+        for server in self.servers:
+            entry = {
+                "operations": server.stats.operations,
+                "busy_ms": server.stats.busy_ms,
+                "seek_ms": server.stats.seek_ms,
+                "latency_ms": server.stats.latency_ms,
+                "transfer_ms": server.stats.transfer_ms,
+                "queue_high_water": server.queue_high_water,
+                "buffer_hits": server.drive.buffer_hits,
+            }
+            if include_timelines and server.queue_timeline is not None:
+                entry["queue_timeline"] = [
+                    [t, depth] for t, depth in server.queue_timeline
+                ]
+                entry["busy_timeline"] = [
+                    [t, busy] for t, busy in server.busy_timeline
+                ]
+            disks.append(entry)
+        return {
+            "engine": engine_snapshot(self.engine),
+            "disks": disks,
+            "max_queue_high_water": max(
+                (d["queue_high_water"] for d in disks), default=0
+            ),
+            "completed_accesses": self.completed_accesses,
+        }
 
     def disk_stats(self) -> List[DiskStats]:
         return [server.stats for server in self.servers]

@@ -10,6 +10,7 @@ figure of the paper can be regenerated from a shell:
 - ``table1``     — satisfactory base permutation search
 - ``table3``     — scheme implementation costs
 - ``plan``       — PDDL capacity planning for an (n, k) array
+- ``bench``      — parallel, cached response-time sweeps (see RUNNER.md)
 """
 
 from __future__ import annotations
@@ -18,14 +19,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.array.raidops import ArrayMode
 from repro.errors import ReproError
-
-_MODES = {
-    "ff": ArrayMode.FAULT_FREE,
-    "f1": ArrayMode.DEGRADED,
-    "post": ArrayMode.POST_RECONSTRUCTION,
-}
+from repro.runner.spec import MODES as _MODES
 
 DEFAULT_LAYOUTS = ["datum", "parity-declustering", "raid5", "pddl", "prime"]
 
@@ -147,6 +142,72 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.report import render_response_curves
+    from repro.runner import (
+        ParallelRunner,
+        ResultCache,
+        curves_from_records,
+        default_cache_dir,
+        response_sweep_specs,
+    )
+
+    if args.quick:
+        sizes, clients, samples = [8, 48], [1, 4], 40
+    else:
+        sizes, clients, samples = args.sizes, args.clients, args.samples
+    specs = response_sweep_specs(
+        sizes,
+        clients,
+        args.write,
+        args.mode,
+        samples,
+        seed=args.seed,
+        layouts=args.layouts,
+    )
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    runner = ParallelRunner(workers=args.workers, cache=cache)
+    started = time.perf_counter()
+    report = runner.run(specs)
+    elapsed = time.perf_counter() - started
+
+    kind = "writes" if args.write else "reads"
+    for size_kb, curves in sorted(curves_from_records(report.records).items()):
+        print()
+        print(f"bench: {size_kb}KB {kind}, {args.mode}")
+        print(render_response_curves(curves))
+
+    events = sum(
+        r["instrumentation"]["engine"]["events_processed"]
+        for r in report.records
+    )
+    heap_high = max(
+        r["instrumentation"]["engine"]["heap_high_water"]
+        for r in report.records
+    )
+    queue_high = max(
+        r["instrumentation"]["max_queue_high_water"] for r in report.records
+    )
+    print()
+    print(
+        f"instrumentation: {events} engine events,"
+        f" heap high-water {heap_high},"
+        f" per-disk queue high-water {queue_high}"
+    )
+    print(
+        f"{len(specs)} points: {report.executed} simulated,"
+        f" {report.cache_hits} from cache"
+        f" ({runner.workers} workers, {elapsed:.2f}s)"
+    )
+    if cache is not None:
+        print(f"cache dir: {cache.root}")
+    return 0
+
+
 def _int_list(text: str) -> List[int]:
     return [int(part) for part in text.split(",") if part]
 
@@ -205,6 +266,31 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("disks", type=int)
     plan.add_argument("width", type=int)
     plan.set_defaults(func=_cmd_plan)
+
+    bench = sub.add_parser(
+        "bench", help="parallel, cached response-time sweep"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small canned sweep (8/48 KB, 1/4 clients, 40 samples)",
+    )
+    bench.add_argument("--sizes", type=_int_list, default=[8, 48, 96, 240])
+    bench.add_argument("--clients", type=_int_list, default=[1, 4, 10, 25])
+    bench.add_argument("--samples", type=int, default=150)
+    bench.add_argument("--write", action="store_true")
+    bench.add_argument("--mode", choices=sorted(_MODES), default="ff")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: $REPRO_BENCH_WORKERS or 1)",
+    )
+    bench.add_argument(
+        "--cache-dir", default=None,
+        help="result cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    bench.add_argument("--no-cache", action="store_true")
+    bench.add_argument("--layouts", nargs="+", default=DEFAULT_LAYOUTS)
+    bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -29,10 +29,27 @@ PAPER_LAYOUT_NAMES = (
 )
 
 
+def layout_for(
+    name: str,
+    disks: Optional[int] = None,
+    width: Optional[int] = None,
+) -> Layout:
+    """A layout at the paper's configuration with optional n/k overrides.
+
+    ``width=None`` follows Table 2: RAID-5 stripes across the whole
+    array, the declustered layouts use the paper's stripe width.
+    """
+    n = PAPER_DISKS if disks is None else disks
+    if width is None:
+        k = n if name in ("raid5", "raid-5") else PAPER_STRIPE_WIDTH
+    else:
+        k = width
+    return make_layout(name, n, k)
+
+
 def paper_layout(name: str) -> Layout:
     """One evaluation layout at its Table 2 configuration."""
-    k = PAPER_DISKS if name in ("raid5", "raid-5") else PAPER_STRIPE_WIDTH
-    return make_layout(name, PAPER_DISKS, k)
+    return layout_for(name)
 
 
 def paper_layouts(names: Optional[tuple] = None) -> Dict[str, Layout]:

@@ -20,10 +20,12 @@ from repro.experiments.config import (
     PAPER_SCHEDULER,
     PAPER_SCHEDULER_WINDOW,
     PAPER_STRIPE_UNIT_KB,
-    paper_layout,
+    layout_for,
 )
 from repro.sim.engine import SimulationEngine
+from repro.sim.instrument import TraceRecorder
 from repro.stats.confidence import StoppingRule
+from repro.stats.histogram import LatencyHistogram
 from repro.stats.seekcount import SeekMix, seek_mix_per_access
 from repro.workload.client import ClosedLoopClient
 from repro.workload.generators import UniformGenerator
@@ -62,7 +64,16 @@ class ResponseCurve:
     points: List[ResponsePoint]
 
 
-def run_response_point(
+@dataclass(frozen=True)
+class InstrumentedPoint:
+    """A :class:`ResponsePoint` plus the run's raw observables."""
+
+    point: ResponsePoint
+    histogram: LatencyHistogram
+    instrumentation: dict
+
+
+def run_response_point_instrumented(
     layout_name: str,
     spec: AccessSpec,
     clients: int,
@@ -74,17 +85,24 @@ def run_response_point(
     warmup: int = 50,
     use_stopping_rule: bool = True,
     coalesce: bool = True,
-) -> ResponsePoint:
-    """Simulate one experiment point.
+    disks: Optional[int] = None,
+    width: Optional[int] = None,
+    record_timelines: bool = False,
+    trace: Optional[TraceRecorder] = None,
+) -> InstrumentedPoint:
+    """Simulate one experiment point, keeping the run's observables.
 
     ``max_samples`` bounds the run; set it high and keep
     ``use_stopping_rule`` to reproduce the paper's 2%-at-95% run-length
-    policy exactly.
+    policy exactly.  Every completed response (warmup included) lands in
+    the returned latency histogram; the instrumentation record carries
+    engine counters, per-disk busy time and queue-depth high-water marks
+    (plus full timelines when ``record_timelines`` is set).
     """
     if clients < 1:
         raise ConfigurationError(f"need >= 1 client, got {clients}")
     engine = SimulationEngine()
-    layout = paper_layout(layout_name)
+    layout = layout_for(layout_name, disks=disks, width=width)
     controller = ArrayController(
         engine,
         layout,
@@ -92,7 +110,10 @@ def run_response_point(
         scheduler_window=PAPER_SCHEDULER_WINDOW,
         stripe_unit_kb=PAPER_STRIPE_UNIT_KB,
         coalesce=coalesce,
+        record_timelines=record_timelines,
     )
+    if trace is not None:
+        controller.attach_trace(trace)
     if mode is not ArrayMode.FAULT_FREE:
         controller.fail_disk(failed_disk)
         if mode is ArrayMode.POST_RECONSTRUCTION:
@@ -105,9 +126,11 @@ def run_response_point(
         max_samples=max_samples,
         check_interval=25,
     )
+    histogram = LatencyHistogram()
     measurement_started = {"t": 0.0, "n0": 0}
 
     def on_response(client, access, response_ms) -> bool:
+        histogram.record(response_ms)
         if rule.samples == 0 and rule._seen == rule.warmup:
             measurement_started["t"] = engine.now
             measurement_started["n0"] = controller.completed_accesses
@@ -134,7 +157,7 @@ def run_response_point(
     elapsed_ms = engine.now - measurement_started["t"]
     completed = controller.completed_accesses - measurement_started["n0"]
     throughput = completed / elapsed_ms * 1000.0 if elapsed_ms > 0 else 0.0
-    return ResponsePoint(
+    point = ResponsePoint(
         layout=layout_name,
         spec_label=spec.label(),
         clients=clients,
@@ -147,6 +170,26 @@ def run_response_point(
             controller.disk_stats(), max(1, controller.completed_accesses)
         ),
     )
+    return InstrumentedPoint(
+        point=point,
+        histogram=histogram,
+        instrumentation=controller.instrumentation_record(
+            include_timelines=record_timelines
+        ),
+    )
+
+
+def run_response_point(
+    layout_name: str,
+    spec: AccessSpec,
+    clients: int,
+    mode: ArrayMode = ArrayMode.FAULT_FREE,
+    **kwargs,
+) -> ResponsePoint:
+    """Simulate one experiment point (see the instrumented variant)."""
+    return run_response_point_instrumented(
+        layout_name, spec, clients, mode=mode, **kwargs
+    ).point
 
 
 def run_response_curve(

@@ -1,0 +1,56 @@
+"""Batched, parallel, cached experiment execution.
+
+The shared substrate under the figure/table benchmarks and the ``repro
+bench`` CLI: describe sweep points as pure-data specs, fan them across
+worker processes, memoize results on disk by content hash.  See
+RUNNER.md at the repository root for the operational guide.
+"""
+
+from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.execute import (
+    canonical_json,
+    cell_from_record,
+    execute_spec,
+    point_from_record,
+)
+from repro.runner.figures import (
+    cells_from_records,
+    curves_from_records,
+    figure5_specs,
+    figure6_specs,
+    response_sweep_specs,
+    table1_specs,
+)
+from repro.runner.parallel import ParallelRunner, RunReport, default_workers
+from repro.runner.spec import (
+    ExperimentSpec,
+    Table1Spec,
+    mode_name,
+    spec_from_dict,
+    spec_hash,
+    spec_to_dict,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "ParallelRunner",
+    "ResultCache",
+    "RunReport",
+    "Table1Spec",
+    "canonical_json",
+    "cell_from_record",
+    "cells_from_records",
+    "curves_from_records",
+    "default_cache_dir",
+    "default_workers",
+    "execute_spec",
+    "figure5_specs",
+    "figure6_specs",
+    "mode_name",
+    "point_from_record",
+    "response_sweep_specs",
+    "spec_from_dict",
+    "spec_hash",
+    "spec_to_dict",
+    "table1_specs",
+]

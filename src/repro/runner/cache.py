@@ -1,0 +1,86 @@
+"""On-disk result cache keyed by spec content hash.
+
+Layout: ``<root>/<hh>/<hash>.json`` where ``hh`` is the first two hex
+digits of the spec hash (fan-out keeps directories small).  Each file is
+one result record, written atomically (temp file + rename) so a killed
+run never leaves a half-written entry under the final name.  Reads are
+defensive: unparsable, truncated, or mismatched files count as misses
+and are recomputed — corruption can cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """Spec-hash -> result-record store.
+
+    >>> import tempfile
+    >>> cache = ResultCache(tempfile.mkdtemp())
+    >>> cache.get("ab" * 32) is None
+    True
+    >>> cache.put("ab" * 32, {"spec_hash": "ab" * 32, "x": 1})
+    >>> cache.get("ab" * 32)["x"]
+    1
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached record, or None on miss *or any corruption*."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            if not isinstance(record, dict):
+                raise ValueError("cache entry is not a record")
+            if record.get("spec_hash") != key:
+                raise ValueError("cache entry hash mismatch")
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, sort_keys=True)
+        os.replace(tmp, path)
+
+    def iter_keys(self) -> Iterator[str]:
+        if not self.root.exists():
+            return
+        for entry in sorted(self.root.glob("*/*.json")):
+            yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_keys())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key in list(self.iter_keys()):
+            self.path_for(key).unlink()
+            removed += 1
+        return removed

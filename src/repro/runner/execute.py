@@ -1,0 +1,133 @@
+"""Spec execution: one spec in, one JSON-able result record out.
+
+The record is a plain dict of JSON scalars/containers, so it is
+picklable across worker processes, cacheable on disk, and — crucially —
+*byte-identical* whether computed serially, in a worker, or read back
+from the cache (floats round-trip exactly through ``json``).  Use
+:func:`canonical_json` to compare record lists bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.runner.spec import (
+    MODES,
+    ExperimentSpec,
+    Spec,
+    Table1Spec,
+    spec_hash,
+    spec_to_dict,
+)
+
+#: Bump together with result-record layout changes.
+RESULT_SCHEMA_VERSION = 1
+
+
+def _execute_response(spec: ExperimentSpec) -> dict:
+    from repro.experiments.response import run_response_point_instrumented
+    from repro.workload.spec import AccessSpec
+
+    run = run_response_point_instrumented(
+        spec.layout,
+        AccessSpec(spec.size_kb, spec.is_write),
+        spec.clients,
+        mode=MODES[spec.mode],
+        failed_disk=spec.failed_disk,
+        seed=spec.seed,
+        max_samples=spec.max_samples,
+        warmup=spec.warmup,
+        use_stopping_rule=spec.use_stopping_rule,
+        coalesce=spec.coalesce,
+        disks=spec.disks,
+        width=spec.width,
+        record_timelines=spec.timelines,
+    )
+    point = run.point
+    mix = point.seek_mix
+    return {
+        "point": {
+            "layout": point.layout,
+            "spec_label": point.spec_label,
+            "clients": point.clients,
+            "mode": point.mode,
+            "mean_response_ms": point.mean_response_ms,
+            "throughput_per_s": point.throughput_per_s,
+            "samples": point.samples,
+            "converged": point.converged,
+            "seek_mix": {
+                "non_local": mix.non_local,
+                "cylinder_switch": mix.cylinder_switch,
+                "track_switch": mix.track_switch,
+                "no_switch": mix.no_switch,
+            },
+        },
+        "histogram": run.histogram.to_dict(),
+        "instrumentation": run.instrumentation,
+    }
+
+
+def _execute_table1(spec: Table1Spec) -> dict:
+    from repro.experiments.table1 import solve_cell
+
+    cell = solve_cell(
+        spec.k,
+        spec.g,
+        seed=spec.seed,
+        restarts=spec.restarts,
+        max_steps=spec.max_steps,
+        p_max=spec.p_max,
+    )
+    return {
+        "cell": {
+            "k": cell.k,
+            "g": cell.g,
+            "n": cell.n,
+            "group_size": cell.group_size,
+            "method": cell.method,
+            "paper_value": cell.paper_value,
+        }
+    }
+
+
+_EXECUTORS = {
+    ExperimentSpec.kind: _execute_response,
+    Table1Spec.kind: _execute_table1,
+}
+
+
+def execute_spec(spec: Spec) -> dict:
+    """Run one spec to completion and return its result record."""
+    executor = _EXECUTORS.get(spec.kind)
+    if executor is None:
+        raise ConfigurationError(f"no executor for spec kind {spec.kind!r}")
+    record = executor(spec)
+    record["schema"] = RESULT_SCHEMA_VERSION
+    record["kind"] = spec.kind
+    record["spec"] = spec_to_dict(spec)
+    record["spec_hash"] = spec_hash(spec)
+    return record
+
+
+def point_from_record(record: dict):
+    """Rebuild the :class:`ResponsePoint` a response record encodes."""
+    from repro.experiments.response import ResponsePoint
+    from repro.stats.seekcount import SeekMix
+
+    data = dict(record["point"])
+    data["seek_mix"] = SeekMix(**data["seek_mix"])
+    return ResponsePoint(**data)
+
+
+def cell_from_record(record: dict):
+    """Rebuild the :class:`Table1Cell` a table1 record encodes."""
+    from repro.experiments.table1 import Table1Cell
+
+    return Table1Cell(**record["cell"])
+
+
+def canonical_json(records: List[dict]) -> str:
+    """Deterministic serialization for byte-level record comparison."""
+    return json.dumps(records, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,137 @@
+"""Sweep builders: paper figures/tables as spec lists, and back again.
+
+``*_specs`` functions turn one figure's sweep into a flat, ordered list
+of specs for :class:`~repro.runner.parallel.ParallelRunner`;
+``curves_from_records`` / ``cells_from_records`` reassemble the runner's
+result records into the exact structures the figure benchmarks always
+consumed, so migrating a benchmark onto the runner changes how points
+are computed (parallel, cached) but not what they are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import PAPER_LAYOUT_NAMES
+from repro.experiments.response import ResponseCurve
+from repro.runner.execute import cell_from_record, point_from_record
+from repro.runner.spec import ExperimentSpec, Table1Spec
+
+
+def default_warmup(samples: int) -> int:
+    """The figure benchmarks' historical warmup policy."""
+    return max(10, samples // 10)
+
+
+def response_sweep_specs(
+    sizes_kb: Sequence[int],
+    clients: Sequence[int],
+    is_write: bool,
+    mode: str,
+    samples: int,
+    seed: int = 0,
+    layouts: Sequence[str] = PAPER_LAYOUT_NAMES,
+    warmup: Optional[int] = None,
+    use_stopping_rule: bool = False,
+) -> List[ExperimentSpec]:
+    """One response figure's full sweep, ordered (size, layout, clients)."""
+    warmup = default_warmup(samples) if warmup is None else warmup
+    return [
+        ExperimentSpec(
+            layout=layout,
+            size_kb=size_kb,
+            is_write=is_write,
+            clients=c,
+            mode=mode,
+            seed=seed,
+            max_samples=samples,
+            warmup=warmup,
+            use_stopping_rule=use_stopping_rule,
+        )
+        for size_kb in sizes_kb
+        for layout in layouts
+        for c in clients
+    ]
+
+
+def figure5_specs(
+    sizes_kb: Sequence[int] = (8, 48, 96, 240),
+    clients: Sequence[int] = (1, 4, 10, 25),
+    samples: int = 150,
+    seed: int = 0,
+    layouts: Sequence[str] = PAPER_LAYOUT_NAMES,
+) -> List[ExperimentSpec]:
+    """Figure 5: fault-free reads."""
+    return response_sweep_specs(
+        sizes_kb, clients, False, "ff", samples, seed=seed, layouts=layouts
+    )
+
+
+def figure6_specs(
+    sizes_kb: Sequence[int] = (8, 48, 96, 240),
+    clients: Sequence[int] = (1, 4, 10, 25),
+    samples: int = 150,
+    seed: int = 0,
+    layouts: Sequence[str] = PAPER_LAYOUT_NAMES,
+) -> List[ExperimentSpec]:
+    """Figure 6: degraded-mode reads."""
+    return response_sweep_specs(
+        sizes_kb, clients, False, "f1", samples, seed=seed, layouts=layouts
+    )
+
+
+def curves_from_records(
+    records: Sequence[dict],
+) -> Dict[int, Dict[str, ResponseCurve]]:
+    """Records -> ``{size_kb: {layout: ResponseCurve}}`` panels.
+
+    Point order within a curve follows record order, which the
+    ``*_specs`` builders keep sorted by client count.
+    """
+    panels: Dict[int, Dict[str, ResponseCurve]] = {}
+    grouped: Dict[Tuple[int, str], list] = {}
+    for record in records:
+        spec = record["spec"]
+        grouped.setdefault(
+            (spec["size_kb"], spec["layout"]), []
+        ).append(point_from_record(record))
+    for (size_kb, layout), points in grouped.items():
+        panels.setdefault(size_kb, {})[layout] = ResponseCurve(
+            layout=layout,
+            spec_label=points[0].spec_label,
+            mode=points[0].mode,
+            points=points,
+        )
+    return panels
+
+
+def table1_specs(
+    widths: Sequence[int],
+    stripe_counts: Sequence[int],
+    seed: int = 0,
+    restarts: int = 8,
+    max_steps: int = 1500,
+    p_max: int = 3,
+) -> List[Table1Spec]:
+    """The Table 1 grid as independent per-cell search specs."""
+    return [
+        Table1Spec(
+            k=k,
+            g=g,
+            seed=seed,
+            restarts=restarts,
+            max_steps=max_steps,
+            p_max=p_max,
+        )
+        for k in widths
+        for g in stripe_counts
+    ]
+
+
+def cells_from_records(records: Sequence[dict]) -> Dict[tuple, object]:
+    """Records -> ``{(k, g): Table1Cell}``."""
+    cells = {}
+    for record in records:
+        cell = cell_from_record(record)
+        cells[(cell.k, cell.g)] = cell
+    return cells

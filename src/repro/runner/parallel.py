@@ -1,0 +1,115 @@
+"""The parallel experiment runner.
+
+Fans a spec list across ``multiprocessing`` workers.  Determinism is
+structural, not lucky: each spec carries its own seed and
+:func:`repro.runner.execute.execute_spec` derives every RNG from it, so
+a worker computes exactly what a serial loop would — result records are
+byte-identical for any worker count (asserted by the determinism test
+suite).  With a :class:`~repro.runner.cache.ResultCache` attached,
+previously computed specs are served from disk and only the misses are
+simulated; duplicate specs within one call are computed once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runner.cache import ResultCache
+from repro.runner.execute import execute_spec
+from repro.runner.spec import Spec, spec_hash
+
+
+def default_workers() -> int:
+    """``$REPRO_BENCH_WORKERS`` (>= 1), else 1 (serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def _pool_context():
+    # fork keeps worker start cheap and inherits sys.path; fall back to
+    # spawn where fork is unavailable (results are identical either way).
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+@dataclass
+class RunReport:
+    """What one :meth:`ParallelRunner.run` call did.
+
+    ``records`` is in spec order; ``executed`` counts simulations
+    actually run and ``cache_hits`` counts unique specs served from the
+    cache (in-call duplicates resolve to the first occurrence and count
+    as neither).
+    """
+
+    records: List[dict]
+    executed: int
+    cache_hits: int
+
+
+class ParallelRunner:
+    """Run experiment specs, possibly in parallel, possibly cached.
+
+    ``workers=None`` reads ``$REPRO_BENCH_WORKERS`` (default serial).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ):
+        self.workers = default_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"need >= 1 worker, got {self.workers}"
+            )
+        self.cache = cache
+
+    def run(self, specs: Sequence[Spec]) -> RunReport:
+        specs = list(specs)
+        keys = [spec_hash(spec) for spec in specs]
+
+        resolved: Dict[str, dict] = {}
+        todo: List[tuple] = []  # (key, spec), unique, in first-seen order
+        seen = set()
+        cache_hits = 0
+        for key, spec in zip(keys, specs):
+            if key in seen:
+                continue
+            seen.add(key)
+            if self.cache is not None:
+                record = self.cache.get(key)
+                if record is not None:
+                    resolved[key] = record
+                    cache_hits += 1
+                    continue
+            todo.append((key, spec))
+
+        if todo:
+            if self.workers > 1 and len(todo) > 1:
+                ctx = _pool_context()
+                processes = min(self.workers, len(todo))
+                with ctx.Pool(processes=processes) as pool:
+                    computed = pool.map(
+                        execute_spec, [spec for _, spec in todo]
+                    )
+            else:
+                computed = [execute_spec(spec) for _, spec in todo]
+            for (key, _), record in zip(todo, computed):
+                resolved[key] = record
+                if self.cache is not None:
+                    self.cache.put(key, record)
+
+        return RunReport(
+            records=[resolved[key] for key in keys],
+            executed=len(todo),
+            cache_hits=cache_hits,
+        )

@@ -1,0 +1,132 @@
+"""Experiment specifications: one sweep point as pure data.
+
+A spec is a frozen dataclass of JSON-scalar fields, so it pickles across
+``multiprocessing`` workers, serializes into cache files, and hashes
+stably: :func:`spec_hash` is SHA-256 over the canonical JSON of the
+fields plus a schema version, identical across process restarts and
+platforms.  Bump ``SPEC_SCHEMA_VERSION`` whenever simulation semantics
+change so stale cache entries stop matching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import ClassVar, Optional, Union
+
+from repro.array.raidops import ArrayMode
+from repro.errors import ConfigurationError
+
+#: Part of every content hash; bump on any change that alters results.
+SPEC_SCHEMA_VERSION = 1
+
+#: Canonical short names for the array modes (CLI and spec encoding).
+MODES = {
+    "ff": ArrayMode.FAULT_FREE,
+    "f1": ArrayMode.DEGRADED,
+    "post": ArrayMode.POST_RECONSTRUCTION,
+}
+
+
+def mode_name(mode: ArrayMode) -> str:
+    """The spec encoding of an :class:`ArrayMode`."""
+    for name, value in MODES.items():
+        if value is mode:
+            return name
+    raise ConfigurationError(f"unknown array mode {mode!r}")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One response-time simulation point (Figures 5/6/8/9/...).
+
+    ``width=None`` follows Table 2 (RAID-5 stripes the whole array, the
+    declustered layouts use the paper's stripe width); ``max_samples``
+    is the run length, ``timelines`` adds per-disk busy/queue-depth
+    series to the result record.
+
+    >>> spec = ExperimentSpec(layout="pddl", size_kb=96, clients=8)
+    >>> spec_hash(spec) == spec_hash(ExperimentSpec(layout="pddl",
+    ...                                             size_kb=96, clients=8))
+    True
+    """
+
+    kind: ClassVar[str] = "response"
+
+    layout: str
+    disks: int = 13
+    width: Optional[int] = None
+    size_kb: int = 8
+    is_write: bool = False
+    clients: int = 1
+    mode: str = "ff"
+    failed_disk: int = 0
+    seed: int = 0
+    max_samples: int = 300
+    warmup: int = 50
+    use_stopping_rule: bool = False
+    coalesce: bool = True
+    timelines: bool = False
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"mode must be one of {sorted(MODES)}, got {self.mode!r}"
+            )
+        if self.clients < 1:
+            raise ConfigurationError(f"need >= 1 client, got {self.clients}")
+        if self.max_samples < 1:
+            raise ConfigurationError("need >= 1 sample")
+
+
+@dataclass(frozen=True)
+class Table1Spec:
+    """One Table 1 cell: the base-permutation search for (k, g)."""
+
+    kind: ClassVar[str] = "table1"
+
+    k: int
+    g: int
+    seed: int = 0
+    restarts: int = 8
+    max_steps: int = 1500
+    p_max: int = 3
+
+    def __post_init__(self):
+        if self.k < 2 or self.g < 1:
+            raise ConfigurationError(f"bad Table 1 cell ({self.k}, {self.g})")
+
+
+Spec = Union[ExperimentSpec, Table1Spec]
+
+_SPEC_TYPES = {cls.kind: cls for cls in (ExperimentSpec, Table1Spec)}
+
+
+def spec_to_dict(spec: Spec) -> dict:
+    """Flat JSON-able form, ``kind`` included."""
+    data = asdict(spec)
+    data["kind"] = spec.kind
+    return data
+
+
+def spec_from_dict(data: dict) -> Spec:
+    """Inverse of :func:`spec_to_dict` (used to replay cached sweeps)."""
+    data = dict(data)
+    kind = data.pop("kind")
+    cls = _SPEC_TYPES.get(kind)
+    if cls is None:
+        raise ConfigurationError(f"unknown spec kind {kind!r}")
+    names = {f.name for f in fields(cls)}
+    unknown = set(data) - names
+    if unknown:
+        raise ConfigurationError(f"unknown spec fields {sorted(unknown)}")
+    return cls(**data)
+
+
+def spec_hash(spec: Spec) -> str:
+    """Stable content hash — the cache key."""
+    payload = {"schema": SPEC_SCHEMA_VERSION}
+    payload.update(spec_to_dict(spec))
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

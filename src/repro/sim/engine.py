@@ -23,6 +23,7 @@ class SimulationEngine:
     >>> engine.schedule(5.0, lambda: fired.append(engine.now))
     >>> engine.schedule(1.0, lambda: fired.append(engine.now))
     >>> engine.run()
+    2
     >>> fired
     [1.0, 5.0]
     """
@@ -33,6 +34,8 @@ class SimulationEngine:
         self._counter = itertools.count()
         self._stopped = False
         self.events_processed = 0
+        #: Largest pending-event count ever reached (memory footprint probe).
+        self.heap_high_water = 0
 
     def schedule(self, delay: float, callback: Callback) -> None:
         """Run ``callback`` ``delay`` ms from the current time."""
@@ -47,6 +50,8 @@ class SimulationEngine:
                 f"cannot schedule at {time} before now = {self.now}"
             )
         heapq.heappush(self._heap, (time, next(self._counter), callback))
+        if len(self._heap) > self.heap_high_water:
+            self.heap_high_water = len(self._heap)
 
     def stop(self) -> None:
         """Stop the run loop after the current event."""
@@ -56,23 +61,37 @@ class SimulationEngine:
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
-    ) -> None:
+    ) -> int:
         """Process events until the queue drains, ``until`` is reached, or
-        ``max_events`` have fired (whichever comes first)."""
+        ``max_events`` have fired (whichever comes first).
+
+        Returns the number of events processed by *this* call.  A
+        :meth:`stop` issued from inside a callback halts the loop before
+        the next event fires — including one scheduled at the very same
+        timestamp — and leaves the remainder on the heap (visible via
+        :meth:`pending`).  A stop requested before ``run`` is discarded:
+        each call starts fresh.
+        """
         self._stopped = False
         processed = 0
-        while self._heap and not self._stopped:
+        while self._heap:
             if max_events is not None and processed >= max_events:
                 break
             time, _, callback = self._heap[0]
             if until is not None and time > until:
-                self.now = until
+                # Never rewind: run(until=...) with a past horizon is a
+                # no-op on the clock, not a time machine.
+                if until > self.now:
+                    self.now = until
                 break
             heapq.heappop(self._heap)
             self.now = time
             callback()
             processed += 1
             self.events_processed += 1
+            if self._stopped:
+                break
+        return processed
 
     def pending(self) -> int:
         return len(self._heap)

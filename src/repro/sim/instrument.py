@@ -1,0 +1,58 @@
+"""Lightweight simulation instrumentation.
+
+Always-on counters live on the simulated objects themselves (engine heap
+high-water mark, per-drive busy time, per-server queue depth high-water);
+this module turns them into plain JSON-able records, and provides the
+physical-operation :class:`TraceRecorder` behind the golden-trace
+regression tests.  Everything here is pure data — no numpy, no pickling
+surprises — so records survive multiprocessing boundaries and the on-disk
+result cache byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.engine import SimulationEngine
+
+
+class TraceRecorder:
+    """Ordered log of every physical operation the array services.
+
+    Attach with :meth:`ArrayController.attach_trace`; each serviced
+    request appends one entry at service-start time.  Entries are plain
+    dicts so a trace can be dumped to JSON and compared exactly —
+    floats round-trip through ``json`` without loss, which is what makes
+    golden-trace tests byte-stable.
+    """
+
+    def __init__(self):
+        self.entries: List[dict] = []
+
+    def record(self, disk_id: int, now_ms: float, request, service) -> None:
+        self.entries.append(
+            {
+                "disk": disk_id,
+                "start_ms": now_ms,
+                "lba": request.lba,
+                "sectors": request.sectors,
+                "op": "W" if request.is_write else "R",
+                "access_id": request.access_id,
+                "seek_ms": service.seek_ms,
+                "latency_ms": service.latency_ms,
+                "transfer_ms": service.transfer_ms,
+            }
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def engine_snapshot(engine: SimulationEngine) -> Dict[str, float]:
+    """The engine-level counters as a JSON-able record."""
+    return {
+        "events_processed": engine.events_processed,
+        "heap_high_water": engine.heap_high_water,
+        "pending": engine.pending(),
+        "now_ms": engine.now,
+    }

@@ -83,6 +83,38 @@ class LatencyHistogram:
     ) -> List[Tuple[float, float]]:
         return [(p, self.percentile(p)) for p in ps]
 
+    def to_dict(self) -> dict:
+        """JSON-able form (sparse buckets); exact round-trip.
+
+        >>> h = LatencyHistogram()
+        >>> h.record(3.5)
+        >>> LatencyHistogram.from_dict(h.to_dict()).total_ms
+        3.5
+        """
+        return {
+            "min_ms": self.min_ms,
+            "max_ms": self.max_ms,
+            "buckets_per_decade": self._scale,
+            "count": self.count,
+            "total_ms": self.total_ms,
+            "counts": {
+                str(i): c for i, c in enumerate(self._counts) if c
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyHistogram":
+        hist = cls(
+            min_ms=data["min_ms"],
+            max_ms=data["max_ms"],
+            buckets_per_decade=data["buckets_per_decade"],
+        )
+        for index, count in data["counts"].items():
+            hist._counts[int(index)] = count
+        hist.count = data["count"]
+        hist.total_ms = data["total_ms"]
+        return hist
+
     def merge(self, other: "LatencyHistogram") -> None:
         if (
             other.min_ms != self.min_ms

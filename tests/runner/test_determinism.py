@@ -1,0 +1,103 @@
+"""Serial vs. parallel determinism of the experiment runner.
+
+The contract: a spec list produces byte-identical result records (same
+seeds -> same histograms, same instrumentation, same everything) no
+matter how many worker processes execute it.  The property-based test
+draws seeds/workloads with hypothesis while every example spans four
+layouts, and runs under two different worker counts.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runner import (
+    ExperimentSpec,
+    ParallelRunner,
+    canonical_json,
+    execute_spec,
+)
+
+#: >= 3 layouts, per the harness requirement; four keeps examples cheap.
+PROPERTY_LAYOUTS = ("pddl", "raid5", "datum", "prime")
+
+
+def _spec_list(layouts, seed, clients, size_kb, mode="ff"):
+    return [
+        ExperimentSpec(
+            layout=layout,
+            size_kb=size_kb,
+            clients=clients,
+            mode=mode,
+            seed=seed,
+            max_samples=8,
+            warmup=1,
+        )
+        for layout in layouts
+    ]
+
+
+class TestSerialParallelIdentity:
+    @pytest.mark.parametrize("workers", [2, 3])
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        clients=st.integers(min_value=1, max_value=3),
+        size_kb=st.sampled_from([8, 24, 48]),
+    )
+    def test_records_byte_identical(self, workers, seed, clients, size_kb):
+        specs = _spec_list(PROPERTY_LAYOUTS, seed, clients, size_kb)
+        serial = ParallelRunner(workers=1).run(specs)
+        parallel = ParallelRunner(workers=workers).run(specs)
+        assert serial.executed == parallel.executed == len(specs)
+        assert canonical_json(serial.records) == canonical_json(
+            parallel.records
+        )
+
+    def test_degraded_mode_identical(self):
+        specs = _spec_list(PROPERTY_LAYOUTS, seed=7, clients=2, size_kb=24,
+                           mode="f1")
+        serial = ParallelRunner(workers=1).run(specs)
+        parallel = ParallelRunner(workers=4).run(specs)
+        assert canonical_json(serial.records) == canonical_json(
+            parallel.records
+        )
+
+    def test_histograms_match_seed_for_seed(self):
+        # Same seed -> same histogram; different seed -> (here) different.
+        spec = ExperimentSpec(layout="pddl", size_kb=24, clients=2, seed=11,
+                              max_samples=10, warmup=0)
+        respun = ExperimentSpec(layout="pddl", size_kb=24, clients=2,
+                                seed=11, max_samples=10, warmup=0)
+        other = ExperimentSpec(layout="pddl", size_kb=24, clients=2, seed=12,
+                               max_samples=10, warmup=0)
+        assert (
+            execute_spec(spec)["histogram"]
+            == execute_spec(respun)["histogram"]
+        )
+        assert (
+            execute_spec(spec)["histogram"]
+            != execute_spec(other)["histogram"]
+        )
+
+    def test_duplicate_specs_computed_once(self):
+        spec = ExperimentSpec(layout="raid5", size_kb=8, clients=1, seed=3,
+                              max_samples=6, warmup=0)
+        report = ParallelRunner(workers=1).run([spec, spec, spec])
+        assert report.executed == 1
+        assert len(report.records) == 3
+        assert report.records[0] == report.records[1] == report.records[2]
+
+    def test_table1_cells_identical_across_workers(self):
+        from repro.runner import table1_specs
+
+        specs = table1_specs([5, 6, 7], [1, 2], restarts=3, max_steps=300)
+        serial = ParallelRunner(workers=1).run(specs)
+        parallel = ParallelRunner(workers=2).run(specs)
+        assert canonical_json(serial.records) == canonical_json(
+            parallel.records
+        )

@@ -1,0 +1,45 @@
+"""Golden-trace regression tests.
+
+The canonical 13-disk PDDL run must reproduce its pinned
+physical-operation trace *exactly* — same disks, same LBAs, same float
+timings — guarding future scheduler/engine/drive refactors.  JSON
+round-trips doubles losslessly, so equality here is bit-equality.
+"""
+
+import json
+
+from tests.runner.golden import GOLDEN_PATH, generate_trace
+
+
+def _load_golden():
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestGoldenTrace:
+    def test_trace_matches_exactly(self):
+        golden = _load_golden()
+        trace = generate_trace()
+        assert len(trace) == len(golden["trace"])
+        for i, (ours, pinned) in enumerate(zip(trace, golden["trace"])):
+            assert ours == pinned, (
+                f"trace diverges at entry {i}:\n"
+                f"  ours:   {ours}\n  pinned: {pinned}\n"
+                "If the simulation semantics changed intentionally,"
+                " regenerate with `python -m tests.runner.golden`"
+                " and bump SPEC_SCHEMA_VERSION."
+            )
+
+    def test_trace_is_reproducible_within_process(self):
+        assert generate_trace() == generate_trace()
+
+    def test_golden_scenario_is_nontrivial(self):
+        golden = _load_golden()
+        trace = golden["trace"]
+        assert len(trace) >= 50
+        # Multi-disk, both queued and immediate service, real seeks.
+        assert len({entry["disk"] for entry in trace}) >= 8
+        assert any(entry["seek_ms"] > 0 for entry in trace)
+        # Later operations start after queueing, not all at t = 0.
+        assert any(entry["start_ms"] > 0 for entry in trace)
+        assert len({entry["access_id"] for entry in trace}) > 3

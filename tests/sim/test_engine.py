@@ -86,6 +86,74 @@ class TestRunControl:
         engine.run()
         assert engine.events_processed == 4
 
+    def test_run_returns_processed_count(self):
+        engine = SimulationEngine()
+        for i in range(4):
+            engine.schedule(float(i), lambda: None)
+        assert engine.run(max_events=3) == 3
+        assert engine.run() == 1
+
+    def test_stop_in_callback_halts_before_same_timestamp_event(self):
+        # Regression: a stop() issued from a callback must be honoured
+        # before the *next* event fires, even one scheduled at the very
+        # same timestamp, and the un-fired events must stay pending.
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(2.0, lambda: (fired.append("a"), engine.stop()))
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.schedule(2.0, lambda: fired.append("c"))
+        processed = engine.run()
+        assert fired == ["a"]
+        assert processed == 1
+        assert engine.pending() == 2
+        assert engine.now == 2.0
+        # The survivors are intact: a fresh run() fires them in order.
+        assert engine.run() == 2
+        assert fired == ["a", "b", "c"]
+        assert engine.pending() == 0
+
+    def test_stop_in_callback_with_max_events(self):
+        # stop() must win over a larger max_events budget.
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(1.0, lambda: (fired.append(2), engine.stop()))
+        engine.schedule(1.0, lambda: fired.append(3))
+        assert engine.run(max_events=10) == 2
+        assert fired == [1, 2]
+        assert engine.pending() == 1
+
+    def test_until_never_rewinds_clock(self):
+        # Regression: run(until=...) with a horizon in the past must not
+        # move time backwards.
+        engine = SimulationEngine()
+        engine.schedule(10.0, lambda: None)
+        engine.run()
+        assert engine.now == 10.0
+        engine.schedule(5.0, lambda: None)  # at t = 15
+        engine.run(until=12.0)
+        assert engine.now == 12.0
+        engine.run(until=3.0)  # past horizon: no-op, not a time machine
+        assert engine.now == 12.0
+        assert engine.pending() == 1
+
+    def test_stop_before_run_is_discarded(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.stop()
+        assert engine.run() == 1  # each run() starts fresh
+        assert fired == [1]
+
+    def test_heap_high_water(self):
+        engine = SimulationEngine()
+        assert engine.heap_high_water == 0
+        for i in range(5):
+            engine.schedule(float(i + 1), lambda: None)
+        engine.run()
+        assert engine.heap_high_water == 5
+        assert engine.pending() == 0
+
 
 class TestRandomStreams:
     def test_reproducible(self):

@@ -75,6 +75,32 @@ class TestTables:
         assert "pddl" in out and "sparing=yes" in out
 
 
+class TestBench:
+    def test_quick_sweep_then_cache_replay(self, capsys, tmp_path):
+        args = [
+            "bench", "--quick", "--workers", "2",
+            "--cache-dir", str(tmp_path), "--layouts", "pddl", "raid5",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "8KB reads" in out and "48KB reads" in out
+        assert "8 points: 8 simulated, 0 from cache" in out
+        assert "instrumentation:" in out
+        # Replay: every point from cache, nothing simulated.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "8 points: 0 simulated, 8 from cache" in out
+
+    def test_no_cache(self, capsys):
+        assert main(
+            ["bench", "--quick", "--no-cache", "--workers", "1",
+             "--layouts", "pddl"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cache dir" not in out
+        assert "4 points: 4 simulated" in out
+
+
 class TestPlan:
     def test_valid(self, capsys):
         assert main(["plan", "13", "4"]) == 0
