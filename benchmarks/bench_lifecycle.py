@@ -1,0 +1,78 @@
+"""Reconstruction under load — the full lifecycle in one simulation.
+
+Where the per-mode figure benchmarks (5/6/8/9/18) measure each regime as
+a separate steady-state run, this benchmark runs the paper's story end
+to end: a 13-disk array under closed-loop load suffers a scripted
+failure, dwells degraded, rebuilds under continuing traffic, and settles
+into the post-reconstruction regime.  It prints per-regime latency
+tables and the rebuild-duration-vs-offered-load curve for PDDL
+(distributed sparing) against parity declustering (replacement-disk
+rebuild), and checks the orderings the paper predicts.
+"""
+
+from repro.runner import lifecycle_sweep_specs, rebuild_load_curves
+
+from benchmarks._support import bench_runner
+
+LAYOUTS = ("pddl", "parity-declustering")
+
+
+def test_lifecycle_rebuild_under_load(benchmark, bench_scale):
+    clients = (1, 4, 10)
+    specs = lifecycle_sweep_specs(
+        LAYOUTS,
+        clients,
+        size_kb=24,
+        fault_time_ms=500.0,
+        degraded_dwell_ms=500.0,
+        rebuild_rows=26 * bench_scale,
+        post_samples=60 * bench_scale,
+        max_samples=3000 * bench_scale,
+    )
+    runner = bench_runner()
+
+    report = benchmark.pedantic(
+        lambda: runner.run(specs), rounds=1, iterations=1
+    )
+
+    for record in report.records:
+        life = record["lifecycle"]
+        print()
+        print(
+            f"lifecycle: {life['layout']}, {life['clients']} clients,"
+            f" rebuild {life['rebuild_duration_ms']:.0f} ms"
+        )
+        for mode, mean in life["mode_means_ms"].items():
+            count = record["histograms"][mode]["count"]
+            print(f"  {mode:20s} n={count:<5d} mean={mean:8.2f} ms")
+
+    curves = rebuild_load_curves(report.records)
+    print()
+    for layout, curve in sorted(curves.items()):
+        rendered = ", ".join(f"{c} cl: {ms:.0f} ms" for c, ms in curve)
+        print(f"rebuild vs load [{layout}]: {rendered}")
+
+    for record in report.records:
+        life = record["lifecycle"]
+        assert life["complete"], life
+        assert [mode for mode, _ in life["transitions"]] == [
+            "fault-free",
+            "degraded",
+            "reconstruction",
+            "post-reconstruction",
+        ]
+
+    # Rebuild slows as offered load grows: the sweep competes with
+    # clients for the same spindles.
+    for layout, curve in curves.items():
+        assert curve[-1][1] > curve[0][1], (layout, curve)
+
+    # At the heaviest load, reconstruction-mode reads are slower than
+    # fault-free reads for every layout (on-the-fly reconstruction
+    # fans out to k-1 survivors).
+    for record in report.records:
+        life = record["lifecycle"]
+        if life["clients"] != clients[-1]:
+            continue
+        means = life["mode_means_ms"]
+        assert means["reconstruction"] > means["fault-free"], life

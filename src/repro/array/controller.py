@@ -13,7 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.array.raidops import AccessPlan, ArrayMode, plan_access
+from repro.array.raidops import (
+    AccessPlan,
+    ArrayMode,
+    RebuiltPredicate,
+    plan_access,
+)
 from repro.disk.drive import DiskDrive, DiskRequest
 from repro.disk.hp2247 import make_hp2247
 from repro.disk.scheduler import Scheduler, make_scheduler
@@ -158,6 +163,7 @@ class ArrayController:
         self.stripe_unit_sectors = stripe_unit_kb * 1024 // sector_bytes
         self.mode = ArrayMode.FAULT_FREE
         self.failed_disk: Optional[int] = None
+        self._rebuilt: Optional[RebuiltPredicate] = None
         self.servers: List[DiskServer] = []
         for disk_id in range(layout.n):
             drive = drive_factory()
@@ -196,18 +202,67 @@ class ArrayController:
     # ------------------------------------------------------------------
 
     def fail_disk(self, disk: int) -> None:
-        """Enter degraded (reconstruction) mode."""
+        """Enter degraded mode (rebuild not yet started).
+
+        Operations already queued on the dying disk are allowed to
+        complete (they were in flight when the failure struck); accesses
+        planned before the failure that have not yet issued an operation
+        to it simply drop that operation (see :meth:`_launch_phase`).
+        """
         if not 0 <= disk < self.layout.n:
             raise ConfigurationError(f"no disk {disk}")
+        if self.mode is not ArrayMode.FAULT_FREE:
+            raise SimulationError(
+                f"cannot fail disk {disk}: array already {self.mode.value}"
+            )
         self.failed_disk = disk
         self.servers[disk].failed = True
         self.mode = ArrayMode.DEGRADED
 
-    def finish_reconstruction(self) -> None:
-        """Enter post-reconstruction mode (spare space holds rebuilt data)."""
+    def install_replacement(self) -> None:
+        """A fresh spindle takes the failed disk's slot (no sparing).
+
+        The slot becomes writable again so the rebuild sweep can fill it;
+        access planning still treats the disk's *contents* as lost until
+        the reconstruction frontier passes each cell.
+        """
+        if self.failed_disk is None:
+            raise SimulationError("no failed disk to replace")
+        self.servers[self.failed_disk].failed = False
+
+    def enter_reconstruction(self, rebuilt: RebuiltPredicate) -> None:
+        """Enter reconstruction mode: a background rebuild sweep is live.
+
+        ``rebuilt(offset)`` is the sweep's frontier — it must return True
+        once the failed disk's cell at ``offset`` is safely rebuilt (into
+        its spare cell, or onto a replacement spindle); new plans then
+        read/write the rebuilt copy directly.
+        """
         if self.mode is not ArrayMode.DEGRADED:
+            raise SimulationError(
+                f"reconstruction must start from degraded mode,"
+                f" not {self.mode.value}"
+            )
+        self._rebuilt = rebuilt
+        self.mode = ArrayMode.RECONSTRUCTION
+
+    def finish_reconstruction(self) -> None:
+        """The rebuild completed: every lost unit has a live copy again.
+
+        With distributed sparing the array runs on in post-reconstruction
+        mode (accesses redirected to spare cells); a replacement-disk
+        rebuild restores the original mapping, so the array returns to
+        fault-free planning.
+        """
+        if self.mode not in (ArrayMode.DEGRADED, ArrayMode.RECONSTRUCTION):
             raise SimulationError("no reconstruction in progress")
-        self.mode = ArrayMode.POST_RECONSTRUCTION
+        self._rebuilt = None
+        if self.layout.has_sparing:
+            self.mode = ArrayMode.POST_RECONSTRUCTION
+        else:
+            self.servers[self.failed_disk].failed = False
+            self.failed_disk = None
+            self.mode = ArrayMode.FAULT_FREE
 
     # ------------------------------------------------------------------
     # Access submission.
@@ -233,6 +288,7 @@ class ArrayController:
             access.is_write,
             mode=self.mode,
             failed_disk=self.failed_disk,
+            rebuilt=self._rebuilt,
         )
         state = _InFlight(
             access=access,
@@ -249,8 +305,20 @@ class ArrayController:
             self._advance(state)
             return
         requests = self._phase_requests(state, phase)
-        state.outstanding = len(requests)
-        for disk, request in requests:
+        # A disk can fail *between* an access's phases: operations the
+        # pre-failure plan aimed at the now-dead disk are dropped (the
+        # controller of a real array would re-plan; response-time-wise the
+        # access simply no longer waits on that spindle).
+        live = [
+            (disk, request)
+            for disk, request in requests
+            if not self.servers[disk].failed
+        ]
+        state.outstanding = len(live)
+        if not live:
+            self._advance(state)
+            return
+        for disk, request in live:
             self.servers[disk].submit(request)
 
     def _phase_requests(self, state: _InFlight, phase):

@@ -24,6 +24,16 @@ Degraded mode (one disk failed, lost data not yet in spare space):
   that lost an *untouched* data unit is forced small; a stripe that lost
   its parity writes data only.
 
+Reconstruction mode (rebuild in progress): the background sweep has copied
+*some* lost units back to redundancy.  A ``rebuilt(offset)`` predicate —
+the reconstructor's rebuild frontier — decides per cell: units already
+swept are read from (written to) their rebuilt copies exactly as after
+the rebuild completes, un-rebuilt units are handled as in degraded mode
+(on-the-fly reconstruction, forced write variants).  For layouts with
+distributed sparing the rebuilt copy lives in the same-row spare cell;
+for layouts without sparing it lives at the original address on a
+*replacement* spindle.
+
 Post-reconstruction mode (PDDL's distributed sparing): lost units have been
 rebuilt into the same-row spare units, so accesses are simply redirected.
 """
@@ -31,7 +41,7 @@ rebuilt into the same-row spare units, so accesses are simply redirected.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, MappingError
 from repro.layouts.address import PhysicalAddress
@@ -42,8 +52,15 @@ class ArrayMode(enum.Enum):
     """Operating condition of the array (paper's ff / f1 / post-recon)."""
 
     FAULT_FREE = "fault-free"
-    DEGRADED = "degraded"                      # f1, reconstruction mode
+    DEGRADED = "degraded"                      # f1, rebuild not yet started
+    RECONSTRUCTION = "reconstruction"          # rebuild sweep in progress
     POST_RECONSTRUCTION = "post-reconstruction"  # spare space holds rebuilt data
+
+
+#: ``rebuilt(offset) -> bool``: has the failed disk's cell at ``offset``
+#: already been rebuilt into its spare cell?  (The reconstruction-mode
+#: rebuild frontier.)
+RebuiltPredicate = Callable[[int], bool]
 
 
 class UnitOp(NamedTuple):
@@ -77,10 +94,13 @@ def plan_access(
     is_write: bool,
     mode: ArrayMode = ArrayMode.FAULT_FREE,
     failed_disk: Optional[int] = None,
+    rebuilt: Optional[RebuiltPredicate] = None,
 ) -> AccessPlan:
     """Plan a logical access of ``unit_count`` contiguous data units.
 
-    ``failed_disk`` is required (and only allowed) outside fault-free mode.
+    ``failed_disk`` is required (and only allowed) outside fault-free mode;
+    ``rebuilt`` is the reconstruction-mode rebuild frontier and is required
+    (and only allowed) in :attr:`ArrayMode.RECONSTRUCTION`.
     """
     if unit_count < 1:
         raise ConfigurationError(f"access needs >= 1 unit, got {unit_count}")
@@ -94,6 +114,15 @@ def plan_access(
             raise ConfigurationError(
                 f"mode {mode.value} needs a valid failed disk"
             )
+    if mode is ArrayMode.RECONSTRUCTION:
+        if rebuilt is None:
+            raise ConfigurationError(
+                "reconstruction mode needs a rebuilt(offset) predicate"
+            )
+    elif rebuilt is not None:
+        raise ConfigurationError(
+            f"mode {mode.value} takes no rebuild frontier"
+        )
     if mode is ArrayMode.POST_RECONSTRUCTION and not layout.has_sparing:
         raise MappingError(
             f"{layout.name} has no spare space for post-reconstruction mode"
@@ -101,9 +130,9 @@ def plan_access(
 
     units = range(first_unit, first_unit + unit_count)
     if is_write:
-        plan = _plan_write(layout, units, mode, failed_disk)
+        plan = _plan_write(layout, units, mode, failed_disk, rebuilt)
     else:
-        plan = _plan_read(layout, units, mode, failed_disk)
+        plan = _plan_read(layout, units, mode, failed_disk, rebuilt)
     return _dedupe(plan)
 
 
@@ -117,16 +146,24 @@ def _plan_read(
     units: range,
     mode: ArrayMode,
     failed_disk: Optional[int],
+    rebuilt: Optional[RebuiltPredicate],
 ) -> AccessPlan:
     ops: List[UnitOp] = []
     for unit in units:
         addr = layout.data_unit_address(unit)
         if mode is ArrayMode.FAULT_FREE or addr.disk != failed_disk:
             ops.append(UnitOp(addr.disk, addr.offset, False))
-        elif mode is ArrayMode.POST_RECONSTRUCTION:
-            spare = layout.relocation_target(addr)
-            ops.append(UnitOp(spare.disk, spare.offset, False))
-        else:  # DEGRADED: reconstruct on the fly from the stripe's survivors
+        elif mode is ArrayMode.POST_RECONSTRUCTION or (
+            mode is ArrayMode.RECONSTRUCTION and rebuilt(addr.offset)
+        ):
+            # Lost unit already swept: read the rebuilt copy — the spare
+            # cell (distributed sparing) or the replacement spindle.
+            if layout.has_sparing:
+                spare = layout.relocation_target(addr)
+                ops.append(UnitOp(spare.disk, spare.offset, False))
+            else:
+                ops.append(UnitOp(addr.disk, addr.offset, False))
+        else:  # DEGRADED or un-rebuilt: reconstruct on the fly from survivors
             stripe = layout.stripe_of_data_unit(unit)
             for other in layout.stripe_units(stripe).all_units():
                 if other.disk != failed_disk:
@@ -164,19 +201,43 @@ def _plan_write(
     units: range,
     mode: ArrayMode,
     failed_disk: Optional[int],
+    rebuilt: Optional[RebuiltPredicate],
 ) -> AccessPlan:
     pre_reads: List[UnitOp] = []
     writes: List[UnitOp] = []
     for stripe, touched in _stripe_groups(layout, units).items():
         stripe_units = layout.stripe_units(stripe)
         written_positions = {position for position, _ in touched}
-        if mode is ArrayMode.DEGRADED:
+        stripe_mode = mode
+        if mode is ArrayMode.RECONSTRUCTION:
+            # Per-stripe: behind the rebuild frontier the stripe behaves
+            # post-reconstruction (spare redirect), ahead of it degraded.
+            lost = next(
+                (
+                    a
+                    for a in stripe_units.all_units()
+                    if a.disk == failed_disk
+                ),
+                None,
+            )
+            if lost is None or rebuilt(lost.offset):
+                # Spare redirect with sparing; the replacement spindle
+                # serves the original addresses without.
+                stripe_mode = (
+                    ArrayMode.POST_RECONSTRUCTION
+                    if layout.has_sparing
+                    else ArrayMode.FAULT_FREE
+                )
+            else:
+                stripe_mode = ArrayMode.DEGRADED
+        if stripe_mode is ArrayMode.DEGRADED:
             reads, wr = _plan_stripe_write_degraded(
                 layout, stripe_units, written_positions, failed_disk
             )
         else:
             reads, wr = _plan_stripe_write_clean(
-                layout, stripe_units, written_positions, mode, failed_disk
+                layout, stripe_units, written_positions, stripe_mode,
+                failed_disk,
             )
         pre_reads.extend(reads)
         writes.extend(wr)

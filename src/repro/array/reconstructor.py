@@ -6,14 +6,25 @@ number of rebuild steps in flight.  When the sweep finishes the controller
 flips to post-reconstruction mode — the paper's Figure 18 regimes
 (reconstruction vs post-reconstruction) are the before/after of this
 process.
+
+The reconstructor tracks which lost offsets are safely in spare space
+(:meth:`Reconstructor.is_rebuilt` — the rebuild frontier that
+:attr:`~repro.array.raidops.ArrayMode.RECONSTRUCTION` planning consults),
+and a rebuild-rate throttle (``throttle_ms`` of idle time per slot between
+steps) makes the client/rebuild interference tunable: 0 rebuilds as fast
+as the spindles allow, larger values cede bandwidth to client traffic.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional, Set
 
 from repro.array.controller import ArrayController
-from repro.core.reconstruction import RebuildStep, rebuild_plan
+from repro.core.reconstruction import (
+    RebuildStep,
+    count_lost_units,
+    rebuild_plan,
+)
 from repro.errors import SimulationError
 
 #: Access ids at or above this value are background rebuild traffic; they
@@ -26,8 +37,15 @@ class Reconstructor:
     """Background rebuild of one failed disk.
 
     Attach to a controller already in degraded mode and :meth:`start`; the
-    optional ``on_finished(duration_ms)`` callback fires when the spare
-    space holds every lost unit.
+    optional ``on_finished(duration_ms)`` callback fires when every lost
+    unit has a rebuilt copy, ``on_step(reconstructor)`` after every
+    completed rebuild step (progress timelines hook in here).
+
+    Layouts with distributed sparing rebuild into their spare cells; for
+    layouts without sparing, ``allow_replacement=True`` rebuilds onto a
+    replacement spindle installed in the failed disk's slot (otherwise
+    such layouts are rejected — a RAID-5 with no spare and no replacement
+    genuinely has no recovery path).
     """
 
     def __init__(
@@ -36,22 +54,35 @@ class Reconstructor:
         parallel_steps: int = 1,
         on_finished: Optional[Callable[[float], None]] = None,
         rows: Optional[int] = None,
+        throttle_ms: float = 0.0,
+        on_step: Optional[Callable[["Reconstructor"], None]] = None,
+        allow_replacement: bool = False,
     ):
         if parallel_steps < 1:
             raise SimulationError("need at least one rebuild slot")
+        if throttle_ms < 0:
+            raise SimulationError(f"negative rebuild throttle {throttle_ms}")
         if controller.failed_disk is None:
             raise SimulationError("no failed disk to reconstruct")
-        if not controller.layout.has_sparing:
+        self.into_spare = controller.layout.has_sparing
+        if not self.into_spare and not allow_replacement:
             raise SimulationError(
-                f"{controller.layout.name} has no spare space to rebuild into"
+                f"{controller.layout.name} has no spare space to rebuild"
+                " into (pass allow_replacement=True to rebuild onto a"
+                " replacement spindle)"
             )
         self.controller = controller
         self.parallel_steps = parallel_steps
+        self.throttle_ms = throttle_ms
         self.on_finished = on_finished
+        self.on_step = on_step
         total_rows = (
             rows
             if rows is not None
             else controller.periods * controller.layout.period
+        )
+        self.total_steps = count_lost_units(
+            controller.layout, controller.failed_disk, rows=total_rows
         )
         self._steps: Iterator[RebuildStep] = rebuild_plan(
             controller.layout, controller.failed_disk, rows=total_rows
@@ -61,16 +92,43 @@ class Reconstructor:
         self.finished_ms: Optional[float] = None
         self.steps_completed = 0
         self._active = 0
+        self._pending_issues = 0
+        self._rebuilt_offsets: Set[int] = set()
         self._next_id = RECONSTRUCTION_ID_BASE
 
     def start(self) -> None:
         if self.started_ms is not None:
             raise SimulationError("reconstruction already started")
         self.started_ms = self.controller.engine.now
+        if not self.into_spare:
+            self.controller.install_replacement()
         for _ in range(self.parallel_steps):
             self._issue_next()
-        if self._exhausted and self._active == 0:
-            self._finish()  # degenerate: nothing to rebuild
+        self._maybe_finish()  # degenerate: nothing to rebuild
+
+    # ------------------------------------------------------------------
+    # Rebuild frontier and progress.
+    # ------------------------------------------------------------------
+
+    def is_rebuilt(self, offset: int) -> bool:
+        """Is the failed disk's cell at ``offset`` safely in spare space?"""
+        return offset in self._rebuilt_offsets
+
+    @property
+    def progress(self) -> int:
+        """Rebuild steps completed so far."""
+        return self.steps_completed
+
+    @property
+    def fraction_complete(self) -> float:
+        """Completed fraction of the sweep, 0.0 to 1.0."""
+        if self.total_steps == 0:
+            return 1.0
+        return self.steps_completed / self.total_steps
+
+    # ------------------------------------------------------------------
+    # Step issue/completion machinery.
+    # ------------------------------------------------------------------
 
     def _issue_next(self) -> None:
         if self._exhausted:
@@ -82,6 +140,25 @@ class Reconstructor:
         self._active += 1
         self._run_step(step)
 
+    def _refill_slot(self) -> None:
+        """One slot freed up: issue the next step, throttled if configured."""
+        if self._exhausted:
+            self._maybe_finish()
+            return
+        if self.throttle_ms > 0:
+            self._pending_issues += 1
+            self.controller.engine.schedule(
+                self.throttle_ms, self._delayed_issue
+            )
+        else:
+            self._issue_next()
+            self._maybe_finish()
+
+    def _delayed_issue(self) -> None:
+        self._pending_issues -= 1
+        self._issue_next()
+        self._maybe_finish()
+
     def _run_step(self, step: RebuildStep) -> None:
         controller = self.controller
         access_id = self._next_id
@@ -91,16 +168,21 @@ class Reconstructor:
         def write_done() -> None:
             self._active -= 1
             self.steps_completed += 1
-            self._issue_next()
-            if self._exhausted and self._active == 0:
-                self._finish()
+            self._rebuilt_offsets.add(step.lost.offset)
+            if self.on_step is not None:
+                self.on_step(self)
+            self._refill_slot()
+
+        # Spare-cell target with distributed sparing; the original
+        # address on the replacement spindle without.
+        target = step.write if step.write is not None else step.lost
 
         def read_done() -> None:
             remaining["reads"] -= 1
             if remaining["reads"] == 0:
                 controller.submit_raw(
-                    step.write.disk,
-                    step.write.offset,
+                    target.disk,
+                    target.offset,
                     True,
                     access_id,
                     write_done,
@@ -116,6 +198,14 @@ class Reconstructor:
                 read_done,
                 tag="rebuild-read",
             )
+
+    def _maybe_finish(self) -> None:
+        if (
+            self._exhausted
+            and self._active == 0
+            and self._pending_issues == 0
+        ):
+            self._finish()
 
     def _finish(self) -> None:
         if self.finished_ms is not None:

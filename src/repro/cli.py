@@ -11,6 +11,7 @@ figure of the paper can be regenerated from a shell:
 - ``table3``     — scheme implementation costs
 - ``plan``       — PDDL capacity planning for an (n, k) array
 - ``bench``      — parallel, cached response-time sweeps (see RUNNER.md)
+- ``lifecycle``  — reconstruction-under-load lifecycle runs (Figs 8-14, 18)
 """
 
 from __future__ import annotations
@@ -208,6 +209,119 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lifecycle(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.runner import (
+        ParallelRunner,
+        ResultCache,
+        default_cache_dir,
+        lifecycle_sweep_specs,
+        rebuild_load_curves,
+    )
+
+    if args.quick:
+        layouts = ["pddl", "parity-declustering"]
+        clients = [4]
+        rebuild_rows: Optional[int] = 26
+        post_samples, max_samples = 40, 1500
+        # A dwell window so degraded mode collects samples too.
+        dwell = 300.0 if args.dwell == 0.0 else args.dwell
+    else:
+        layouts = args.layouts
+        clients = args.clients
+        rebuild_rows = args.rebuild_rows
+        post_samples, max_samples = args.post_samples, args.samples
+        dwell = args.dwell
+    specs = lifecycle_sweep_specs(
+        layouts,
+        clients,
+        size_kb=args.size,
+        is_write=args.write,
+        fault_time_ms=None if args.mttf is not None else args.fault_time,
+        mttf_hours=args.mttf,
+        degraded_dwell_ms=dwell,
+        rebuild_rows=rebuild_rows,
+        rebuild_parallel=args.rebuild_parallel,
+        rebuild_throttle_ms=args.rebuild_throttle,
+        post_samples=post_samples,
+        max_samples=max_samples,
+        seed=args.seed,
+        disks=args.disks,
+    )
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    runner = ParallelRunner(workers=args.workers, cache=cache)
+    started = time.perf_counter()
+    report = runner.run(specs)
+    elapsed = time.perf_counter() - started
+
+    for record in report.records:
+        life = record["lifecycle"]
+        print()
+        print(
+            f"lifecycle: {life['layout']}, {life['spec_label']},"
+            f" {life['clients']} clients"
+            f" (fault on disk {life['fault_disk']}"
+            f" at {life['fault_time_ms']:.0f} ms)"
+        )
+        for mode, t in life["transitions"]:
+            print(f"  {t:10.1f} ms  -> {mode}")
+        if life["rebuild_duration_ms"] is not None:
+            print(
+                f"  rebuild: {life['rebuild_steps']} steps"
+                f" in {life['rebuild_duration_ms']:.1f} ms"
+            )
+        else:
+            print(
+                f"  rebuild: incomplete"
+                f" ({life['rebuild_steps']}/{life['rebuild_total_steps']}"
+                f" steps)"
+            )
+        for mode, mean in life["mode_means_ms"].items():
+            n = record["histograms"][mode]["count"]
+            print(f"  {mode:20s} n={n:<5d} mean={mean:8.2f} ms")
+
+    print()
+    for layout, curve in sorted(rebuild_load_curves(report.records).items()):
+        rendered = ", ".join(
+            f"{c} cl: {'--' if ms is None else f'{ms:.0f} ms'}"
+            for c, ms in curve
+        )
+        print(f"rebuild vs load [{layout}]: {rendered}")
+    print(
+        f"{len(specs)} runs: {report.executed} simulated,"
+        f" {report.cache_hits} from cache"
+        f" ({runner.workers} workers, {elapsed:.2f}s)"
+    )
+    if cache is not None:
+        print(f"cache dir: {cache.root}")
+
+    if args.out:
+        summary = {
+            "bench": "lifecycle",
+            "disks": args.disks,
+            "runs": [
+                {
+                    "layout": life["layout"],
+                    "clients": life["clients"],
+                    "spec_label": life["spec_label"],
+                    "complete": life["complete"],
+                    "rebuild_duration_ms": life["rebuild_duration_ms"],
+                    "mode_means_ms": life["mode_means_ms"],
+                }
+                for life in (r["lifecycle"] for r in report.records)
+            ],
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _int_list(text: str) -> List[int]:
     return [int(part) for part in text.split(",") if part]
 
@@ -291,6 +405,64 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-cache", action="store_true")
     bench.add_argument("--layouts", nargs="+", default=DEFAULT_LAYOUTS)
     bench.set_defaults(func=_cmd_bench)
+
+    life = sub.add_parser(
+        "lifecycle",
+        help="reconstruction-under-load lifecycle runs (Figures 8-14, 18)",
+    )
+    life.add_argument(
+        "--quick", action="store_true",
+        help="small canned sweep (pddl vs parity-declustering, 4 clients)",
+    )
+    life.add_argument(
+        "--layouts", nargs="+", default=["pddl", "parity-declustering"]
+    )
+    life.add_argument("--clients", type=_int_list, default=[1, 4, 10])
+    life.add_argument("--size", type=int, default=8, help="access KB")
+    life.add_argument("--write", action="store_true")
+    life.add_argument("--disks", "-n", type=int, default=13)
+    life.add_argument(
+        "--fault-time", type=float, default=500.0,
+        help="scripted failure time in ms (ignored with --mttf)",
+    )
+    life.add_argument(
+        "--mttf", type=float, default=None,
+        help="draw the failure from per-disk exponential lifetimes"
+        " with this MTTF in hours",
+    )
+    life.add_argument(
+        "--dwell", type=float, default=0.0,
+        help="degraded dwell before the rebuild starts, ms",
+    )
+    life.add_argument(
+        "--rebuild-rows", type=int, default=None,
+        help="limit the rebuild sweep to this many rows",
+    )
+    life.add_argument("--rebuild-parallel", type=int, default=1)
+    life.add_argument(
+        "--rebuild-throttle", type=float, default=0.0,
+        help="idle ms per rebuild slot between steps",
+    )
+    life.add_argument("--post-samples", type=int, default=100)
+    life.add_argument(
+        "--samples", type=int, default=4000,
+        help="overall response budget per run",
+    )
+    life.add_argument("--seed", type=int, default=0)
+    life.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: $REPRO_BENCH_WORKERS or 1)",
+    )
+    life.add_argument(
+        "--cache-dir", default=None,
+        help="result cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    life.add_argument("--no-cache", action="store_true")
+    life.add_argument(
+        "--out", default=None,
+        help="write a JSON summary (rebuild duration, per-mode means)",
+    )
+    life.set_defaults(func=_cmd_lifecycle)
 
     return parser
 

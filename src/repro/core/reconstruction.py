@@ -69,6 +69,35 @@ def rebuild_plan(
         )
 
 
+def count_lost_units(
+    layout: Layout, failed_disk: int, rows: Optional[int] = None
+) -> int:
+    """How many rebuild steps :func:`rebuild_plan` will yield.
+
+    Counts the failed disk's non-spare cells over ``rows`` offsets
+    arithmetically (no plan materialization), so a reconstructor can
+    report progress against a known total.
+    """
+    if not 0 <= failed_disk < layout.n:
+        raise ConfigurationError(
+            f"failed disk {failed_disk} outside 0..{layout.n - 1}"
+        )
+    if rows is None:
+        rows = layout.period
+    if rows < 0:
+        raise ConfigurationError(f"negative row count {rows}")
+    spare_offsets = [
+        addr.offset
+        for addr in layout.spare_addresses_in_period()
+        if addr.disk == failed_disk
+    ]
+    full_periods, remainder = divmod(rows, layout.period)
+    spares = full_periods * len(spare_offsets) + sum(
+        1 for offset in spare_offsets if offset < remainder
+    )
+    return rows - spares
+
+
 def rebuild_read_tally(
     layout: Layout, failed_disk: int = 0
 ) -> Dict[int, int]:

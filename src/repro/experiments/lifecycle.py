@@ -1,0 +1,180 @@
+"""Reconstruction-under-load lifecycle experiments (Figures 8-14, 18).
+
+Where the response-time experiments measure each array mode as a separate
+steady-state run, a *lifecycle* run is one continuous simulation: the
+array starts fault-free under closed-loop client load, a scenario-scripted
+failure lands mid-run, the background sweep rebuilds lost units — into
+spare space for layouts with distributed sparing, onto a replacement
+spindle otherwise — while clients keep hammering the array
+(:attr:`~repro.array.raidops.ArrayMode.RECONSTRUCTION` — rebuilt units
+served from their rebuilt copies, the rest reconstructed on the fly), and
+the run finishes in the post-reconstruction regime.  The result carries per-mode latency
+histograms (responses binned by the mode in force when the access was
+*issued*), the mode-transition timeline, and the rebuild-progress curve.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.array.controller import ArrayController
+from repro.array.raidops import ArrayMode
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    PAPER_SCHEDULER,
+    PAPER_SCHEDULER_WINDOW,
+    PAPER_STRIPE_UNIT_KB,
+    layout_for,
+)
+from repro.faults.lifecycle import ArrayLifecycle
+from repro.faults.scenario import FaultScenario
+from repro.sim.engine import SimulationEngine
+from repro.sim.instrument import ProgressTimeline, TraceRecorder
+from repro.stats.bymode import LatencyByMode
+from repro.workload.client import ClosedLoopClient
+from repro.workload.generators import UniformGenerator
+from repro.workload.spec import AccessSpec
+
+
+@dataclass(frozen=True)
+class LifecycleRun:
+    """Everything one lifecycle simulation observed."""
+
+    layout: str
+    spec_label: str
+    clients: int
+    fault_time_ms: float
+    fault_disk: int
+    transitions: List[tuple]
+    complete: bool
+    rebuild_duration_ms: Optional[float]
+    rebuild_steps: int
+    rebuild_total_steps: int
+    rebuild_fraction: float
+    samples: int
+    by_mode: LatencyByMode
+    progress: ProgressTimeline
+    instrumentation: dict
+
+    def mode_summary_rows(self) -> List[str]:
+        rows = []
+        for mode, _ in self.transitions:
+            if self.by_mode.samples(mode) == 0:
+                continue
+            histogram = self.by_mode.histogram(mode)
+            rows.append(
+                f"{mode:20s} n={histogram.count:<5d}"
+                f" mean={histogram.mean:8.2f} ms"
+                f" p95={histogram.percentile(95):8.2f} ms"
+            )
+        return rows
+
+
+def run_lifecycle(
+    layout_name: str,
+    spec: AccessSpec,
+    clients: int,
+    scenario: FaultScenario,
+    seed: int = 0,
+    max_samples: int = 4000,
+    post_samples: int = 100,
+    disks: Optional[int] = None,
+    width: Optional[int] = None,
+    record_timelines: bool = False,
+    trace: Optional[TraceRecorder] = None,
+) -> LifecycleRun:
+    """Run one full-lifecycle simulation point.
+
+    The run stops once ``post_samples`` accesses issued in
+    post-reconstruction mode have completed (the post-rebuild steady
+    state is established), or after ``max_samples`` responses total —
+    whichever comes first.  Both bounds and every RNG derive from the
+    arguments, so identical calls produce identical results (the runner's
+    byte-determinism contract extends to lifecycle specs).
+    """
+    if clients < 1:
+        raise ConfigurationError(f"need >= 1 client, got {clients}")
+    if max_samples < 1 or post_samples < 1:
+        raise ConfigurationError("need positive sample bounds")
+    engine = SimulationEngine()
+    layout = layout_for(layout_name, disks=disks, width=width)
+    controller = ArrayController(
+        engine,
+        layout,
+        scheduler_name=PAPER_SCHEDULER,
+        scheduler_window=PAPER_SCHEDULER_WINDOW,
+        stripe_unit_kb=PAPER_STRIPE_UNIT_KB,
+        record_timelines=record_timelines,
+    )
+    if trace is not None:
+        controller.attach_trace(trace)
+
+    progress = ProgressTimeline()
+    lifecycle = ArrayLifecycle(
+        controller,
+        scenario,
+        on_rebuild_step=lambda recon: progress.record(
+            engine.now, recon.fraction_complete
+        ),
+    )
+    injector = lifecycle.arm()
+
+    by_mode = LatencyByMode()
+    totals = {"samples": 0, "post": 0}
+
+    def on_response(client, access, response_ms) -> bool:
+        issued_ms = engine.now - response_ms
+        mode = lifecycle.mode_at(issued_ms)
+        by_mode.record(mode, response_ms)
+        totals["samples"] += 1
+        if mode == ArrayMode.POST_RECONSTRUCTION.value:
+            totals["post"] += 1
+        if (
+            totals["samples"] >= max_samples
+            or totals["post"] >= post_samples
+        ):
+            engine.stop()
+            return False
+        return True
+
+    units = spec.units(PAPER_STRIPE_UNIT_KB)
+    for c in range(clients):
+        generator = UniformGenerator(
+            controller.addressable_data_units,
+            units,
+            # Same stream family as the response experiments: adding the
+            # lifecycle machinery does not perturb client draws.
+            random.Random(f"{seed}/client-{c}"),
+        )
+        ClosedLoopClient(
+            c, controller, generator, spec, on_response,
+            stripe_unit_kb=PAPER_STRIPE_UNIT_KB,
+        ).start()
+    engine.run()
+
+    recon = lifecycle.reconstructor
+    return LifecycleRun(
+        layout=layout_name,
+        spec_label=spec.label(),
+        clients=clients,
+        fault_time_ms=injector.fault_time_ms,
+        fault_disk=injector.fault_disk,
+        transitions=list(lifecycle.transitions),
+        complete=lifecycle.complete,
+        rebuild_duration_ms=(
+            recon.duration_ms
+            if recon is not None and recon.finished_ms is not None
+            else None
+        ),
+        rebuild_steps=0 if recon is None else recon.steps_completed,
+        rebuild_total_steps=0 if recon is None else recon.total_steps,
+        rebuild_fraction=0.0 if recon is None else recon.fraction_complete,
+        samples=totals["samples"],
+        by_mode=by_mode,
+        progress=progress,
+        instrumentation=controller.instrumentation_record(
+            include_timelines=record_timelines
+        ),
+    )

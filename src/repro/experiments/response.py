@@ -131,7 +131,7 @@ def run_response_point_instrumented(
 
     def on_response(client, access, response_ms) -> bool:
         histogram.record(response_ms)
-        if rule.samples == 0 and rule._seen == rule.warmup:
+        if rule.samples == 0 and rule.warmup_done:
             measurement_started["t"] = engine.now
             measurement_started["n0"] = controller.completed_accesses
         if use_stopping_rule or rule.samples < max_samples:

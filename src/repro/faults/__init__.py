@@ -1,0 +1,27 @@
+"""Fault injection and array lifecycle orchestration.
+
+The paper's degraded/reconstruction/post-reconstruction results hinge on
+rebuild traffic *competing* with client traffic.  This package closes the
+loop: a :class:`FaultScenario` declares *when* a disk dies (a fixed
+timestamp, or a seeded-exponential draw from the MTTDL parameters of
+:mod:`repro.reliability`) and how the rebuild behaves (parallelism,
+throttle); a :class:`FaultInjector` schedules the failure on the event
+loop; an :class:`ArrayLifecycle` drives the controller through
+fault-free -> degraded -> reconstruction -> post-reconstruction with
+timestamped transitions.
+
+Scenarios are pure data and content-hashable, so whole lifecycle sweeps
+plug into the ``repro.runner`` cache/parallel machinery (see
+``LifecycleSpec`` in :mod:`repro.runner.spec` and RUNNER.md).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.lifecycle import ArrayLifecycle
+from repro.faults.scenario import FAULT_SCENARIO_VERSION, FaultScenario
+
+__all__ = [
+    "ArrayLifecycle",
+    "FAULT_SCENARIO_VERSION",
+    "FaultInjector",
+    "FaultScenario",
+]

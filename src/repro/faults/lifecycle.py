@@ -1,0 +1,139 @@
+"""The array lifecycle state machine.
+
+Drives one controller through the full arc the paper's evaluation spans
+piecewise: **fault-free** until the scenario's failure lands, **degraded**
+while the failure is unhandled (the detection/dwell window),
+**reconstruction** while the background sweep rebuilds lost units into
+spare space under live client load, and **post-reconstruction** once the
+sweep completes.  Every transition is timestamped; hooks fire on each
+transition and on each completed rebuild step, which is what the
+lifecycle experiment's mode histograms and progress timelines attach to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.array.controller import ArrayController
+from repro.array.raidops import ArrayMode
+from repro.array.reconstructor import Reconstructor
+from repro.errors import SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.scenario import FaultScenario
+
+#: ``on_transition(mode, time_ms)`` fires as the array enters ``mode``.
+TransitionCallback = Callable[[ArrayMode, float], None]
+
+#: Transition log entry: ``(mode value, time_ms)``.
+Transition = Tuple[str, float]
+
+
+class ArrayLifecycle:
+    """fault-free -> degraded -> reconstruction -> post-reconstruction.
+
+    Construct around a fresh (fault-free) controller, then :meth:`arm`;
+    the scenario's failure, the rebuild start after the degraded dwell,
+    and the flip to post-reconstruction all happen on the engine's clock
+    while client traffic keeps flowing.
+    """
+
+    def __init__(
+        self,
+        controller: ArrayController,
+        scenario: FaultScenario,
+        on_transition: Optional[TransitionCallback] = None,
+        on_rebuild_step: Optional[Callable[[Reconstructor], None]] = None,
+    ):
+        if controller.mode is not ArrayMode.FAULT_FREE:
+            raise SimulationError(
+                f"lifecycle needs a fault-free array,"
+                f" got {controller.mode.value}"
+            )
+        self.controller = controller
+        self.scenario = scenario
+        self.on_transition = on_transition
+        self.on_rebuild_step = on_rebuild_step
+        self.injector: Optional[FaultInjector] = None
+        self.reconstructor: Optional[Reconstructor] = None
+        self.transitions: List[Transition] = [
+            (ArrayMode.FAULT_FREE.value, controller.engine.now)
+        ]
+
+    @property
+    def mode(self) -> ArrayMode:
+        return self.controller.mode
+
+    @property
+    def complete(self) -> bool:
+        """Did the array reach the post-reconstruction regime?
+
+        Checked against the transition log, not the controller mode:
+        a layout without sparing finishes its rebuild onto a replacement
+        spindle and the controller returns to fault-free, but the
+        lifecycle still passed through every regime.
+        """
+        return any(
+            mode == ArrayMode.POST_RECONSTRUCTION.value
+            for mode, _ in self.transitions
+        )
+
+    def arm(self) -> FaultInjector:
+        """Resolve the scenario's fault and schedule it on the engine."""
+        if self.injector is not None:
+            raise SimulationError("lifecycle already armed")
+        self.injector = FaultInjector(
+            self.controller.engine,
+            self.scenario,
+            self.controller.layout.n,
+            self._on_failure,
+        )
+        self.injector.arm()
+        return self.injector
+
+    def mode_at(self, time_ms: float) -> str:
+        """Mode value in force at ``time_ms`` (from the transition log)."""
+        current = self.transitions[0][0]
+        for mode, t in self.transitions:
+            if t > time_ms:
+                break
+            current = mode
+        return current
+
+    # ------------------------------------------------------------------
+    # Transition machinery.
+    # ------------------------------------------------------------------
+
+    def _record(self, mode: ArrayMode) -> None:
+        now = self.controller.engine.now
+        self.transitions.append((mode.value, now))
+        if self.on_transition is not None:
+            self.on_transition(mode, now)
+
+    def _on_failure(self, disk: int, now_ms: float) -> None:
+        self.controller.fail_disk(disk)
+        self._record(ArrayMode.DEGRADED)
+        self.controller.engine.schedule(
+            self.scenario.degraded_dwell_ms, self._start_rebuild
+        )
+
+    def _start_rebuild(self) -> None:
+        recon = Reconstructor(
+            self.controller,
+            parallel_steps=self.scenario.rebuild_parallel,
+            rows=self.scenario.rebuild_rows,
+            throttle_ms=self.scenario.rebuild_throttle_ms,
+            on_finished=self._on_rebuilt,
+            on_step=self.on_rebuild_step,
+            # Layouts without distributed sparing rebuild onto a
+            # replacement spindle instead of spare cells.
+            allow_replacement=True,
+        )
+        self.reconstructor = recon
+        # Flip to reconstruction mode *before* the first step issues so
+        # client plans consult the (initially empty) rebuild frontier.
+        self.controller.enter_reconstruction(recon.is_rebuilt)
+        self._record(ArrayMode.RECONSTRUCTION)
+        recon.start()
+
+    def _on_rebuilt(self, duration_ms: float) -> None:
+        self._record(ArrayMode.POST_RECONSTRUCTION)

@@ -1,0 +1,140 @@
+"""Declarative fault scenarios.
+
+A :class:`FaultScenario` is pure data: JSON-scalar fields only, frozen,
+with a stable content hash — the same discipline as the runner's
+experiment specs, so scenarios can key result caches and cross
+``multiprocessing`` boundaries without surprises.
+
+Fault timing comes in two flavours:
+
+- **deterministic**: ``fault_time_ms`` pins the failure of
+  ``failed_disk`` to an exact simulation time (reproduction runs);
+- **stochastic**: ``mttf_hours`` draws an independent exponential
+  lifetime per disk (rate ``1/MTTF``, the MTTDL models' assumption) from
+  named streams seeded by ``fault_seed``; the shortest-lived disk fails.
+  Seeded draws are deterministic, so these scenarios replay exactly too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import asdict, dataclass, fields
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.reliability.mttdl import exponential_lifetime_ms
+
+#: Part of every scenario content hash; bump on semantic changes.
+FAULT_SCENARIO_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One array-lifetime script: a failure plus the rebuild's behaviour.
+
+    Exactly one of ``fault_time_ms`` (deterministic) and ``mttf_hours``
+    (seeded-exponential; ``failed_disk`` is then ignored in favour of the
+    draw) must be set.  ``degraded_dwell_ms`` is the delay between the
+    failure and the rebuild sweep starting (detection + spare-up time);
+    ``rebuild_rows`` bounds the sweep (``None`` = the whole disk);
+    ``rebuild_throttle_ms`` idles each rebuild slot between steps so the
+    client/rebuild interference is tunable.
+
+    >>> FaultScenario(fault_time_ms=100.0).content_hash() == \\
+    ...     FaultScenario(fault_time_ms=100.0).content_hash()
+    True
+    """
+
+    failed_disk: int = 0
+    fault_time_ms: Optional[float] = None
+    mttf_hours: Optional[float] = None
+    fault_seed: int = 0
+    degraded_dwell_ms: float = 0.0
+    rebuild_rows: Optional[int] = None
+    rebuild_parallel: int = 1
+    rebuild_throttle_ms: float = 0.0
+
+    def __post_init__(self):
+        if (self.fault_time_ms is None) == (self.mttf_hours is None):
+            raise ConfigurationError(
+                "set exactly one of fault_time_ms (deterministic) and"
+                " mttf_hours (seeded-exponential)"
+            )
+        if self.fault_time_ms is not None and self.fault_time_ms < 0:
+            raise ConfigurationError(
+                f"negative fault time {self.fault_time_ms}"
+            )
+        if self.mttf_hours is not None and self.mttf_hours <= 0:
+            raise ConfigurationError(f"mttf must be > 0: {self.mttf_hours}")
+        if self.failed_disk < 0:
+            raise ConfigurationError(f"bad failed disk {self.failed_disk}")
+        if self.degraded_dwell_ms < 0:
+            raise ConfigurationError(
+                f"negative degraded dwell {self.degraded_dwell_ms}"
+            )
+        if self.rebuild_rows is not None and self.rebuild_rows < 1:
+            raise ConfigurationError(
+                f"need >= 1 rebuild row, got {self.rebuild_rows}"
+            )
+        if self.rebuild_parallel < 1:
+            raise ConfigurationError("need >= 1 rebuild slot")
+        if self.rebuild_throttle_ms < 0:
+            raise ConfigurationError(
+                f"negative rebuild throttle {self.rebuild_throttle_ms}"
+            )
+
+    # ------------------------------------------------------------------
+    # Fault timing.
+    # ------------------------------------------------------------------
+
+    def draw_fault(self, n_disks: int) -> Tuple[float, int]:
+        """``(time_ms, disk)`` of the scenario's failure.
+
+        Deterministic scenarios return their pinned values; stochastic
+        ones draw one exponential lifetime per disk from independent
+        named streams and fail the earliest.
+        """
+        if self.fault_time_ms is not None:
+            if not 0 <= self.failed_disk < n_disks:
+                raise ConfigurationError(
+                    f"failed disk {self.failed_disk} outside"
+                    f" 0..{n_disks - 1}"
+                )
+            return self.fault_time_ms, self.failed_disk
+        lifetimes = [
+            exponential_lifetime_ms(
+                self.mttf_hours,
+                random.Random(f"{self.fault_seed}/disk-{disk}"),
+            )
+            for disk in range(n_disks)
+        ]
+        time_ms = min(lifetimes)
+        return time_ms, lifetimes.index(time_ms)
+
+    # ------------------------------------------------------------------
+    # Serialization and hashing.
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultScenario":
+        names = {f.name for f in fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario fields {sorted(unknown)}"
+            )
+        return cls(**data)
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 over the canonical JSON of the fields."""
+        payload = {"schema": FAULT_SCENARIO_VERSION}
+        payload.update(self.to_dict())
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

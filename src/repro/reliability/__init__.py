@@ -9,6 +9,7 @@ rebuild times.
 
 from repro.reliability.mttdl import (
     ArrayReliability,
+    exponential_lifetime_ms,
     mttdl_declustered,
     mttdl_distributed_sparing,
     mttdl_raid5,
@@ -16,6 +17,7 @@ from repro.reliability.mttdl import (
 
 __all__ = [
     "ArrayReliability",
+    "exponential_lifetime_ms",
     "mttdl_declustered",
     "mttdl_distributed_sparing",
     "mttdl_raid5",

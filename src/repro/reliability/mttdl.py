@@ -28,11 +28,13 @@ probability factor.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 
 HOURS_PER_YEAR = 24 * 365.25
+MS_PER_HOUR = 3_600_000.0
 
 
 @dataclass(frozen=True)
@@ -143,6 +145,20 @@ def mttdl_distributed_sparing(
         repair_hours=mttr_rebuild_hours,
         mttdl_hours=mttdl,
     )
+
+
+def exponential_lifetime_ms(
+    mttf_hours: float, rng: random.Random
+) -> float:
+    """One exponential disk-lifetime draw in simulator milliseconds.
+
+    The same MTTF that parameterizes the MTTDL models above also drives
+    stochastic fault injection (`repro.faults`): a disk's time-to-failure
+    is exponential with rate ``1 / mttf``.
+    """
+    if mttf_hours <= 0:
+        raise ConfigurationError(f"mttf must be positive, got {mttf_hours}")
+    return rng.expovariate(1.0 / (mttf_hours * MS_PER_HOUR))
 
 
 def rebuild_hours_from_simulation(

@@ -18,12 +18,15 @@ from repro.runner.figures import (
     curves_from_records,
     figure5_specs,
     figure6_specs,
+    lifecycle_sweep_specs,
+    rebuild_load_curves,
     response_sweep_specs,
     table1_specs,
 )
 from repro.runner.parallel import ParallelRunner, RunReport, default_workers
 from repro.runner.spec import (
     ExperimentSpec,
+    LifecycleSpec,
     Table1Spec,
     mode_name,
     spec_from_dict,
@@ -33,6 +36,7 @@ from repro.runner.spec import (
 
 __all__ = [
     "ExperimentSpec",
+    "LifecycleSpec",
     "ParallelRunner",
     "ResultCache",
     "RunReport",
@@ -46,8 +50,10 @@ __all__ = [
     "execute_spec",
     "figure5_specs",
     "figure6_specs",
+    "lifecycle_sweep_specs",
     "mode_name",
     "point_from_record",
+    "rebuild_load_curves",
     "response_sweep_specs",
     "spec_from_dict",
     "spec_hash",

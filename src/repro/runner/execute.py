@@ -16,6 +16,7 @@ from repro.errors import ConfigurationError
 from repro.runner.spec import (
     MODES,
     ExperimentSpec,
+    LifecycleSpec,
     Spec,
     Table1Spec,
     spec_hash,
@@ -92,9 +93,50 @@ def _execute_table1(spec: Table1Spec) -> dict:
     }
 
 
+def _execute_lifecycle(spec: LifecycleSpec) -> dict:
+    from repro.experiments.lifecycle import run_lifecycle
+    from repro.workload.spec import AccessSpec
+
+    run = run_lifecycle(
+        spec.layout,
+        AccessSpec(spec.size_kb, spec.is_write),
+        spec.clients,
+        spec.scenario(),
+        seed=spec.seed,
+        max_samples=spec.max_samples,
+        post_samples=spec.post_samples,
+        disks=spec.disks,
+        width=spec.width,
+        record_timelines=spec.timelines,
+    )
+    return {
+        "lifecycle": {
+            "layout": run.layout,
+            "spec_label": run.spec_label,
+            "clients": run.clients,
+            "fault_time_ms": run.fault_time_ms,
+            "fault_disk": run.fault_disk,
+            "transitions": [list(t) for t in run.transitions],
+            "complete": run.complete,
+            "rebuild_duration_ms": run.rebuild_duration_ms,
+            "rebuild_steps": run.rebuild_steps,
+            "rebuild_total_steps": run.rebuild_total_steps,
+            "rebuild_fraction": run.rebuild_fraction,
+            "samples": run.samples,
+            "mode_means_ms": {
+                mode: run.by_mode.mean(mode) for mode in run.by_mode.modes()
+            },
+        },
+        "histograms": run.by_mode.to_dict(),
+        "progress": list(run.progress.points),
+        "instrumentation": run.instrumentation,
+    }
+
+
 _EXECUTORS = {
     ExperimentSpec.kind: _execute_response,
     Table1Spec.kind: _execute_table1,
+    LifecycleSpec.kind: _execute_lifecycle,
 }
 
 

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.experiments.config import PAPER_LAYOUT_NAMES
 from repro.experiments.response import ResponseCurve
 from repro.runner.execute import cell_from_record, point_from_record
-from repro.runner.spec import ExperimentSpec, Table1Spec
+from repro.runner.spec import ExperimentSpec, LifecycleSpec, Table1Spec
 
 
 def default_warmup(samples: int) -> int:
@@ -103,6 +103,67 @@ def curves_from_records(
             points=points,
         )
     return panels
+
+
+def lifecycle_sweep_specs(
+    layouts: Sequence[str],
+    clients: Sequence[int],
+    size_kb: int = 8,
+    is_write: bool = False,
+    fault_time_ms: Optional[float] = 500.0,
+    mttf_hours: Optional[float] = None,
+    degraded_dwell_ms: float = 0.0,
+    rebuild_rows: Optional[int] = None,
+    rebuild_parallel: int = 1,
+    rebuild_throttle_ms: float = 0.0,
+    post_samples: int = 100,
+    max_samples: int = 4000,
+    seed: int = 0,
+    disks: int = 13,
+) -> List[LifecycleSpec]:
+    """A lifecycle sweep over (layout, client count).
+
+    Varying ``clients`` at a fixed rebuild configuration traces the
+    rebuild-duration-vs-offered-load curves; each spec is one continuous
+    four-regime simulation.
+    """
+    return [
+        LifecycleSpec(
+            layout=layout,
+            disks=disks,
+            size_kb=size_kb,
+            is_write=is_write,
+            clients=c,
+            seed=seed,
+            fault_time_ms=fault_time_ms,
+            mttf_hours=mttf_hours,
+            degraded_dwell_ms=degraded_dwell_ms,
+            rebuild_rows=rebuild_rows,
+            rebuild_parallel=rebuild_parallel,
+            rebuild_throttle_ms=rebuild_throttle_ms,
+            post_samples=post_samples,
+            max_samples=max_samples,
+        )
+        for layout in layouts
+        for c in clients
+    ]
+
+
+def rebuild_load_curves(
+    records: Sequence[dict],
+) -> Dict[str, List[Tuple[int, Optional[float]]]]:
+    """Lifecycle records -> ``{layout: [(clients, rebuild_ms), ...]}``.
+
+    The rebuild-duration-vs-offered-load curves; ``rebuild_ms`` is None
+    for runs whose sweep did not finish inside the sample budget.
+    """
+    curves: Dict[str, List[Tuple[int, Optional[float]]]] = {}
+    for record in records:
+        life = record["lifecycle"]
+        curves.setdefault(life["layout"], []).append(
+            (life["clients"], life["rebuild_duration_ms"])
+        )
+    return curves
 
 
 def table1_specs(

@@ -98,9 +98,75 @@ class Table1Spec:
             raise ConfigurationError(f"bad Table 1 cell ({self.k}, {self.g})")
 
 
-Spec = Union[ExperimentSpec, Table1Spec]
+@dataclass(frozen=True)
+class LifecycleSpec:
+    """One reconstruction-under-load lifecycle run (Figures 8-14, 18).
 
-_SPEC_TYPES = {cls.kind: cls for cls in (ExperimentSpec, Table1Spec)}
+    Exactly one of ``fault_time_ms`` (scripted failure) or ``mttf_hours``
+    (seeded exponential lifetimes, earliest disk fails) selects the
+    fault; the remaining fields parameterize the rebuild sweep and the
+    per-mode sampling bounds.  ``rebuild_throttle_ms`` is the idle time
+    per rebuild slot between steps — the offered-load knob behind the
+    rebuild-duration-vs-load curves.
+
+    >>> spec = LifecycleSpec(layout="pddl", fault_time_ms=500.0)
+    >>> spec_hash(spec) == spec_hash(LifecycleSpec(layout="pddl",
+    ...                                            fault_time_ms=500.0))
+    True
+    """
+
+    kind: ClassVar[str] = "lifecycle"
+
+    layout: str
+    disks: int = 13
+    width: Optional[int] = None
+    size_kb: int = 8
+    is_write: bool = False
+    clients: int = 4
+    seed: int = 0
+    failed_disk: int = 0
+    fault_time_ms: Optional[float] = None
+    mttf_hours: Optional[float] = None
+    fault_seed: int = 0
+    degraded_dwell_ms: float = 0.0
+    rebuild_rows: Optional[int] = None
+    rebuild_parallel: int = 1
+    rebuild_throttle_ms: float = 0.0
+    post_samples: int = 100
+    max_samples: int = 4000
+    timelines: bool = False
+
+    def __post_init__(self):
+        if self.clients < 1:
+            raise ConfigurationError(f"need >= 1 client, got {self.clients}")
+        if self.max_samples < 1 or self.post_samples < 1:
+            raise ConfigurationError("need positive sample bounds")
+        # Fault/rebuild field validation (exactly-one-of, ranges) lives
+        # in FaultScenario; build one now so bad specs fail at
+        # construction, not mid-sweep in a worker.
+        self.scenario()
+
+    def scenario(self):
+        """The :class:`~repro.faults.scenario.FaultScenario` this encodes."""
+        from repro.faults.scenario import FaultScenario
+
+        return FaultScenario(
+            failed_disk=self.failed_disk,
+            fault_time_ms=self.fault_time_ms,
+            mttf_hours=self.mttf_hours,
+            fault_seed=self.fault_seed,
+            degraded_dwell_ms=self.degraded_dwell_ms,
+            rebuild_rows=self.rebuild_rows,
+            rebuild_parallel=self.rebuild_parallel,
+            rebuild_throttle_ms=self.rebuild_throttle_ms,
+        )
+
+
+Spec = Union[ExperimentSpec, Table1Spec, LifecycleSpec]
+
+_SPEC_TYPES = {
+    cls.kind: cls for cls in (ExperimentSpec, Table1Spec, LifecycleSpec)
+}
 
 
 def spec_to_dict(spec: Spec) -> dict:

@@ -48,6 +48,31 @@ class TraceRecorder:
         return len(self.entries)
 
 
+class ProgressTimeline:
+    """``(time_ms, fraction)`` samples of a background process.
+
+    The lifecycle experiment hooks one into the reconstructor's per-step
+    callback to get the rebuild-progress-over-time curve; entries are
+    plain two-element lists so the timeline drops into a result record
+    (and the on-disk cache) byte-identically.
+
+    >>> timeline = ProgressTimeline()
+    >>> timeline.record(10.0, 0.5)
+    >>> timeline.record(20.0, 1.0)
+    >>> timeline.points
+    [[10.0, 0.5], [20.0, 1.0]]
+    """
+
+    def __init__(self):
+        self.points: List[list] = []
+
+    def record(self, time_ms: float, fraction: float) -> None:
+        self.points.append([time_ms, fraction])
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
 def engine_snapshot(engine: SimulationEngine) -> Dict[str, float]:
     """The engine-level counters as a JSON-able record."""
     return {

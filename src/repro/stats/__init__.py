@@ -1,6 +1,8 @@
 """Measurement: summaries, stopping rules, and analytic layout metrics."""
 
+from repro.stats.bymode import LatencyByMode
 from repro.stats.confidence import StoppingRule
+from repro.stats.histogram import LatencyHistogram
 from repro.stats.seekcount import SeekMix, seek_mix_per_access
 from repro.stats.summary import SummaryStats
 from repro.stats.workingset import (
@@ -9,6 +11,8 @@ from repro.stats.workingset import (
 )
 
 __all__ = [
+    "LatencyByMode",
+    "LatencyHistogram",
     "SeekMix",
     "StoppingRule",
     "SummaryStats",

@@ -70,3 +70,14 @@ class StoppingRule:
     @property
     def samples(self) -> int:
         return self.stats.count
+
+    @property
+    def warmup_done(self) -> bool:
+        """Has the warmup prefix been fully discarded?
+
+        True from the moment the last warmup sample is offered; callers
+        watching for the measurement phase (e.g. to reset timeline
+        instrumentation) key off the rising edge of this together with
+        :attr:`samples` still being zero.
+        """
+        return self._seen >= self.warmup

@@ -95,6 +95,25 @@ class TestRebuild:
         with pytest.raises(SimulationError):
             Reconstructor(controller, parallel_steps=0)
 
+    def test_replacement_rebuild_for_layout_without_sparing(self):
+        engine = SimulationEngine()
+        controller = ArrayController(
+            engine, make_layout("parity-declustering", 13, 4)
+        )
+        controller.fail_disk(0)
+        recon = Reconstructor(
+            controller, rows=13, allow_replacement=True
+        )
+        recon.start()
+        engine.run()
+        # The rebuild wrote the failed disk's units back to the
+        # replacement spindle and the array is whole again.
+        assert recon.finished_ms is not None
+        assert recon.steps_completed == 13
+        assert controller.mode is ArrayMode.FAULT_FREE
+        assert controller.failed_disk is None
+        assert controller.servers[0].stats.operations == 13
+
     def test_read_tally_balanced_over_survivors(self):
         engine, controller = build_failed()
         Reconstructor(controller, rows=13).start()
@@ -107,3 +126,61 @@ class TestRebuild:
         # Satisfactory PDDL: every survivor does k-1 = 3 reads plus its
         # share of the 12 spare writes.
         assert max(reads) - min(reads) <= 1
+
+
+class TestProgress:
+    def test_progress_and_fraction_track_the_sweep(self):
+        engine, controller = build_failed()
+        fractions = []
+        recon = Reconstructor(
+            controller,
+            rows=13,
+            on_step=lambda r: fractions.append(
+                (r.progress, r.fraction_complete)
+            ),
+        )
+        assert recon.progress == 0
+        assert recon.fraction_complete == 0.0
+        assert recon.total_steps == 12
+        recon.start()
+        engine.run()
+        assert recon.progress == 12
+        assert recon.fraction_complete == 1.0
+        assert fractions == [(i + 1, (i + 1) / 12) for i in range(12)]
+
+    def test_rebuild_frontier_grows_monotonically(self):
+        engine, controller = build_failed()
+        offsets_when_stepped = []
+        recon = Reconstructor(
+            controller,
+            rows=13,
+            on_step=lambda r: offsets_when_stepped.append(
+                sum(r.is_rebuilt(o) for o in range(13))
+            ),
+        )
+        recon.start()
+        engine.run()
+        assert offsets_when_stepped == sorted(offsets_when_stepped)
+
+
+class TestThrottle:
+    def test_throttle_slows_the_rebuild(self):
+        def duration(throttle_ms):
+            engine, controller = build_failed()
+            recon = Reconstructor(
+                controller, rows=26, throttle_ms=throttle_ms
+            )
+            recon.start()
+            engine.run()
+            assert recon.steps_completed == recon.total_steps
+            return recon.duration_ms
+
+        unthrottled = duration(0.0)
+        throttled = duration(20.0)
+        # 24 steps re-issued through one slot: at least 23 idle gaps.
+        assert throttled >= unthrottled + 20.0 * 10
+
+    def test_negative_throttle_rejected(self):
+        engine, controller = build_failed()
+        with pytest.raises(SimulationError):
+            Reconstructor(controller, throttle_ms=-1.0)

@@ -1,0 +1,127 @@
+"""ArrayLifecycle: the four-regime state machine over a live controller."""
+
+import pytest
+
+from repro.array.controller import ArrayController
+from repro.array.raidops import ArrayMode
+from repro.errors import SimulationError
+from repro.faults import ArrayLifecycle, FaultScenario
+from repro.layouts import make_layout
+from repro.sim.engine import SimulationEngine
+
+
+def build(layout_name="pddl", n=13, k=4):
+    engine = SimulationEngine()
+    controller = ArrayController(engine, make_layout(layout_name, n, k))
+    return engine, controller
+
+
+def run_lifecycle(layout_name="pddl", **scenario_kwargs):
+    scenario_kwargs.setdefault("fault_time_ms", 100.0)
+    scenario_kwargs.setdefault("rebuild_rows", 13)
+    engine, controller = build(layout_name)
+    lifecycle = ArrayLifecycle(
+        controller, FaultScenario(**scenario_kwargs)
+    )
+    lifecycle.arm()
+    engine.run()
+    return engine, controller, lifecycle
+
+
+class TestTransitions:
+    def test_traverses_all_four_regimes(self):
+        engine, controller, lifecycle = run_lifecycle(
+            degraded_dwell_ms=50.0
+        )
+        modes = [mode for mode, _ in lifecycle.transitions]
+        assert modes == [
+            "fault-free",
+            "degraded",
+            "reconstruction",
+            "post-reconstruction",
+        ]
+        assert lifecycle.complete
+        assert controller.mode is ArrayMode.POST_RECONSTRUCTION
+
+    def test_timestamps_are_monotonic_and_honor_the_dwell(self):
+        _, _, lifecycle = run_lifecycle(degraded_dwell_ms=75.0)
+        times = [t for _, t in lifecycle.transitions]
+        assert times == sorted(times)
+        by_mode = dict(lifecycle.transitions)
+        assert by_mode["degraded"] == 100.0
+        assert by_mode["reconstruction"] == 175.0
+        assert by_mode["post-reconstruction"] > 175.0
+
+    def test_transition_hook_fires_in_order(self):
+        seen = []
+        engine, controller = build()
+        lifecycle = ArrayLifecycle(
+            controller,
+            FaultScenario(fault_time_ms=10.0, rebuild_rows=13),
+            on_transition=lambda mode, t: seen.append(mode),
+        )
+        lifecycle.arm()
+        engine.run()
+        assert seen == [
+            ArrayMode.DEGRADED,
+            ArrayMode.RECONSTRUCTION,
+            ArrayMode.POST_RECONSTRUCTION,
+        ]
+
+    def test_rebuild_step_hook_tracks_progress(self):
+        fractions = []
+        engine, controller = build()
+        lifecycle = ArrayLifecycle(
+            controller,
+            FaultScenario(fault_time_ms=10.0, rebuild_rows=13),
+            on_rebuild_step=lambda r: fractions.append(r.fraction_complete),
+        )
+        lifecycle.arm()
+        engine.run()
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+        assert len(fractions) == lifecycle.reconstructor.total_steps
+
+    def test_replacement_rebuild_without_sparing(self):
+        # Layouts without spare space rebuild onto a replacement spindle
+        # and the controller ends back in fault-free mode; the lifecycle
+        # still records the post-reconstruction regime.
+        engine, controller, lifecycle = run_lifecycle(
+            "parity-declustering", degraded_dwell_ms=25.0
+        )
+        modes = [mode for mode, _ in lifecycle.transitions]
+        assert modes[-1] == "post-reconstruction"
+        assert lifecycle.complete
+        assert controller.mode is ArrayMode.FAULT_FREE
+        assert controller.failed_disk is None
+
+
+class TestModeAt:
+    def test_mode_at_walks_the_transition_log(self):
+        _, _, lifecycle = run_lifecycle(degraded_dwell_ms=50.0)
+        rebuilt_at = dict(lifecycle.transitions)["post-reconstruction"]
+        assert lifecycle.mode_at(0.0) == "fault-free"
+        assert lifecycle.mode_at(99.9) == "fault-free"
+        assert lifecycle.mode_at(100.0) == "degraded"
+        assert lifecycle.mode_at(149.9) == "degraded"
+        assert lifecycle.mode_at(150.0) == "reconstruction"
+        assert lifecycle.mode_at(rebuilt_at + 1) == "post-reconstruction"
+
+
+class TestGuards:
+    def test_requires_a_fault_free_controller(self):
+        engine, controller = build()
+        controller.fail_disk(0)
+        with pytest.raises(SimulationError):
+            ArrayLifecycle(
+                controller, FaultScenario(fault_time_ms=1.0)
+            )
+
+    def test_rejects_double_arm(self):
+        engine, controller = build()
+        lifecycle = ArrayLifecycle(
+            controller, FaultScenario(fault_time_ms=1.0, rebuild_rows=13)
+        )
+        lifecycle.arm()
+        with pytest.raises(SimulationError):
+            lifecycle.arm()

@@ -1,0 +1,87 @@
+"""FaultScenario: validation, fault resolution, content hashing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultScenario
+from repro.faults.scenario import FAULT_SCENARIO_VERSION
+
+
+class TestValidation:
+    def test_needs_exactly_one_fault_source(self):
+        with pytest.raises(ConfigurationError):
+            FaultScenario()  # neither
+        with pytest.raises(ConfigurationError):
+            FaultScenario(fault_time_ms=100.0, mttf_hours=1000.0)  # both
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ConfigurationError):
+            FaultScenario(fault_time_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultScenario(mttf_hours=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultScenario(fault_time_ms=10.0, degraded_dwell_ms=-5.0)
+        with pytest.raises(ConfigurationError):
+            FaultScenario(fault_time_ms=10.0, rebuild_parallel=0)
+        with pytest.raises(ConfigurationError):
+            FaultScenario(fault_time_ms=10.0, rebuild_throttle_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultScenario(fault_time_ms=10.0, failed_disk=-1)
+
+
+class TestDrawFault:
+    def test_deterministic_scenario_is_literal(self):
+        scenario = FaultScenario(failed_disk=3, fault_time_ms=250.0)
+        assert scenario.draw_fault(13) == (250.0, 3)
+
+    def test_seeded_draw_is_reproducible(self):
+        scenario = FaultScenario(mttf_hours=1000.0, fault_seed=7)
+        assert scenario.draw_fault(13) == scenario.draw_fault(13)
+
+    def test_seed_changes_the_draw(self):
+        a = FaultScenario(mttf_hours=1000.0, fault_seed=1).draw_fault(13)
+        b = FaultScenario(mttf_hours=1000.0, fault_seed=2).draw_fault(13)
+        assert a != b
+
+    def test_earliest_disk_wins(self):
+        scenario = FaultScenario(mttf_hours=1000.0, fault_seed=3)
+        time_ms, disk = scenario.draw_fault(13)
+        assert 0 <= disk < 13
+        assert time_ms > 0
+        # The winning lifetime is the minimum over per-disk draws.
+        import random
+
+        from repro.reliability import exponential_lifetime_ms
+
+        draws = [
+            exponential_lifetime_ms(
+                1000.0, random.Random(f"3/disk-{d}")
+            )
+            for d in range(13)
+        ]
+        assert time_ms == min(draws)
+        assert disk == draws.index(min(draws))
+
+
+class TestHashing:
+    def test_round_trip(self):
+        scenario = FaultScenario(
+            failed_disk=2,
+            fault_time_ms=100.0,
+            degraded_dwell_ms=50.0,
+            rebuild_rows=40,
+            rebuild_parallel=2,
+            rebuild_throttle_ms=5.0,
+        )
+        assert FaultScenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_content_hash_is_stable_and_sensitive(self):
+        a = FaultScenario(fault_time_ms=100.0)
+        b = FaultScenario(fault_time_ms=100.0)
+        c = FaultScenario(fault_time_ms=101.0)
+        assert a.content_hash() == b.content_hash()
+        assert a.content_hash() != c.content_hash()
+        assert len(a.content_hash()) == 64
+
+    def test_version_is_part_of_the_hash(self):
+        assert FAULT_SCENARIO_VERSION == 1

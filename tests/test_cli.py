@@ -101,6 +101,49 @@ class TestBench:
         assert "4 points: 4 simulated" in out
 
 
+class TestLifecycle:
+    def test_quick_run_then_cache_replay(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_lifecycle.json"
+        args = [
+            "lifecycle", "--quick", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out_file),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "-> post-reconstruction" in out
+        assert "rebuild vs load [pddl]" in out
+        assert "2 runs: 2 simulated, 0 from cache" in out
+        import json
+
+        summary = json.loads(out_file.read_text())
+        assert {run["layout"] for run in summary["runs"]} == {
+            "pddl", "parity-declustering",
+        }
+        for run in summary["runs"]:
+            assert run["complete"]
+            assert run["rebuild_duration_ms"] > 0
+            assert set(run["mode_means_ms"]) == {
+                "fault-free", "degraded", "reconstruction",
+                "post-reconstruction",
+            }
+        # Replay: both runs from cache, nothing simulated.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 runs: 0 simulated, 2 from cache" in out
+
+    def test_custom_sweep_no_cache(self, capsys):
+        assert main(
+            ["lifecycle", "--no-cache", "--layouts", "pddl",
+             "--clients", "2", "--fault-time", "200", "--dwell", "100",
+             "--rebuild-rows", "13", "--post-samples", "15",
+             "--samples", "400", "--workers", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cache dir" not in out
+        assert "1 runs: 1 simulated" in out
+
+
 class TestPlan:
     def test_valid(self, capsys):
         assert main(["plan", "13", "4"]) == 0
