@@ -1,0 +1,186 @@
+"""Hot-path macro-benchmark: events/sec through the simulation stack.
+
+Unlike the figure benchmarks (which reproduce the paper's numbers), this
+script measures how *fast* the simulator itself runs: it executes a
+small, fixed set of fig5-style response points and one lifecycle run
+through :func:`repro.runner.execute_spec` — the exact code path the
+runner, the CLI, and every figure benchmark share — and reports
+wall-clock time and engine events per second for each.
+
+Run it directly (no pytest):
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick \
+        --out BENCH_hotpath.json
+
+The JSON is the performance contract tracked across PRs: commit the
+refreshed ``BENCH_hotpath.json`` whenever the hot path changes, and pass
+``--baseline OLD.json`` to fold the previous measurement (and the
+resulting speedup) into the new file.  Results are unaffected by the
+result cache (this script never uses one) and the simulation output
+itself stays pinned by the golden-trace tests in ``tests/runner``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import List, Optional
+
+from repro.runner import ExperimentSpec, LifecycleSpec, execute_spec
+from repro.runner.spec import Spec
+
+
+def hotpath_specs(quick: bool) -> List[Spec]:
+    """The measured workload set (fig5-style points + one lifecycle)."""
+    samples = 60 if quick else 300
+    life_samples = 400 if quick else 1500
+    specs: List[Spec] = [
+        # Figure 5's shape: fault-free reads across the load axis.
+        ExperimentSpec(
+            layout="pddl", size_kb=96, clients=8, max_samples=samples
+        ),
+        ExperimentSpec(
+            layout="parity-declustering",
+            size_kb=96,
+            clients=8,
+            max_samples=samples,
+        ),
+        ExperimentSpec(
+            layout="raid5", size_kb=96, clients=8, max_samples=samples
+        ),
+        # Small accesses stress the scheduler/queueing layers instead of
+        # the transfer model.
+        ExperimentSpec(
+            layout="pddl", size_kb=8, clients=25, max_samples=samples
+        ),
+        # One full lifecycle: fault injection + rebuild + post regime.
+        LifecycleSpec(
+            layout="pddl",
+            size_kb=24,
+            clients=4,
+            fault_time_ms=500.0,
+            degraded_dwell_ms=300.0,
+            rebuild_rows=26,
+            post_samples=40,
+            max_samples=life_samples,
+        ),
+    ]
+    return specs
+
+
+def spec_label(spec: Spec) -> str:
+    if isinstance(spec, ExperimentSpec):
+        return (
+            f"response/{spec.layout}/{spec.size_kb}KB/c{spec.clients}"
+            f"/n{spec.max_samples}"
+        )
+    return f"lifecycle/{spec.layout}/{spec.size_kb}KB/c{spec.clients}"
+
+
+def measure(spec: Spec, repeat: int) -> dict:
+    """Best-of-``repeat`` wall clock for one spec (events are identical
+    across repeats — determinism contract)."""
+    best_s: Optional[float] = None
+    events = 0
+    for _ in range(repeat):
+        started = time.perf_counter()
+        record = execute_spec(spec)
+        elapsed = time.perf_counter() - started
+        events = record["instrumentation"]["engine"]["events_processed"]
+        if best_s is None or elapsed < best_s:
+            best_s = elapsed
+    return {
+        "label": spec_label(spec),
+        "wall_s": round(best_s, 6),
+        "events": events,
+        "events_per_s": round(events / best_s, 1),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="short runs (CI smoke): ~5x fewer samples per spec",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="best-of-N wall-clock per spec (default 3)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_hotpath.json",
+        help="output JSON path (default BENCH_hotpath.json)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="previous BENCH_hotpath.json to compute speedups against",
+    )
+    args = parser.parse_args(argv)
+
+    results = []
+    for spec in hotpath_specs(args.quick):
+        entry = measure(spec, max(1, args.repeat))
+        print(
+            f"{entry['label']:48s} {entry['wall_s']*1000:9.1f} ms"
+            f" {entry['events']:8d} events"
+            f" {entry['events_per_s']:12.0f} ev/s"
+        )
+        results.append(entry)
+
+    total_events = sum(r["events"] for r in results)
+    total_wall = sum(r["wall_s"] for r in results)
+    aggregate = round(total_events / total_wall, 1)
+    print(
+        f"{'TOTAL':48s} {total_wall*1000:9.1f} ms"
+        f" {total_events:8d} events {aggregate:12.0f} ev/s"
+    )
+
+    summary = {
+        "bench": "hotpath",
+        "quick": args.quick,
+        "repeat": args.repeat,
+        "python": platform.python_version(),
+        "specs": results,
+        "total": {
+            "wall_s": round(total_wall, 6),
+            "events": total_events,
+            "events_per_s": aggregate,
+        },
+    }
+
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        base_by_label = {r["label"]: r for r in baseline.get("specs", [])}
+        speedups = {}
+        for entry in results:
+            base = base_by_label.get(entry["label"])
+            if base and base["events_per_s"] > 0:
+                speedups[entry["label"]] = round(
+                    entry["events_per_s"] / base["events_per_s"], 2
+                )
+        summary["baseline"] = {
+            "python": baseline.get("python"),
+            "total": baseline.get("total"),
+            "specs": baseline.get("specs"),
+        }
+        base_total = baseline.get("total", {}).get("events_per_s")
+        if base_total:
+            summary["speedup"] = {
+                "total": round(aggregate / base_total, 2),
+                "per_spec": speedups,
+            }
+            print(f"speedup vs baseline: {summary['speedup']['total']:.2f}x")
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ access, to the moment the array completes the access".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from repro.array.raidops import (
@@ -102,17 +103,21 @@ class DiskServer:
             self._start_next()
 
     def _start_next(self) -> None:
-        request = self.scheduler.pop(self.drive.cylinder)
+        drive = self.drive
+        request = self.scheduler.pop(drive.cylinder)
         if request is None:
             self.busy = False
             return
         self.busy = True
-        record = self.drive.service(request, self.engine.now)
+        now = self.engine.now
+        record = drive.service(request, now)
         if self.trace is not None:
-            self.trace.record(self.disk_id, self.engine.now, request, record)
-        local = self.stats.last_access_id == request.access_id
-        self.stats.last_access_id = request.access_id
-        self.stats.record(
+            self.trace.record(self.disk_id, now, request, record)
+        stats = self.stats
+        access_id = request.access_id
+        local = stats.last_access_id == access_id
+        stats.last_access_id = access_id
+        stats.record(
             classify_operation(
                 local, record.cylinder_changed, record.head_changed
             ),
@@ -121,9 +126,9 @@ class DiskServer:
             record.transfer_ms,
         )
         if self.busy_timeline is not None:
-            self.busy_timeline.append((self.engine.now, self.stats.busy_ms))
+            self.busy_timeline.append((now, stats.busy_ms))
         self.engine.schedule(
-            record.total_ms, lambda req=request: self._complete(req)
+            record.total_ms, partial(self._complete, request)
         )
 
     def _complete(self, request: DiskRequest) -> None:
@@ -343,7 +348,26 @@ class ArrayController:
         for op in phase:
             by_disk.setdefault((op.disk, op.is_write), []).append(op.offset)
         requests = []
+        unit_sectors = self.stripe_unit_sectors
+        access_id = state.access.access_id
+        tag = state.phase
         for (disk, is_write), offsets in by_disk.items():
+            if len(offsets) == 1:
+                # Declustered layouts land almost every op on its own
+                # disk: nothing to merge.
+                requests.append(
+                    (
+                        disk,
+                        DiskRequest(
+                            lba=offsets[0] * unit_sectors,
+                            sectors=unit_sectors,
+                            is_write=is_write,
+                            access_id=access_id,
+                            tag=tag,
+                        ),
+                    )
+                )
+                continue
             offsets.sort()
             run_start = offsets[0]
             previous = offsets[0]
@@ -356,11 +380,11 @@ class ArrayController:
                     (
                         disk,
                         DiskRequest(
-                            lba=run_start * self.stripe_unit_sectors,
-                            sectors=length * self.stripe_unit_sectors,
+                            lba=run_start * unit_sectors,
+                            sectors=length * unit_sectors,
                             is_write=is_write,
-                            access_id=state.access.access_id,
-                            tag=state.phase,
+                            access_id=access_id,
+                            tag=tag,
                         ),
                     )
                 )

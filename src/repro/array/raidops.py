@@ -148,10 +148,17 @@ def _plan_read(
     failed_disk: Optional[int],
     rebuilt: Optional[RebuiltPredicate],
 ) -> AccessPlan:
+    if mode is ArrayMode.FAULT_FREE:
+        # Hot path (the vast majority of Figure 5/6 traffic): straight
+        # translation, no failure cases to consider.
+        cell = layout.data_unit_cell
+        return AccessPlan(
+            phases=[[UnitOp(d, o, False) for d, o in map(cell, units)]]
+        )
     ops: List[UnitOp] = []
     for unit in units:
         addr = layout.data_unit_address(unit)
-        if mode is ArrayMode.FAULT_FREE or addr.disk != failed_disk:
+        if addr.disk != failed_disk:
             ops.append(UnitOp(addr.disk, addr.offset, False))
         elif mode is ArrayMode.POST_RECONSTRUCTION or (
             mode is ArrayMode.RECONSTRUCTION and rebuilt(addr.offset)
@@ -350,6 +357,9 @@ def _dedupe(plan: AccessPlan) -> AccessPlan:
     """Drop duplicate operations within each phase, preserving order."""
     phases: List[List[UnitOp]] = []
     for phase in plan.phases:
+        if len(phase) < 2:
+            phases.append(phase)
+            continue
         seen: Set[UnitOp] = set()
         unique: List[UnitOp] = []
         for op in phase:

@@ -12,6 +12,7 @@ figure of the paper can be regenerated from a shell:
 - ``plan``       — PDDL capacity planning for an (n, k) array
 - ``bench``      — parallel, cached response-time sweeps (see RUNNER.md)
 - ``lifecycle``  — reconstruction-under-load lifecycle runs (Figs 8-14, 18)
+- ``profile``    — cProfile one simulation point (hot functions, ev/s)
 """
 
 from __future__ import annotations
@@ -322,6 +323,45 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runner.spec import ExperimentSpec, LifecycleSpec
+    from repro.sim.profile import profile_spec
+
+    if args.lifecycle:
+        spec = LifecycleSpec(
+            layout=args.layout,
+            size_kb=args.size,
+            is_write=args.write,
+            clients=args.clients,
+            seed=args.seed,
+            fault_time_ms=args.fault_time,
+            degraded_dwell_ms=args.dwell,
+            rebuild_rows=args.rebuild_rows,
+            post_samples=args.post_samples,
+            max_samples=args.samples,
+        )
+    else:
+        spec = ExperimentSpec(
+            layout=args.layout,
+            size_kb=args.size,
+            is_write=args.write,
+            clients=args.clients,
+            mode=args.mode,
+            seed=args.seed,
+            max_samples=args.samples,
+        )
+    report = profile_spec(spec, top=args.top, sort=args.sort)
+    print(report.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def _int_list(text: str) -> List[int]:
     return [int(part) for part in text.split(",") if part]
 
@@ -463,6 +503,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON summary (rebuild duration, per-mode means)",
     )
     life.set_defaults(func=_cmd_lifecycle)
+
+    prof = sub.add_parser(
+        "profile",
+        help="cProfile one simulation point (hot functions, events/sec)",
+    )
+    prof.add_argument("--layout", default="pddl")
+    prof.add_argument("--size", type=int, default=96, help="access KB")
+    prof.add_argument("--write", action="store_true")
+    prof.add_argument("--clients", type=int, default=8)
+    prof.add_argument("--mode", choices=sorted(_MODES), default="ff")
+    prof.add_argument("--samples", type=int, default=300)
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument(
+        "--lifecycle", action="store_true",
+        help="profile a reconstruction lifecycle run instead of a"
+        " response point",
+    )
+    prof.add_argument(
+        "--fault-time", type=float, default=500.0,
+        help="lifecycle failure time in ms",
+    )
+    prof.add_argument(
+        "--dwell", type=float, default=300.0,
+        help="lifecycle degraded dwell before the rebuild, ms",
+    )
+    prof.add_argument(
+        "--rebuild-rows", type=int, default=26,
+        help="lifecycle rebuild sweep row limit",
+    )
+    prof.add_argument("--post-samples", type=int, default=40)
+    prof.add_argument(
+        "--top", type=int, default=15, help="hot functions to show"
+    )
+    prof.add_argument(
+        "--sort", choices=["cumulative", "tottime"], default="cumulative"
+    )
+    prof.add_argument(
+        "--out", default=None, help="write the JSON profile report"
+    )
+    prof.set_defaults(func=_cmd_profile)
 
     return parser
 

@@ -114,63 +114,71 @@ class DiskDrive:
         track.  The caller (simulation engine) owns queueing; this method
         assumes the drive is idle.
         """
-        if request.sectors < 1:
+        sectors = request.sectors
+        if sectors < 1:
             raise ConfigurationError(f"empty transfer: {request}")
-        chs = self.geometry.lba_to_chs(request.lba)
-        last = self.geometry.lba_to_chs(request.lba + request.sectors - 1)
-        cylinder_changed = chs.cylinder != self.cylinder
-        head_changed = chs.head != self.head
+        geometry = self.geometry
+        chs = geometry.lba_to_chs(request.lba)
+        cylinder, head, sector = chs
+        cylinder_changed = cylinder != self.cylinder
+        head_changed = head != self.head
 
         # Track-buffer hit: a read entirely within the cached track is
         # served from the buffer at electronic speed — no arm or platter
         # involvement, arm position unchanged.
-        if (
-            self.track_buffer
-            and not request.is_write
-            and self._buffered_track == (chs.cylinder, chs.head)
-            and (last.cylinder, last.head) == self._buffered_track
-        ):
-            self.buffer_hits += 1
-            self.ops_serviced += 1
-            self.busy_ms += self.buffer_hit_ms
-            return ServiceRecord(
-                seek_ms=0.0,
-                latency_ms=0.0,
-                transfer_ms=self.buffer_hit_ms,
-                cylinder_changed=False,
-                head_changed=False,
-            )
+        if self.track_buffer and not request.is_write:
+            last = geometry.lba_to_chs(request.lba + sectors - 1)
+            if (
+                self._buffered_track == (cylinder, head)
+                and (last.cylinder, last.head) == self._buffered_track
+            ):
+                self.buffer_hits += 1
+                self.ops_serviced += 1
+                self.busy_ms += self.buffer_hit_ms
+                return ServiceRecord(
+                    seek_ms=0.0,
+                    latency_ms=0.0,
+                    transfer_ms=self.buffer_hit_ms,
+                    cylinder_changed=False,
+                    head_changed=False,
+                )
 
         if cylinder_changed:
             seek_ms = self.seek_model.seek_time(
-                abs(chs.cylinder - self.cylinder)
+                abs(cylinder - self.cylinder)
             )
         elif head_changed:
             seek_ms = self.head_switch_ms
         else:
             seek_ms = 0.0
 
-        spt = self.geometry.sectors_per_track(chs.cylinder)
-        latency_ms = self._rotational_wait(
-            now_ms + seek_ms, chs.sector, spt
-        )
+        rev = self.revolution_ms
+        spt_of = geometry.sectors_per_track
+        spt = spt_of(cylinder)
+        # Rotational wait for `sector` from `now_ms + seek_ms` — the
+        # inlined _rotational_wait, same operations in the same order.
+        latency_ms = ((sector / spt) * rev - (now_ms + seek_ms) % rev) % rev
 
         transfer_ms = 0.0
-        cylinder, head, sector = chs
-        remaining = request.sectors
+        remaining = sectors
+        heads = geometry.heads
         while remaining > 0:
-            spt = self.geometry.sectors_per_track(cylinder)
-            chunk = min(remaining, spt - sector)
-            transfer_ms += chunk * self.revolution_ms / spt
+            # spt only changes when the transfer crosses a cylinder
+            # boundary (updated below) — head switches stay in-zone.
+            chunk = spt - sector
+            if remaining < chunk:
+                chunk = remaining
+            transfer_ms += chunk * rev / spt
             remaining -= chunk
             sector += chunk
             if remaining > 0:
                 sector = 0
                 head += 1
-                if head == self.geometry.heads:
+                if head == heads:
                     head = 0
                     cylinder += 1
                     transfer_ms += self.cylinder_switch_ms
+                    spt = spt_of(cylinder)
                 else:
                     transfer_ms += self.head_switch_ms
 

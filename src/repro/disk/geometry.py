@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import List, NamedTuple, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -75,6 +75,22 @@ class DiskGeometry:
             self._zone_first_cyl.append(zone.first_cylinder)
             lba += zone.cylinders * heads * zone.sectors_per_track
         self.total_sectors = lba
+        # Per-cylinder density table: sectors_per_track() is called for
+        # every track crossed by every transfer, so the O(log zones)
+        # bisect is flattened into one list index (a few KB for ~2000
+        # cylinders).
+        self._spt_by_cylinder: List[int] = []
+        for zone in self.zones:
+            self._spt_by_cylinder.extend(
+                [zone.sectors_per_track] * zone.cylinders
+            )
+        # LBA -> Chs memo.  The geometry is immutable and simulations
+        # revisit a bounded working set of block addresses (every queue
+        # push and every service re-translates), so a plain dict turns
+        # the bisect + divmod translation into one lookup on the hot
+        # path.  Safe to share across drives: entries are value-equal
+        # for equal LBAs by construction.
+        self._chs_cache: Dict[int, Chs] = {}
 
     @property
     def capacity_bytes(self) -> int:
@@ -90,10 +106,17 @@ class DiskGeometry:
         return self.zones[index]
 
     def sectors_per_track(self, cylinder: int) -> int:
+        if 0 <= cylinder < self.cylinders:
+            return self._spt_by_cylinder[cylinder]
+        # Out of range: delegate for the canonical error message.
         return self.zone_of_cylinder(cylinder).sectors_per_track
 
     def lba_to_chs(self, lba: int) -> Chs:
-        """Translate a logical block address to cylinder/head/sector."""
+        """Translate a logical block address to cylinder/head/sector
+        (memoized per LBA)."""
+        chs = self._chs_cache.get(lba)
+        if chs is not None:
+            return chs
         if not 0 <= lba < self.total_sectors:
             raise ConfigurationError(
                 f"LBA {lba} outside 0..{self.total_sectors - 1}"
@@ -104,7 +127,9 @@ class DiskGeometry:
         per_cylinder = self.heads * zone.sectors_per_track
         cyl_in_zone, rest = divmod(within, per_cylinder)
         head, sector = divmod(rest, zone.sectors_per_track)
-        return Chs(zone.first_cylinder + cyl_in_zone, head, sector)
+        chs = Chs(zone.first_cylinder + cyl_in_zone, head, sector)
+        self._chs_cache[lba] = chs
+        return chs
 
     def chs_to_lba(self, chs: Chs) -> int:
         zone = self.zone_of_cylinder(chs.cylinder)

@@ -3,12 +3,21 @@
 Table 2: "dynamic request reordering following the shortest-seek-time-first
 (SSTF) policy ... on 20-request queue".  FIFO and LOOK are provided for the
 ablation benchmarks.
+
+The shared queue is a :class:`collections.deque`: FIFO pop is O(1)
+instead of ``list.pop(0)``'s O(n), and the windowed policies only ever
+index the first ``window`` entries (cheap at deque ends).  Pop order is
+bit-identical to the original list implementation — ties still go to the
+oldest queued request — which the hypothesis equivalence test in
+``tests/disk/test_scheduler_equivalence.py`` pins against a list-based
+reference model.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Tuple
+from collections import deque
+from typing import Deque, List, Optional, Tuple
 
 from repro.disk.drive import DiskRequest
 from repro.disk.geometry import DiskGeometry
@@ -22,7 +31,8 @@ class Scheduler(abc.ABC):
 
     def __init__(self, geometry: DiskGeometry):
         self.geometry = geometry
-        self._queue: List[Tuple[int, DiskRequest]] = []  # (cylinder, req)
+        # (cylinder, request), oldest first.
+        self._queue: Deque[Tuple[int, DiskRequest]] = deque()
 
     def push(self, request: DiskRequest) -> None:
         cylinder = self.geometry.lba_to_chs(request.lba).cylinder
@@ -32,6 +42,7 @@ class Scheduler(abc.ABC):
         return len(self._queue)
 
     def peek_all(self) -> List[DiskRequest]:
+        """Queued requests, oldest first (arrival order)."""
         return [req for _, req in self._queue]
 
     @abc.abstractmethod
@@ -47,7 +58,7 @@ class FifoScheduler(Scheduler):
     def pop(self, current_cylinder: int) -> Optional[DiskRequest]:
         if not self._queue:
             return None
-        return self._queue.pop(0)[1]
+        return self._queue.popleft()[1]
 
 
 class SstfScheduler(Scheduler):
@@ -67,14 +78,31 @@ class SstfScheduler(Scheduler):
         self.window = window
 
     def pop(self, current_cylinder: int) -> Optional[DiskRequest]:
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return None
-        candidates = self._queue[: self.window]
-        best_index = min(
-            range(len(candidates)),
-            key=lambda i: (abs(candidates[i][0] - current_cylinder), i),
-        )
-        return self._queue.pop(best_index)[1]
+        # Manual windowed argmin — no slice copy, no per-call key lambda.
+        # Strict < keeps the oldest request on distance ties, matching
+        # the original ``min(..., key=(distance, index))``.
+        window = self.window
+        best_index = -1
+        best_distance = -1
+        for i, (cylinder, _) in enumerate(queue):
+            if i >= window:
+                break
+            distance = cylinder - current_cylinder
+            if distance < 0:
+                distance = -distance
+            if best_index < 0 or distance < best_distance:
+                best_index = i
+                best_distance = distance
+                if distance == 0:
+                    break
+        if best_index == 0:
+            return queue.popleft()[1]
+        request = queue[best_index][1]
+        del queue[best_index]
+        return request
 
 
 class LookScheduler(Scheduler):
@@ -86,21 +114,36 @@ class LookScheduler(Scheduler):
         super().__init__(geometry)
         self._direction = 1
 
+    def _nearest(self, current_cylinder: int, ahead_only: bool) -> int:
+        """Index of the closest queued request (first wins ties);
+        ``ahead_only`` restricts to the current sweep direction.
+        Returns -1 when no candidate qualifies."""
+        direction = self._direction
+        best_index = -1
+        best_distance = -1
+        for i, (cylinder, _) in enumerate(self._queue):
+            delta = cylinder - current_cylinder
+            if ahead_only and delta * direction < 0:
+                continue
+            distance = -delta if delta < 0 else delta
+            if best_index < 0 or distance < best_distance:
+                best_index = i
+                best_distance = distance
+        return best_index
+
     def pop(self, current_cylinder: int) -> Optional[DiskRequest]:
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return None
-        ahead = [
-            (cyl, i)
-            for i, (cyl, _) in enumerate(self._queue)
-            if (cyl - current_cylinder) * self._direction >= 0
-        ]
-        if not ahead:
+        index = self._nearest(current_cylinder, ahead_only=True)
+        if index < 0:
             self._direction = -self._direction
-            ahead = [(cyl, i) for i, (cyl, _) in enumerate(self._queue)]
-        _, index = min(
-            ahead, key=lambda item: abs(item[0] - current_cylinder)
-        )
-        return self._queue.pop(index)[1]
+            index = self._nearest(current_cylinder, ahead_only=False)
+        if index == 0:
+            return queue.popleft()[1]
+        request = queue[index][1]
+        del queue[index]
+        return request
 
 
 def make_scheduler(

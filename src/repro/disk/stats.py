@@ -23,6 +23,11 @@ class DiskOpClass(enum.Enum):
     TRACK_SWITCH = "one track switch"
     NO_SWITCH = "no-switch"
 
+    # Members are singletons, so the identity hash is equivalent to
+    # Enum's name-string hash — and C-speed.  ``by_class[op_class] += 1``
+    # runs once per physical operation.
+    __hash__ = object.__hash__
+
 
 def classify_operation(
     local: bool, cylinder_changed: bool, head_changed: bool

@@ -11,15 +11,30 @@ The shared machinery here (global/periodic address translation, the inverse
 ``locate`` table, structural validation) is what lets the simulator, the
 analytic working-set tool, and the property checker treat PDDL and every
 baseline uniformly.
+
+Hot-path representation: the forward and inverse maps are served from
+*flat* tables built once per layout — ``locate`` indexes a
+list-of-lists ``[disk][row]`` grid and ``data_unit_address`` a flat
+per-period array of ``(disk, row)`` cells — so the simulator's millions
+of address translations are two integer indexings each, with no
+namedtuple hashing and no per-call stripe materialisation.  The original
+``Dict[PhysicalAddress, UnitInfo]`` period table survives as
+:meth:`locate_reference` / :meth:`data_unit_address_reference`; the
+registry-wide property test in ``tests/layouts/test_flat_fast_path.py``
+pins the two paths cell-for-cell equal across multiple periods.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, MappingError
 from repro.layouts.address import PhysicalAddress, Role, StripeUnits, UnitInfo
+
+#: Shifted-cycle stripes kept per layout (see :meth:`Layout.stripe_units`).
+_SHIFTED_STRIPE_CACHE_SIZE = 256
 
 
 class Layout(abc.ABC):
@@ -45,6 +60,19 @@ class Layout(abc.ABC):
         self.k = k
         self._locate_table: Optional[Dict[PhysicalAddress, UnitInfo]] = None
         self._stripe_cache: Dict[int, StripeUnits] = {}
+        # Flat fast-path tables (built lazily, see _build_flat_tables).
+        self._locate_grid: Optional[List[List[UnitInfo]]] = None
+        self._data_cells: Optional[List[Tuple[int, int]]] = None
+        # (period, stripes_per_period, data_per_stripe) snapshot: several
+        # layouts compute these properties through non-trivial chains
+        # (PDDL walks its permutation group), so the translation hot path
+        # reads them once.  Layout geometry is immutable after
+        # construction, which is what makes the snapshot sound.
+        self._consts: Optional[Tuple[int, int, int]] = None
+        # Small LRU of *shifted* (cycle > 0) StripeUnits: closed-loop
+        # workloads revisit the same global stripes, so repeated
+        # multi-period accesses reuse the materialised address lists.
+        self._shifted_cache: "OrderedDict[int, StripeUnits]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Quantities subclasses must define.
@@ -105,22 +133,44 @@ class Layout(abc.ABC):
     # Global (multi-period) addressing.
     # ------------------------------------------------------------------
 
+    def _layout_consts(self) -> Tuple[int, int, int]:
+        """Snapshot ``(period, stripes_per_period, data_per_stripe)``."""
+        consts = self._consts
+        if consts is None:
+            consts = (
+                self.period,
+                self.stripes_per_period,
+                self.data_per_stripe,
+            )
+            self._consts = consts
+        return consts
+
     def stripe_units(self, stripe_id: int) -> StripeUnits:
         """Physical cells of a global stripe (period-extended)."""
         if stripe_id < 0:
             raise MappingError(f"negative stripe id {stripe_id}")
-        cycle, index = divmod(stripe_id, self.stripes_per_period)
+        period, stripes_per_period, _ = self._layout_consts()
+        cycle, index = divmod(stripe_id, stripes_per_period)
         base = self._stripe_cache.get(index)
         if base is None:
             base = self.stripe_units_in_period(index)
             self._stripe_cache[index] = base
         if cycle == 0:
             return base
-        shift = cycle * self.period
-        return StripeUnits(
+        shifted_cache = self._shifted_cache
+        shifted = shifted_cache.get(stripe_id)
+        if shifted is not None:
+            shifted_cache.move_to_end(stripe_id)
+            return shifted
+        shift = cycle * period
+        shifted = StripeUnits(
             data=[PhysicalAddress(d, o + shift) for d, o in base.data],
             check=[PhysicalAddress(d, o + shift) for d, o in base.check],
         )
+        shifted_cache[stripe_id] = shifted
+        if len(shifted_cache) > _SHIFTED_STRIPE_CACHE_SIZE:
+            shifted_cache.popitem(last=False)
+        return shifted
 
     def stripe_of_data_unit(self, unit: int) -> int:
         """Global stripe holding client data unit ``unit``."""
@@ -128,8 +178,33 @@ class Layout(abc.ABC):
             raise MappingError(f"negative data unit {unit}")
         return unit // self.data_per_stripe
 
+    def data_unit_cell(self, unit: int) -> Tuple[int, int]:
+        """Physical cell of a client data unit as a plain ``(disk,
+        offset)`` tuple — the allocation-free core of
+        :meth:`data_unit_address` (the planner builds its own op tuples
+        from it)."""
+        if unit < 0:
+            raise MappingError(f"negative data unit {unit}")
+        cells = self._data_cells
+        if cells is None:
+            cells = self._build_flat_tables()[1]
+        consts = self._consts
+        if consts is None:
+            consts = self._layout_consts()
+        period, stripes_per_period, per_stripe = consts
+        stripe, position = divmod(unit, per_stripe)
+        cycle, index = divmod(stripe, stripes_per_period)
+        disk, row = cells[index * per_stripe + position]
+        return disk, row + cycle * period
+
     def data_unit_address(self, unit: int) -> PhysicalAddress:
         """Physical cell of a client data unit."""
+        return PhysicalAddress(*self.data_unit_cell(unit))
+
+    def data_unit_address_reference(self, unit: int) -> PhysicalAddress:
+        """Reference path for :meth:`data_unit_address`: materialise the
+        whole stripe and index its data list (the pre-flat-table
+        implementation, kept for the equivalence property test)."""
         stripe = self.stripe_of_data_unit(unit)
         position = unit % self.data_per_stripe
         return self.stripe_units(stripe).data[position]
@@ -149,6 +224,27 @@ class Layout(abc.ABC):
         Returns the unit's role, its global stripe id (-1 for spares), and
         its position within the stripe.
         """
+        grid = self._locate_grid
+        if grid is None:
+            grid = self._build_flat_tables()[0]
+        if not 0 <= disk < self.n:
+            raise MappingError(f"disk {disk} outside 0..{self.n - 1}")
+        if offset < 0:
+            raise MappingError(f"negative offset {offset}")
+        cycle, row = divmod(offset, self.period)
+        info = grid[disk][row]
+        if cycle == 0 or info.role is Role.SPARE:
+            return info
+        return UnitInfo(
+            role=info.role,
+            stripe=info.stripe + cycle * self.stripes_per_period,
+            position=info.position,
+        )
+
+    def locate_reference(self, disk: int, offset: int) -> UnitInfo:
+        """Reference path for :meth:`locate`: the dict-keyed period table
+        (the pre-flat-table implementation, kept for the equivalence
+        property test)."""
         if not 0 <= disk < self.n:
             raise MappingError(f"disk {disk} outside 0..{self.n - 1}")
         if offset < 0:
@@ -186,6 +282,42 @@ class Layout(abc.ABC):
                 )
             self._locate_table = table
         return self._locate_table
+
+    def _build_flat_tables(
+        self,
+    ) -> Tuple[List[List[UnitInfo]], List[Tuple[int, int]]]:
+        """Build and cache the flat fast-path tables from the dict-keyed
+        period table.
+
+        - ``grid[disk][row]``: the :class:`UnitInfo` of every cell of one
+          pattern (the inverse map, minus hashing);
+        - ``data_cells[stripe_index * data_per_stripe + position]``: the
+          ``(disk, row)`` cell of every client data unit of one pattern
+          (the forward map, minus stripe materialisation).
+
+        Deriving both from :meth:`_period_table` reuses its
+        every-cell-covered-exactly-once validation and keeps the fast
+        path equal to the reference by construction.
+        """
+        table = self._period_table()
+        period = self.period
+        grid: List[List[UnitInfo]] = [
+            [None] * period for _ in range(self.n)  # type: ignore[list-item]
+        ]
+        data_cells: List[Tuple[int, int]] = [
+            None  # type: ignore[list-item]
+        ] * (self.stripes_per_period * self.data_per_stripe)
+        per_stripe = self.data_per_stripe
+        for (disk, row), info in table.items():
+            grid[disk][row] = info
+            if info.role is Role.DATA:
+                data_cells[info.stripe * per_stripe + info.position] = (
+                    disk,
+                    row,
+                )
+        self._locate_grid = grid
+        self._data_cells = data_cells
+        return grid, data_cells
 
     def _table_insert(
         self,

@@ -2,12 +2,19 @@
 
 Deterministic: events at equal times fire in scheduling order.  Time is a
 float in milliseconds (matching the disk model's units).
+
+This is the innermost loop of every experiment — millions of events per
+figure — so the common cases are deliberately lean: :meth:`run` with no
+arguments drains the heap through a tight loop with bound-method locals,
+the tie-break counter is a plain integer (no ``itertools.count``
+indirection), and the horizon/budget bookkeeping only exists on the
+paths that asked for it (:meth:`run_until`, ``max_events``).  All paths
+fire the same events in the same order — the golden-trace tests pin it.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -31,7 +38,7 @@ class SimulationEngine:
     def __init__(self):
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Callback]] = []
-        self._counter = itertools.count()
+        self._seq = 0  # monotonic tie-break: equal times fire in push order
         self._stopped = False
         self.events_processed = 0
         #: Largest pending-event count ever reached (memory footprint probe).
@@ -41,7 +48,11 @@ class SimulationEngine:
         """Run ``callback`` ``delay`` ms from the current time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past ({delay})")
-        self.schedule_at(self.now + delay, callback)
+        heap = self._heap
+        self._seq += 1
+        heappush(heap, (self.now + delay, self._seq, callback))
+        if len(heap) > self.heap_high_water:
+            self.heap_high_water = len(heap)
 
     def schedule_at(self, time: float, callback: Callback) -> None:
         """Run ``callback`` at absolute time ``time``."""
@@ -49,9 +60,11 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot schedule at {time} before now = {self.now}"
             )
-        heapq.heappush(self._heap, (time, next(self._counter), callback))
-        if len(self._heap) > self.heap_high_water:
-            self.heap_high_water = len(self._heap)
+        heap = self._heap
+        self._seq += 1
+        heappush(heap, (time, self._seq, callback))
+        if len(heap) > self.heap_high_water:
+            self.heap_high_water = len(heap)
 
     def stop(self) -> None:
         """Stop the run loop after the current event."""
@@ -73,24 +86,90 @@ class SimulationEngine:
         each call starts fresh.
         """
         self._stopped = False
+        if until is None and max_events is None:
+            return self._drain()
+        if max_events is None:
+            return self._run_until(until)
+        return self._run_general(until, max_events)
+
+    def run_until(self, horizon: float) -> int:
+        """Batched horizon run: process every event with ``time <=
+        horizon``.
+
+        Identical semantics to ``run(until=horizon)`` — the clock
+        advances to ``horizon`` (never rewound) when a later event is
+        still pending, and stays at the last fired event when the heap
+        drains first — but skips the per-event ``max_events``
+        bookkeeping: the runner's timeslicing path.
+        """
+        self._stopped = False
+        return self._run_until(horizon)
+
+    # ------------------------------------------------------------------
+    # Loop bodies.  All three fire identical events in identical order;
+    # they differ only in which stop conditions they check per event.
+    # ------------------------------------------------------------------
+
+    def _drain(self) -> int:
+        heap = self._heap
+        pop = heappop
         processed = 0
-        while self._heap:
-            if max_events is not None and processed >= max_events:
-                break
-            time, _, callback = self._heap[0]
-            if until is not None and time > until:
-                # Never rewind: run(until=...) with a past horizon is a
-                # no-op on the clock, not a time machine.
-                if until > self.now:
-                    self.now = until
-                break
-            heapq.heappop(self._heap)
-            self.now = time
-            callback()
-            processed += 1
-            self.events_processed += 1
-            if self._stopped:
-                break
+        try:
+            while heap:
+                time, _, callback = pop(heap)
+                self.now = time
+                callback()
+                processed += 1
+                if self._stopped:
+                    break
+        finally:
+            self.events_processed += processed
+        return processed
+
+    def _run_until(self, until: float) -> int:
+        heap = self._heap
+        pop = heappop
+        processed = 0
+        try:
+            while heap:
+                if heap[0][0] > until:
+                    # Never rewind: run(until=...) with a past horizon is
+                    # a no-op on the clock, not a time machine.
+                    if until > self.now:
+                        self.now = until
+                    break
+                time, _, callback = pop(heap)
+                self.now = time
+                callback()
+                processed += 1
+                if self._stopped:
+                    break
+        finally:
+            self.events_processed += processed
+        return processed
+
+    def _run_general(
+        self, until: Optional[float], max_events: int
+    ) -> int:
+        heap = self._heap
+        pop = heappop
+        processed = 0
+        try:
+            while heap:
+                if processed >= max_events:
+                    break
+                if until is not None and heap[0][0] > until:
+                    if until > self.now:
+                        self.now = until
+                    break
+                time, _, callback = pop(heap)
+                self.now = time
+                callback()
+                processed += 1
+                if self._stopped:
+                    break
+        finally:
+            self.events_processed += processed
         return processed
 
     def pending(self) -> int:

@@ -1,0 +1,161 @@
+"""Whole-spec profiling harness (``repro profile``).
+
+Wraps one :func:`~repro.runner.execute.execute_spec` run in
+:mod:`cProfile` and reduces the result to the numbers that matter for
+the simulator's hot path: end-to-end events/second and the top functions
+by cumulative (or internal) time.  The report is JSON-able, so profiles
+can be archived next to ``BENCH_hotpath.json`` and diffed across
+optimization passes.
+
+Caveat for absolute numbers: the profiler's tracing hook inflates
+call-heavy code by roughly 2x, so events/second from a profiled run is
+*not* comparable with ``benchmarks/bench_hotpath.py`` (which measures
+plain wall clock).  Use the profile for *where the time goes*, the
+benchmark for *how fast it is*.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from dataclasses import dataclass
+from typing import List, NamedTuple
+
+from repro.errors import ConfigurationError
+from repro.runner.execute import execute_spec
+from repro.runner.spec import Spec, spec_to_dict
+
+#: Valid ``sort`` arguments for :func:`profile_spec`.
+SORT_KEYS = ("cumulative", "tottime")
+
+
+class HotFunction(NamedTuple):
+    """One row of the profile: a function and its aggregate costs."""
+
+    function: str        # "path:lineno(name)", path shortened to the package
+    calls: int           # primitive call count
+    total_ms: float      # time inside the function itself (tottime)
+    cumulative_ms: float  # time including callees (cumtime)
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Profile of one spec execution."""
+
+    spec: dict
+    wall_ms: float
+    events_processed: int
+    events_per_second: float
+    sort: str
+    hot_functions: List[HotFunction]
+
+    def to_dict(self) -> dict:
+        """Flat JSON-able form."""
+        return {
+            "spec": self.spec,
+            "wall_ms": self.wall_ms,
+            "events_processed": self.events_processed,
+            "events_per_second": self.events_per_second,
+            "sort": self.sort,
+            "hot_functions": [f._asdict() for f in self.hot_functions],
+        }
+
+    def render(self) -> str:
+        """Aligned text table for terminal output."""
+        lines = [
+            f"profiled: {_spec_label(self.spec)}",
+            f"wall: {self.wall_ms:.1f} ms,"
+            f" {self.events_processed} engine events,"
+            f" {self.events_per_second:.0f} ev/s (under profiler)",
+            "",
+            f"{'calls':>9}  {'tottime':>9}  {'cumtime':>9}"
+            f"  function (sorted by {self.sort})",
+        ]
+        for row in self.hot_functions:
+            lines.append(
+                f"{row.calls:>9}  {row.total_ms:>8.1f}m"
+                f"  {row.cumulative_ms:>8.1f}m  {row.function}"
+            )
+        return "\n".join(lines)
+
+
+def _spec_label(spec_dict: dict) -> str:
+    kind = spec_dict.get("kind", "?")
+    layout = spec_dict.get("layout", "?")
+    size = spec_dict.get("size_kb", "?")
+    clients = spec_dict.get("clients", "?")
+    return f"{kind}/{layout}/{size}KB/c{clients}"
+
+
+def _short_path(path: str) -> str:
+    """Shorten absolute source paths to start at the package root."""
+    for marker in ("repro/", "site-packages/", "lib/python"):
+        index = path.rfind(marker)
+        if index >= 0:
+            return path[index:]
+    return path
+
+
+def _hot_functions(
+    profiler: cProfile.Profile, top: int, sort: str
+) -> List[HotFunction]:
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (path, line, name), (cc, _nc, tt, ct, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        if path == "~":  # built-ins: show just the name
+            function = name
+        else:
+            function = f"{_short_path(path)}:{line}({name})"
+        rows.append(
+            HotFunction(
+                function=function,
+                calls=cc,
+                total_ms=tt * 1000.0,
+                cumulative_ms=ct * 1000.0,
+            )
+        )
+    key = (
+        (lambda r: r.cumulative_ms)
+        if sort == "cumulative"
+        else (lambda r: r.total_ms)
+    )
+    rows.sort(key=key, reverse=True)
+    return rows[:top]
+
+
+def profile_spec(
+    spec: Spec, top: int = 15, sort: str = "cumulative"
+) -> ProfileReport:
+    """Execute ``spec`` under cProfile and distill the hot functions.
+
+    ``sort`` is "cumulative" (time including callees — where the run
+    went) or "tottime" (time inside each function — what to optimize).
+    """
+    if sort not in SORT_KEYS:
+        raise ConfigurationError(
+            f"sort must be one of {SORT_KEYS}, got {sort!r}"
+        )
+    if top < 1:
+        raise ConfigurationError(f"need top >= 1, got {top}")
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    try:
+        record = execute_spec(spec)
+    finally:
+        profiler.disable()
+    wall_s = time.perf_counter() - started
+    # Table 1 search specs run no simulation engine: count 0 events.
+    engine = record.get("instrumentation", {}).get("engine", {})
+    events = engine.get("events_processed", 0)
+    return ProfileReport(
+        spec=spec_to_dict(spec),
+        wall_ms=wall_s * 1000.0,
+        events_processed=events,
+        events_per_second=events / wall_s if wall_s > 0 else 0.0,
+        sort=sort,
+        hot_functions=_hot_functions(profiler, top, sort),
+    )

@@ -1,0 +1,75 @@
+"""Registry-wide property test: flat fast-path tables == dict reference.
+
+``Layout.locate`` and ``Layout.data_unit_address`` were rewritten to
+index flat per-period tables (see the module docstring of
+``src/repro/layouts/base.py``); the original dict-keyed implementations
+survive as ``locate_reference`` / ``data_unit_address_reference``.  This
+test pins the two paths cell-for-cell equal for *every* registered
+layout, across multiple periods, including the error cases — so any new
+layout added to the registry is automatically held to the same contract.
+"""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.layouts.address import Role
+from repro.layouts.registry import available_layouts, make_layout
+
+#: Canonical (n, k) per layout; the paper's 13-disk array, stripe width
+#: 4 for the declustered schemes (PDDL needs n = g*k + 1) and the whole
+#: array for RAID-5.
+_CONFIGS = {"raid5": (13, 13)}
+_DEFAULT_CONFIG = (13, 4)
+
+#: How far past the first period to check (in periods).
+_PERIODS = 2.5
+
+
+@pytest.fixture(params=available_layouts(), scope="module")
+def layout(request):
+    n, k = _CONFIGS.get(request.param, _DEFAULT_CONFIG)
+    return make_layout(request.param, n, k)
+
+
+def test_data_unit_address_matches_reference(layout):
+    units = int(layout.data_units_per_period * _PERIODS)
+    for unit in range(units):
+        assert layout.data_unit_address(unit) == (
+            layout.data_unit_address_reference(unit)
+        ), f"{layout.name}: data unit {unit} diverged"
+
+
+def test_locate_matches_reference(layout):
+    offsets = int(layout.period * _PERIODS)
+    for disk in range(layout.n):
+        for offset in range(offsets):
+            assert layout.locate(disk, offset) == (
+                layout.locate_reference(disk, offset)
+            ), f"{layout.name}: cell ({disk}, {offset}) diverged"
+
+
+def test_locate_roundtrips_data_units(layout):
+    """Forward map and inverse map agree through the fast path."""
+    for unit in range(layout.data_units_per_period * 2):
+        addr = layout.data_unit_address(unit)
+        info = layout.locate(*addr)
+        assert info.role is Role.DATA
+        assert info.stripe == layout.stripe_of_data_unit(unit)
+        assert info.position == unit % layout.data_per_stripe
+
+
+def test_error_cases_match_reference(layout):
+    for call in (layout.data_unit_address, layout.data_unit_address_reference):
+        with pytest.raises(MappingError):
+            call(-1)
+    for disk, offset in ((-1, 0), (layout.n, 0), (0, -1)):
+        for call in (layout.locate, layout.locate_reference):
+            with pytest.raises(MappingError):
+                call(disk, offset)
+
+
+def test_data_unit_cell_is_address_core(layout):
+    """The tuple-returning hot-path variant equals the address path."""
+    for unit in range(layout.data_units_per_period + 3):
+        addr = layout.data_unit_address(unit)
+        assert layout.data_unit_cell(unit) == (addr.disk, addr.offset)

@@ -155,6 +155,64 @@ class TestRunControl:
         assert engine.pending() == 0
 
 
+class TestRunUntil:
+    """The batched horizon path must mirror run(until=...) exactly."""
+
+    def test_processes_only_up_to_horizon(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        assert engine.run_until(5.0) == 1
+        assert fired == [1]
+        assert engine.now == 5.0  # later event pending: clock advances
+        assert engine.pending() == 1
+
+    def test_clock_stays_at_last_event_when_heap_drains(self):
+        engine = SimulationEngine()
+        engine.schedule(3.0, lambda: None)
+        assert engine.run_until(100.0) == 1
+        assert engine.now == 3.0  # heap drained: no jump to the horizon
+
+    def test_never_rewinds_clock(self):
+        engine = SimulationEngine()
+        engine.schedule(10.0, lambda: None)
+        engine.run()
+        engine.schedule(5.0, lambda: None)  # at t = 15
+        assert engine.run_until(3.0) == 0  # past horizon: clock no-op
+        assert engine.now == 10.0
+        assert engine.pending() == 1
+
+    def test_honours_stop(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: (fired.append(1), engine.stop()))
+        engine.schedule(1.0, lambda: fired.append(2))
+        assert engine.run_until(9.0) == 1
+        assert fired == [1]
+        assert engine.pending() == 1
+
+    def test_matches_run_with_until(self):
+        def build():
+            engine = SimulationEngine()
+            fired = []
+
+            def tick():
+                fired.append(engine.now)
+                if engine.now < 8.0:
+                    engine.schedule(2.0, tick)
+
+            engine.schedule(1.0, tick)
+            return engine, fired
+
+        a, fired_a = build()
+        b, fired_b = build()
+        assert a.run(until=6.0) == b.run_until(6.0)
+        assert fired_a == fired_b
+        assert a.now == b.now
+        assert a.pending() == b.pending()
+
+
 class TestRandomStreams:
     def test_reproducible(self):
         a = RandomStreams(7).get("x").random()
