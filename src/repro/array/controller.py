@@ -165,9 +165,18 @@ class ArrayController:
         self.coalesce = coalesce
         self.engine = engine
         self.layout = layout
+        # The mapping plans are made against.  Starts as ``layout``; after
+        # a completed distributed-sparing rebuild survives a *second*
+        # failure, it becomes a RelocatedView folding the finished
+        # relocation in (see :meth:`relocate_and_fail`).
+        self._plan_layout = layout
         self.stripe_unit_sectors = stripe_unit_kb * 1024 // sector_bytes
         self.mode = ArrayMode.FAULT_FREE
         self.failed_disk: Optional[int] = None
+        #: Every disk that has ever failed, in failure order (history —
+        #: a replaced spindle stays listed).
+        self.failed_disks: List[int] = []
+        self.data_loss_reason: Optional[str] = None
         self._rebuilt: Optional[RebuiltPredicate] = None
         self.servers: List[DiskServer] = []
         for disk_id in range(layout.n):
@@ -206,6 +215,11 @@ class ArrayController:
     # Failure control.
     # ------------------------------------------------------------------
 
+    @property
+    def plan_layout(self):
+        """The mapping accesses and rebuild sweeps are planned against."""
+        return self._plan_layout
+
     def fail_disk(self, disk: int) -> None:
         """Enter degraded mode (rebuild not yet started).
 
@@ -221,8 +235,42 @@ class ArrayController:
                 f"cannot fail disk {disk}: array already {self.mode.value}"
             )
         self.failed_disk = disk
+        self.failed_disks.append(disk)
         self.servers[disk].failed = True
         self.mode = ArrayMode.DEGRADED
+
+    def fail_subsequent_disk(self, disk: int) -> None:
+        """A further disk dies while the array is already wounded.
+
+        Only the server flag and the failure history change — the caller
+        (the lifecycle) decides what the failure *means*: data loss, a
+        survivable mid-rebuild hit (replacement spindle + requeued repair
+        work), or a fresh degraded cycle after relocation.  ``failed_disk``
+        keeps naming the disk the current repair cycle is about.
+        """
+        if not 0 <= disk < self.layout.n:
+            raise ConfigurationError(f"no disk {disk}")
+        if self.mode is ArrayMode.FAULT_FREE:
+            raise SimulationError(
+                "use fail_disk for the first failure of a healthy array"
+            )
+        if self.servers[disk].failed:
+            raise SimulationError(f"disk {disk} is already failed")
+        self.failed_disks.append(disk)
+        self.servers[disk].failed = True
+
+    def declare_data_loss(self, reason: str) -> None:
+        """Some unit has no surviving or reconstructible copy: terminal.
+
+        The array stops planning accesses (``plan_access`` raises) but the
+        engine keeps draining in-flight operations, so the simulation ends
+        cleanly rather than mid-seek.
+        """
+        if self.mode is ArrayMode.DATA_LOSS:
+            return
+        self.mode = ArrayMode.DATA_LOSS
+        self.data_loss_reason = reason
+        self._rebuilt = None
 
     def install_replacement(self) -> None:
         """A fresh spindle takes the failed disk's slot (no sparing).
@@ -234,6 +282,46 @@ class ArrayController:
         if self.failed_disk is None:
             raise SimulationError("no failed disk to replace")
         self.servers[self.failed_disk].failed = False
+
+    def install_replacement_for(self, disk: int) -> None:
+        """A fresh spindle takes ``disk``'s slot (second-failure repair).
+
+        Used when a mid-rebuild second failure is survivable: the first
+        disk's repair cycle continues, and the second disk's slot becomes
+        writable so requeued repair steps can fill it.
+        """
+        if not self.servers[disk].failed:
+            raise SimulationError(f"disk {disk} has not failed")
+        self.servers[disk].failed = False
+
+    def relocate_and_fail(self, disk: int) -> None:
+        """Fold the finished relocation into the mapping; ``disk`` fails.
+
+        From post-reconstruction (distributed sparing, spare space spent)
+        a new failure starts an ordinary degraded cycle — but against the
+        *relocated* mapping, in which the first failed disk no longer
+        exists and no spare space remains.  The follow-up rebuild must
+        therefore target a replacement spindle.
+        """
+        from repro.layouts.relocated import RelocatedView
+
+        if self.mode is not ArrayMode.POST_RECONSTRUCTION:
+            raise SimulationError(
+                "relocation is only complete in post-reconstruction mode,"
+                f" not {self.mode.value}"
+            )
+        if self.failed_disk is None or disk == self.failed_disk:
+            raise SimulationError(
+                f"disk {disk} cannot fail again: it is the relocated disk"
+            )
+        if self.servers[disk].failed:
+            raise SimulationError(f"disk {disk} is already failed")
+        self._plan_layout = RelocatedView(self._plan_layout, self.failed_disk)
+        self.failed_disk = disk
+        self.failed_disks.append(disk)
+        self.servers[disk].failed = True
+        self._rebuilt = None
+        self.mode = ArrayMode.DEGRADED
 
     def enter_reconstruction(self, rebuilt: RebuiltPredicate) -> None:
         """Enter reconstruction mode: a background rebuild sweep is live.
@@ -262,7 +350,7 @@ class ArrayController:
         if self.mode not in (ArrayMode.DEGRADED, ArrayMode.RECONSTRUCTION):
             raise SimulationError("no reconstruction in progress")
         self._rebuilt = None
-        if self.layout.has_sparing:
+        if self._plan_layout.has_sparing:
             self.mode = ArrayMode.POST_RECONSTRUCTION
         else:
             self.servers[self.failed_disk].failed = False
@@ -286,8 +374,18 @@ class ArrayController:
             )
         if access.access_id in self._in_flight:
             raise SimulationError(f"duplicate access id {access.access_id}")
+        if self.mode is ArrayMode.DATA_LOSS:
+            raise SimulationError(
+                "the array has lost data"
+                + (
+                    f" ({self.data_loss_reason})"
+                    if self.data_loss_reason
+                    else ""
+                )
+                + "; no further accesses can be submitted"
+            )
         plan = plan_access(
-            self.layout,
+            self._plan_layout,
             access.first_unit,
             access.unit_count,
             access.is_write,

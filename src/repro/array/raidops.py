@@ -55,6 +55,7 @@ class ArrayMode(enum.Enum):
     DEGRADED = "degraded"                      # f1, rebuild not yet started
     RECONSTRUCTION = "reconstruction"          # rebuild sweep in progress
     POST_RECONSTRUCTION = "post-reconstruction"  # spare space holds rebuilt data
+    DATA_LOSS = "data-loss"                    # terminal: a unit has no copy left
 
 
 #: ``rebuilt(offset) -> bool``: has the failed disk's cell at ``offset``
@@ -106,6 +107,10 @@ def plan_access(
         raise ConfigurationError(f"access needs >= 1 unit, got {unit_count}")
     if first_unit < 0:
         raise ConfigurationError(f"negative start unit {first_unit}")
+    if mode is ArrayMode.DATA_LOSS:
+        raise MappingError(
+            "the array has lost data; accesses can no longer be planned"
+        )
     if mode is ArrayMode.FAULT_FREE:
         if failed_disk is not None:
             raise ConfigurationError("fault-free mode has no failed disk")

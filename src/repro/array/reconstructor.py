@@ -17,7 +17,8 @@ as the spindles allow, larger values cede bandwidth to client traffic.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional, Set
+import itertools
+from typing import Callable, Iterable, Iterator, List, Optional, Set
 
 from repro.array.controller import ArrayController
 from repro.core.reconstruction import (
@@ -26,6 +27,7 @@ from repro.core.reconstruction import (
     rebuild_plan,
 )
 from repro.errors import SimulationError
+from repro.layouts.address import PhysicalAddress
 
 #: Access ids at or above this value are background rebuild traffic; they
 #: share the locality-classification machinery with client accesses without
@@ -57,17 +59,25 @@ class Reconstructor:
         throttle_ms: float = 0.0,
         on_step: Optional[Callable[["Reconstructor"], None]] = None,
         allow_replacement: bool = False,
+        media=None,
+        media_retries: int = 2,
+        on_unreadable: Optional[
+            Callable[["Reconstructor", RebuildStep, PhysicalAddress], None]
+        ] = None,
     ):
         if parallel_steps < 1:
             raise SimulationError("need at least one rebuild slot")
         if throttle_ms < 0:
             raise SimulationError(f"negative rebuild throttle {throttle_ms}")
+        if media_retries < 0:
+            raise SimulationError(f"negative media retries {media_retries}")
         if controller.failed_disk is None:
             raise SimulationError("no failed disk to reconstruct")
-        self.into_spare = controller.layout.has_sparing
+        layout = controller.plan_layout
+        self.into_spare = layout.has_sparing
         if not self.into_spare and not allow_replacement:
             raise SimulationError(
-                f"{controller.layout.name} has no spare space to rebuild"
+                f"{layout.name} has no spare space to rebuild"
                 " into (pass allow_replacement=True to rebuild onto a"
                 " replacement spindle)"
             )
@@ -76,21 +86,25 @@ class Reconstructor:
         self.throttle_ms = throttle_ms
         self.on_finished = on_finished
         self.on_step = on_step
-        total_rows = (
-            rows
-            if rows is not None
-            else controller.periods * controller.layout.period
+        self.media = media
+        self.media_retries = media_retries
+        self.on_unreadable = on_unreadable
+        self.total_rows = (
+            rows if rows is not None else controller.periods * layout.period
         )
         self.total_steps = count_lost_units(
-            controller.layout, controller.failed_disk, rows=total_rows
+            layout, controller.failed_disk, rows=self.total_rows
         )
         self._steps: Iterator[RebuildStep] = rebuild_plan(
-            controller.layout, controller.failed_disk, rows=total_rows
+            layout, controller.failed_disk, rows=self.total_rows
         )
         self._exhausted = False
+        self._aborted = False
         self.started_ms: Optional[float] = None
         self.finished_ms: Optional[float] = None
         self.steps_completed = 0
+        self.skipped_steps = 0
+        self.unreadable: List[PhysicalAddress] = []
         self._active = 0
         self._pending_issues = 0
         self._rebuilt_offsets: Set[int] = set()
@@ -115,6 +129,63 @@ class Reconstructor:
         return offset in self._rebuilt_offsets
 
     @property
+    def rebuilt_offsets(self) -> Set[int]:
+        """The frontier as a set (second-failure evaluation reads this)."""
+        return self._rebuilt_offsets
+
+    @property
+    def aborted(self) -> bool:
+        return self._aborted
+
+    # ------------------------------------------------------------------
+    # Second-failure hooks (driven by the lifecycle).
+    # ------------------------------------------------------------------
+
+    def abort(self) -> None:
+        """Stop issuing steps; in-flight operations drain harmlessly.
+
+        Used when a second failure (or an unreadable sector) makes the
+        sweep pointless — the array has lost data and will never reach
+        post-reconstruction.  Completions of already-issued operations
+        still fire, but no new steps launch and ``on_finished`` never
+        does.
+        """
+        self._aborted = True
+
+    def unrebuild(self, offsets: Iterable[int]) -> None:
+        """Pull offsets back out of the frontier (their rebuilt copies
+        died with the second disk); requeued repair steps re-sweep them."""
+        if self._aborted:
+            raise SimulationError("reconstruction was aborted")
+        for offset in offsets:
+            self._rebuilt_offsets.discard(offset)
+
+    def requeue(self, steps: List[RebuildStep]) -> None:
+        """Append extra repair steps to the in-progress sweep.
+
+        A survivable second failure adds work: re-lost units swept again
+        onto the replacement spindle, plus the second disk's own cells.
+        The steps join the tail of the existing plan and idle slots are
+        kicked awake, so the same rebuild cycle absorbs them.
+        """
+        if self._aborted:
+            raise SimulationError("reconstruction was aborted")
+        if self.finished_ms is not None:
+            raise SimulationError(
+                "reconstruction already finished; start a new cycle"
+            )
+        if not steps:
+            return
+        self.total_steps += len(steps)
+        self._steps = itertools.chain(self._steps, iter(steps))
+        self._exhausted = False
+        if self.started_ms is None:
+            return  # start() will issue them
+        idle = self.parallel_steps - self._active - self._pending_issues
+        for _ in range(idle):
+            self._issue_next()
+
+    @property
     def progress(self) -> int:
         """Rebuild steps completed so far."""
         return self.steps_completed
@@ -131,7 +202,7 @@ class Reconstructor:
     # ------------------------------------------------------------------
 
     def _issue_next(self) -> None:
-        if self._exhausted:
+        if self._exhausted or self._aborted:
             return
         step = next(self._steps, None)
         if step is None:
@@ -142,6 +213,8 @@ class Reconstructor:
 
     def _refill_slot(self) -> None:
         """One slot freed up: issue the next step, throttled if configured."""
+        if self._aborted:
+            return
         if self._exhausted:
             self._maybe_finish()
             return
@@ -163,12 +236,14 @@ class Reconstructor:
         controller = self.controller
         access_id = self._next_id
         self._next_id += 1
-        remaining = {"reads": len(step.reads)}
+        remaining = {"reads": len(step.reads), "failed": False}
 
         def write_done() -> None:
             self._active -= 1
             self.steps_completed += 1
             self._rebuilt_offsets.add(step.lost.offset)
+            if self.media is not None:
+                self.media.clear(target.disk, target.offset)
             if self.on_step is not None:
                 self.on_step(self)
             self._refill_slot()
@@ -177,31 +252,75 @@ class Reconstructor:
         # address on the replacement spindle without.
         target = step.write if step.write is not None else step.lost
 
-        def read_done() -> None:
+        def all_reads_good() -> None:
+            controller.submit_raw(
+                target.disk,
+                target.offset,
+                True,
+                access_id,
+                write_done,
+                tag="rebuild-write",
+            )
+
+        def read_done(addr: PhysicalAddress, attempt: int) -> None:
+            if remaining["failed"]:
+                return  # step already failed on a sibling read
+            if self.media is not None and self.media.is_bad(
+                addr.disk, addr.offset
+            ):
+                if attempt < self.media_retries:
+                    # Retry the sector in place (real firmware retries
+                    # before declaring a medium error).
+                    issue_read(addr, attempt + 1)
+                    return
+                remaining["failed"] = True
+                self._fail_step(step, addr)
+                return
             remaining["reads"] -= 1
             if remaining["reads"] == 0:
-                controller.submit_raw(
-                    target.disk,
-                    target.offset,
-                    True,
-                    access_id,
-                    write_done,
-                    tag="rebuild-write",
-                )
+                all_reads_good()
 
-        for addr in step.reads:
+        def issue_read(addr: PhysicalAddress, attempt: int) -> None:
             controller.submit_raw(
                 addr.disk,
                 addr.offset,
                 False,
                 access_id,
-                read_done,
+                lambda: read_done(addr, attempt),
                 tag="rebuild-read",
             )
+
+        for addr in step.reads:
+            issue_read(addr, 0)
+
+    def _fail_step(self, step: RebuildStep, addr: PhysicalAddress) -> None:
+        """A rebuild read hit an unreadable sector after all retries.
+
+        The stripe being rebuilt has no redundancy left, so the lost unit
+        is gone.  By default that is terminal data loss (the sweep aborts
+        and the controller records the reason); an ``on_unreadable``
+        handler can instead account the loss and let the sweep continue
+        (``skipped_steps`` then counts the abandoned units).
+        """
+        self._active -= 1
+        self.unreadable.append(addr)
+        if self.on_unreadable is not None:
+            self.on_unreadable(self, step, addr)
+        else:
+            self.abort()
+            self.controller.declare_data_loss(
+                f"unreadable sector at disk {addr.disk} offset"
+                f" {addr.offset} during rebuild of"
+                f" ({step.lost.disk}, {step.lost.offset})"
+            )
+        if not self._aborted:
+            self.skipped_steps += 1
+            self._refill_slot()
 
     def _maybe_finish(self) -> None:
         if (
             self._exhausted
+            and not self._aborted
             and self._active == 0
             and self._pending_issues == 0
         ):

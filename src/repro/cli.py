@@ -12,6 +12,8 @@ figure of the paper can be regenerated from a shell:
 - ``plan``       — PDDL capacity planning for an (n, k) array
 - ``bench``      — parallel, cached response-time sweeps (see RUNNER.md)
 - ``lifecycle``  — reconstruction-under-load lifecycle runs (Figs 8-14, 18)
+- ``campaign``   — multi-fault reliability campaigns (loss probability,
+  MTTDL cross-check; see EXPERIMENTS.md "Campaigns")
 - ``profile``    — cProfile one simulation point (hot functions, ev/s)
 """
 
@@ -323,6 +325,138 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.experiments.campaign import campaign_specs, summarize_campaign
+    from repro.runner import (
+        ParallelRunner,
+        ResultCache,
+        RunCheckpoint,
+        default_cache_dir,
+    )
+
+    if args.quick:
+        trials = 24
+        mttf = 0.03
+        dwell = 4000.0
+        rebuild_rows: Optional[int] = 26
+    else:
+        trials = args.trials
+        mttf = args.mttf
+        dwell = args.dwell
+        rebuild_rows = args.rebuild_rows
+    specs = campaign_specs(
+        layout=args.layout,
+        trials=trials,
+        disks=args.disks,
+        seed=args.seed,
+        mttf_hours=mttf,
+        faults=args.faults,
+        degraded_dwell_ms=dwell,
+        rebuild_rows=rebuild_rows,
+        rebuild_parallel=args.rebuild_parallel,
+        rebuild_throttle_ms=args.rebuild_throttle,
+        lse_per_gb=args.lse_per_gb,
+        scrub_interval_ms=args.scrub_interval,
+        scrub_throttle_ms=args.scrub_throttle,
+        clients=args.clients,
+    )
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    checkpoint = (
+        RunCheckpoint(args.checkpoint) if args.checkpoint else None
+    )
+    runner = ParallelRunner(
+        workers=args.workers,
+        cache=cache,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        checkpoint=checkpoint,
+    )
+    started = time.perf_counter()
+    report = runner.run(specs)
+    elapsed = time.perf_counter() - started
+
+    trial_records = [r["trial"] for r in report.records]
+    summary = summarize_campaign(trial_records)
+
+    print(
+        f"campaign: {args.layout}, {args.disks} disks,"
+        f" {summary['trials']} trials, up to {args.faults} faults each"
+        f" (MTTF {mttf} h, dwell {dwell:.0f} ms)"
+    )
+    print(
+        f"  lost {summary['losses']}/{summary['trials']}"
+        f" -> loss probability {summary['loss_probability']:.3f}"
+        f" (95% CI [{summary['ci_low']:.3f}, {summary['ci_high']:.3f}])"
+    )
+    if summary["analytic"] is not None:
+        analytic = summary["analytic"]
+        verdict = "inside" if analytic["within_ci"] else "OUTSIDE"
+        print(
+            f"  analytic prediction {analytic['loss_probability']:.3f}"
+            f" ({verdict} the CI;"
+            f" exposure window {analytic['window_hours'] * 3600:.1f} s)"
+        )
+    if summary["empirical_mttdl_hours"] is not None:
+        print(
+            f"  empirical MTTDL {summary['empirical_mttdl_hours']:.4f} h"
+            + (
+                f" vs analytic {summary['analytic']['mttdl_hours']:.4f} h"
+                if summary["analytic"] is not None
+                else ""
+            )
+        )
+    print(
+        f"{len(specs)} trials: {report.executed} simulated,"
+        f" {report.cache_hits} from cache,"
+        f" {report.checkpoint_hits} from checkpoint"
+        f" ({runner.workers} workers, {elapsed:.2f}s)"
+    )
+    if cache is not None:
+        print(f"cache dir: {cache.root}")
+
+    if args.out:
+        # Deterministic payload (no wall-clock anywhere): the CI resume
+        # job byte-compares this file across interrupted/uninterrupted
+        # runs.
+        payload = {
+            "bench": "campaign",
+            "config": {
+                "layout": args.layout,
+                "disks": args.disks,
+                "trials": trials,
+                "faults": args.faults,
+                "mttf_hours": mttf,
+                "degraded_dwell_ms": dwell,
+                "rebuild_rows": rebuild_rows,
+                "lse_per_gb": args.lse_per_gb,
+                "scrub_interval_ms": args.scrub_interval,
+                "clients": args.clients,
+                "seed": args.seed,
+            },
+            "summary": summary,
+            "trials": [
+                {
+                    "trial": t["trial"],
+                    "classification": t["classification"],
+                    "cycle_ms": t["cycle_ms"],
+                    "lost_units": t["lost_units"],
+                    "second_faults": len(t["second_faults"]),
+                }
+                for t in trial_records
+            ],
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import json
 
@@ -503,6 +637,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON summary (rebuild duration, per-mode means)",
     )
     life.set_defaults(func=_cmd_lifecycle)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="multi-fault reliability campaign (loss probability, MTTDL)",
+    )
+    camp.add_argument(
+        "--quick", action="store_true",
+        help="small canned campaign (24 trials, aggressive MTTF/dwell so"
+        " double faults actually land mid-rebuild)",
+    )
+    camp.add_argument("--layout", default="pddl")
+    camp.add_argument("--disks", "-n", type=int, default=13)
+    camp.add_argument("--trials", type=int, default=200)
+    camp.add_argument(
+        "--faults", type=int, default=2,
+        help="whole-disk failures drawn per trial",
+    )
+    camp.add_argument(
+        "--mttf", type=float, default=0.03,
+        help="per-disk MTTF in hours (small on purpose: the exposure"
+        " window is milliseconds of simulated time)",
+    )
+    camp.add_argument(
+        "--dwell", type=float, default=4000.0,
+        help="degraded dwell before each rebuild starts, ms",
+    )
+    camp.add_argument(
+        "--rebuild-rows", type=int, default=26,
+        help="limit the rebuild sweep to this many rows",
+    )
+    camp.add_argument("--rebuild-parallel", type=int, default=1)
+    camp.add_argument(
+        "--rebuild-throttle", type=float, default=0.0,
+        help="idle ms per rebuild slot between steps",
+    )
+    camp.add_argument(
+        "--lse-per-gb", type=float, default=0.0,
+        help="expected latent sector errors seeded per GB of capacity",
+    )
+    camp.add_argument(
+        "--scrub-interval", type=float, default=None,
+        help="periodic scrub pass interval in ms (off by default)",
+    )
+    camp.add_argument(
+        "--scrub-throttle", type=float, default=0.0,
+        help="idle ms between scrub reads",
+    )
+    camp.add_argument(
+        "--clients", type=int, default=0,
+        help="foreground client load during each trial",
+    )
+    camp.add_argument("--seed", type=int, default=0)
+    camp.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: $REPRO_BENCH_WORKERS or 1)",
+    )
+    camp.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-trial deadline in seconds (enables the hardened pool)",
+    )
+    camp.add_argument(
+        "--retries", type=int, default=0,
+        help="crash/timeout retries per trial (capped exponential backoff)",
+    )
+    camp.add_argument(
+        "--checkpoint", default=None,
+        help="JSONL checkpoint file; a killed run resumes from it",
+    )
+    camp.add_argument(
+        "--cache-dir", default=None,
+        help="result cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    camp.add_argument("--no-cache", action="store_true")
+    camp.add_argument(
+        "--out", default="BENCH_campaign.json",
+        help="JSON report path (deterministic content; '' to skip)",
+    )
+    camp.set_defaults(func=_cmd_campaign)
 
     prof = sub.add_parser(
         "profile",

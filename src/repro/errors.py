@@ -35,3 +35,12 @@ class SimulationError(ReproError):
 
 class FieldError(ReproError):
     """Invalid finite-field construction or operation."""
+
+
+class RunnerError(ReproError):
+    """The experiment runner could not complete a batch.
+
+    Raised when a worker crashes or hangs past its retry budget, or when
+    a spec fails deterministically inside a worker (re-running it would
+    fail the same way).
+    """

@@ -1,0 +1,336 @@
+"""Multi-fault reliability campaigns.
+
+A *campaign* runs many seeded array lifetimes to completion-or-loss and
+estimates the per-cycle data-loss probability empirically: each trial
+draws a failure sequence (typically two exponential disk lifetimes from
+the MTTDL models' assumptions, plus optional latent sector errors),
+simulates the full repair arc — degraded dwell, rebuild under optional
+client load, second failures classified exactly against the rebuild
+frontier — and ends classified **survived** or **lost**.  Never a crash:
+data loss is a first-class terminal state of the lifecycle.
+
+The summary cross-checks the Monte-Carlo estimate against the analytic
+exposure model (:func:`repro.reliability.mttdl.predict_campaign_loss`):
+with per-disk MTTF ``m`` and a measured exposure window ``W`` (dwell +
+rebuild), the analytic per-cycle loss probability is
+``q = 1 - exp(-(n-1) W / m)``, which must land inside the Wilson
+confidence interval of the observed loss fraction.  Dividing the mean
+regenerative-cycle length by the loss probability turns either number
+into an MTTDL.
+
+Every trial is a pure function of its spec — seeded fault draws, seeded
+media errors, a deterministic event loop — so campaign records plug into
+the runner's byte-determinism contract (cache, checkpoint/resume,
+parallel workers all produce identical bytes).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.array.controller import ArrayController
+from repro.array.raidops import ArrayMode
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    PAPER_SCHEDULER,
+    PAPER_SCHEDULER_WINDOW,
+    PAPER_STRIPE_UNIT_KB,
+    layout_for,
+)
+from repro.faults.lifecycle import ArrayLifecycle
+from repro.faults.media import MediaErrorMap
+from repro.faults.scenario import FaultScenario
+from repro.faults.scrubber import Scrubber
+from repro.reliability.mttdl import MS_PER_HOUR, predict_campaign_loss
+from repro.sim.engine import SimulationEngine
+from repro.stats.confidence import wilson_interval
+from repro.workload.client import ClosedLoopClient
+from repro.workload.generators import UniformGenerator
+from repro.workload.spec import AccessSpec
+
+
+def run_campaign_trial(
+    layout_name: str,
+    scenario: FaultScenario,
+    trial: int = 0,
+    seed: int = 0,
+    clients: int = 0,
+    size_kb: int = 8,
+    is_write: bool = False,
+    disks: Optional[int] = None,
+    width: Optional[int] = None,
+) -> dict:
+    """One seeded array lifetime, to completion or data loss.
+
+    ``clients = 0`` runs the repair arc with no foreground load (the
+    common campaign configuration — thousands of trials, reliability is
+    the measurand); positive ``clients`` adds the closed-loop client
+    traffic of the lifecycle experiments, whose draws come from the same
+    ``{seed}/client-{c}`` stream family.
+    """
+    if clients < 0:
+        raise ConfigurationError(f"negative client count {clients}")
+    engine = SimulationEngine()
+    layout = layout_for(layout_name, disks=disks, width=width)
+    controller = ArrayController(
+        engine,
+        layout,
+        scheduler_name=PAPER_SCHEDULER,
+        scheduler_window=PAPER_SCHEDULER_WINDOW,
+        stripe_unit_kb=PAPER_STRIPE_UNIT_KB,
+    )
+    rows = (
+        scenario.rebuild_rows
+        if scenario.rebuild_rows is not None
+        else controller.periods * layout.period
+    )
+    media = (
+        MediaErrorMap.from_rate(
+            layout.n,
+            rows,
+            PAPER_STRIPE_UNIT_KB,
+            scenario.lse_per_gb,
+            seed=scenario.fault_seed,
+        )
+        if scenario.lse_per_gb > 0
+        else None
+    )
+
+    scrubber: Optional[Scrubber] = None
+    if scenario.scrub_interval_ms is not None and media is not None:
+        scrubber = Scrubber(
+            controller,
+            media,
+            interval_ms=scenario.scrub_interval_ms,
+            throttle_ms=scenario.scrub_throttle_ms,
+            rows=rows,
+        )
+
+    done = {"classification": None}
+
+    def finish(classification: str) -> None:
+        if done["classification"] is not None:
+            return
+        done["classification"] = classification
+        if scrubber is not None:
+            scrubber.stop()
+        engine.stop()
+
+    lifecycle = ArrayLifecycle(
+        controller,
+        scenario,
+        media=media,
+        on_transition=lambda mode, t: _on_transition(mode),
+    )
+
+    def _on_transition(mode: ArrayMode) -> None:
+        if mode is ArrayMode.DATA_LOSS:
+            finish("lost")
+        elif mode is ArrayMode.POST_RECONSTRUCTION:
+            injector = lifecycle.injector
+            if injector.fired_count == len(injector.faults):
+                finish("survived")
+
+    injector = lifecycle.arm()
+    if scrubber is not None:
+        scrubber.start()
+
+    samples = {"count": 0}
+    if clients > 0:
+        spec = AccessSpec(size_kb=size_kb, is_write=is_write)
+        units = spec.units(PAPER_STRIPE_UNIT_KB)
+
+        def on_response(client, access, response_ms) -> bool:
+            samples["count"] += 1
+            return True
+
+        for c in range(clients):
+            generator = UniformGenerator(
+                controller.addressable_data_units,
+                units,
+                random.Random(f"{seed}/client-{c}"),
+            )
+            ClosedLoopClient(
+                c, controller, generator, spec, on_response,
+                stripe_unit_kb=PAPER_STRIPE_UNIT_KB,
+            ).start()
+
+    engine.run()
+
+    if done["classification"] is None:
+        # Drained with faults still pending is impossible (they are
+        # scheduled events); drained without reaching a terminal regime
+        # means the scenario never completed a repair arc.
+        raise ConfigurationError(
+            f"campaign trial ended unclassified in mode"
+            f" {controller.mode.value}"
+        )
+
+    survived = done["classification"] == "survived"
+    first_fault_ms = injector.faults[0][0]
+    first_completion_ms = next(
+        (
+            t
+            for mode, t in lifecycle.transitions
+            if mode == ArrayMode.POST_RECONSTRUCTION.value
+        ),
+        None,
+    )
+    if survived:
+        cycle_ms = first_completion_ms
+        window_ms = first_completion_ms - first_fault_ms
+    else:
+        cycle_ms = lifecycle.data_loss_ms
+        window_ms = None
+    recon = lifecycle.reconstructor
+    return {
+        "layout": layout_name,
+        "disks": layout.n,
+        "trial": trial,
+        "seed": seed,
+        "mttf_hours": scenario.mttf_hours,
+        "classification": done["classification"],
+        "survived": survived,
+        "loss_reason": controller.data_loss_reason,
+        "fault_times_ms": [t for t, _ in injector.faults],
+        "fault_disks": [d for _, d in injector.faults],
+        "first_fault_ms": first_fault_ms,
+        "data_loss_ms": lifecycle.data_loss_ms,
+        "completed_ms": first_completion_ms if survived else None,
+        "cycle_ms": cycle_ms,
+        "window_ms": window_ms,
+        "lost_units": lifecycle.lost_units,
+        "second_faults": list(lifecycle.second_faults),
+        "rebuild": {
+            "duration_ms": (
+                recon.duration_ms
+                if recon is not None and recon.finished_ms is not None
+                else None
+            ),
+            "steps_completed": 0 if recon is None else recon.steps_completed,
+            "total_steps": 0 if recon is None else recon.total_steps,
+            "skipped_steps": 0 if recon is None else recon.skipped_steps,
+        },
+        "media": None if media is None else media.to_dict(),
+        "scrub": None if scrubber is None else scrubber.to_dict(),
+        "samples": samples["count"],
+    }
+
+
+def campaign_specs(
+    layout: str = "pddl",
+    trials: int = 200,
+    disks: int = 13,
+    width: Optional[int] = None,
+    seed: int = 0,
+    mttf_hours: float = 1000.0,
+    faults: int = 2,
+    degraded_dwell_ms: float = 0.0,
+    rebuild_rows: Optional[int] = None,
+    rebuild_parallel: int = 1,
+    rebuild_throttle_ms: float = 0.0,
+    lse_per_gb: float = 0.0,
+    scrub_interval_ms: Optional[float] = None,
+    scrub_throttle_ms: float = 0.0,
+    clients: int = 0,
+    size_kb: int = 8,
+    is_write: bool = False,
+):
+    """One :class:`~repro.runner.spec.CampaignTrialSpec` per trial.
+
+    Each trial gets an independent fault-seed stream derived from
+    ``(seed, trial)``, so the campaign is embarrassingly parallel and
+    individual trials replay bit-identically in isolation.
+    """
+    # Local import: repro.runner imports the executor module, which
+    # imports this one.
+    from repro.runner.spec import CampaignTrialSpec
+
+    if trials < 1:
+        raise ConfigurationError(f"need >= 1 trial, got {trials}")
+    return [
+        CampaignTrialSpec(
+            layout=layout,
+            disks=disks,
+            width=width,
+            trial=trial,
+            seed=seed,
+            mttf_hours=mttf_hours,
+            faults=faults,
+            degraded_dwell_ms=degraded_dwell_ms,
+            rebuild_rows=rebuild_rows,
+            rebuild_parallel=rebuild_parallel,
+            rebuild_throttle_ms=rebuild_throttle_ms,
+            lse_per_gb=lse_per_gb,
+            scrub_interval_ms=scrub_interval_ms,
+            scrub_throttle_ms=scrub_throttle_ms,
+            clients=clients,
+            size_kb=size_kb,
+            is_write=is_write,
+        )
+        for trial in range(trials)
+    ]
+
+
+def summarize_campaign(records: List[dict], confidence: float = 0.95) -> dict:
+    """Loss probability with Wilson CI, TTDL samples, and the analytic
+    cross-check.
+
+    ``records`` are ``run_campaign_trial`` results (every trial of one
+    campaign — same layout, same scenario parameters).  The analytic
+    prediction needs stochastic lifetimes (``mttf_hours`` set) and at
+    least one survived trial to measure the exposure window from.
+    """
+    if not records:
+        raise ConfigurationError("no campaign records to summarize")
+    trials = len(records)
+    losses = sum(1 for r in records if not r["survived"])
+    p_hat = losses / trials
+    ci_low, ci_high = wilson_interval(losses, trials, confidence)
+    ttdl_ms = [r["data_loss_ms"] for r in records if not r["survived"]]
+    windows_ms = [
+        r["window_ms"] for r in records if r["window_ms"] is not None
+    ]
+    cycles_ms = [r["cycle_ms"] for r in records]
+    mean_cycle_ms = sum(cycles_ms) / len(cycles_ms)
+    summary = {
+        "trials": trials,
+        "losses": losses,
+        "loss_probability": p_hat,
+        "confidence": confidence,
+        "ci_low": ci_low,
+        "ci_high": ci_high,
+        "lost_units_total": sum(r["lost_units"] for r in records),
+        "ttdl_ms": {
+            "samples": len(ttdl_ms),
+            "mean": sum(ttdl_ms) / len(ttdl_ms) if ttdl_ms else None,
+            "min": min(ttdl_ms) if ttdl_ms else None,
+            "max": max(ttdl_ms) if ttdl_ms else None,
+        },
+        "mean_cycle_ms": mean_cycle_ms,
+        "mean_window_ms": (
+            sum(windows_ms) / len(windows_ms) if windows_ms else None
+        ),
+        "empirical_mttdl_hours": (
+            (mean_cycle_ms / MS_PER_HOUR) / p_hat if losses else None
+        ),
+        "analytic": None,
+    }
+    mttf_hours = records[0]["mttf_hours"]
+    if mttf_hours is not None and windows_ms:
+        n = records[0]["disks"]
+        window_hours = summary["mean_window_ms"] / MS_PER_HOUR
+        prediction = predict_campaign_loss(n, mttf_hours, window_hours)
+        q = prediction.loss_probability
+        summary["analytic"] = {
+            "n": n,
+            "mttf_hours": mttf_hours,
+            "window_hours": window_hours,
+            "loss_probability": q,
+            "within_ci": ci_low <= q <= ci_high,
+            "mttdl_hours": (
+                (mean_cycle_ms / MS_PER_HOUR) / q if q > 0 else None
+            ),
+        }
+    return summary

@@ -13,15 +13,35 @@ timestamped transitions.
 Scenarios are pure data and content-hashable, so whole lifecycle sweeps
 plug into the ``repro.runner`` cache/parallel machinery (see
 ``LifecycleSpec`` in :mod:`repro.runner.spec` and RUNNER.md).
+
+Multi-fault campaigns build on the same pieces: scenarios can script or
+draw failure *sequences*, :mod:`repro.faults.multifault` classifies a
+second whole-disk failure exactly against the rebuild frontier,
+:class:`MediaErrorMap` seeds latent sector errors, and a
+:class:`Scrubber` finds and repairs them before they can ambush a
+rebuild.
 """
 
 from repro.faults.injector import FaultInjector
 from repro.faults.lifecycle import ArrayLifecycle
+from repro.faults.media import MediaErrorMap
+from repro.faults.multifault import (
+    SecondFailureOutcome,
+    evaluate_second_failure,
+    second_failure_repair_steps,
+)
 from repro.faults.scenario import FAULT_SCENARIO_VERSION, FaultScenario
+from repro.faults.scrubber import SCRUB_ID_BASE, Scrubber
 
 __all__ = [
     "ArrayLifecycle",
     "FAULT_SCENARIO_VERSION",
     "FaultInjector",
     "FaultScenario",
+    "MediaErrorMap",
+    "SCRUB_ID_BASE",
+    "Scrubber",
+    "SecondFailureOutcome",
+    "evaluate_second_failure",
+    "second_failure_repair_steps",
 ]

@@ -1,17 +1,19 @@
 """Scheduling disk failures on the event loop.
 
 A :class:`FaultInjector` resolves a scenario's fault timing against a
-concrete array size, then arms one engine event that fires the failure
+concrete array size, then arms engine events that fire the failures
 mid-simulation — the piece that lets rebuild traffic *compete* with live
 client traffic instead of failures being applied statically before the
-run.
+run.  Multi-fault scenarios arm every drawn failure at once; the
+lifecycle decides what each subsequent failure means when it lands.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from functools import partial
+from typing import Callable, List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.faults.scenario import FaultScenario
 from repro.sim.engine import SimulationEngine
 
@@ -20,7 +22,7 @@ FailureCallback = Callable[[int, float], None]
 
 
 class FaultInjector:
-    """Arms one scenario failure on the engine.
+    """Arms a scenario's failure sequence on the engine.
 
     >>> from repro.sim.engine import SimulationEngine
     >>> engine = SimulationEngine()
@@ -48,25 +50,45 @@ class FaultInjector:
         self.engine = engine
         self.scenario = scenario
         self.on_failure = on_failure
-        self.fault_time_ms, self.fault_disk = scenario.draw_fault(n_disks)
+        self.faults: List[Tuple[float, int]] = scenario.draw_faults(n_disks)
+        # First-failure view, kept for single-fault callers.
+        self.fault_time_ms, self.fault_disk = self.faults[0]
         self.fired_ms: Optional[float] = None
+        self.fired_count = 0
         self._armed = False
 
     def arm(self) -> None:
-        """Schedule the failure; call once, before (or during) the run."""
+        """Schedule every drawn failure; call once, before the run.
+
+        Double-arming (or arming after a failure already fired) is a
+        configuration bug in the caller, not a simulation outcome, so it
+        raises :class:`ConfigurationError` with the offending state named.
+        """
         if self._armed:
-            raise SimulationError("fault already armed")
+            raise ConfigurationError(
+                f"fault injector for scenario"
+                f" {self.scenario.content_hash()[:12]} is already armed;"
+                " arm() must be called exactly once"
+            )
+        if self.fired_count:
+            raise ConfigurationError(
+                f"cannot arm: {self.fired_count} failure(s) already fired"
+                " (build a fresh injector for a new run)"
+            )
         if self.fault_time_ms < self.engine.now:
             raise SimulationError(
                 f"fault time {self.fault_time_ms} already in the past"
                 f" (now = {self.engine.now})"
             )
         self._armed = True
-        self.engine.schedule_at(self.fault_time_ms, self._fire)
+        for time_ms, disk in self.faults:
+            self.engine.schedule_at(time_ms, partial(self._fire, disk))
 
-    def _fire(self) -> None:
-        self.fired_ms = self.engine.now
-        self.on_failure(self.fault_disk, self.engine.now)
+    def _fire(self, disk: int) -> None:
+        if self.fired_ms is None:
+            self.fired_ms = self.engine.now
+        self.fired_count += 1
+        self.on_failure(disk, self.engine.now)
 
     @property
     def fired(self) -> bool:

@@ -21,13 +21,26 @@ import hashlib
 import json
 import random
 from dataclasses import asdict, dataclass, fields
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.reliability.mttdl import exponential_lifetime_ms
 
 #: Part of every scenario content hash; bump on semantic changes.
 FAULT_SCENARIO_VERSION = 1
+
+#: Multi-fault/media/scrub fields added after v1 shipped, with their
+#: inactive defaults.  :meth:`FaultScenario.to_dict` omits them while
+#: they hold these values, so every single-fault scenario hashes exactly
+#: as it did before the fields existed (pinned by the scenario tests).
+_V1_OPTIONAL_DEFAULTS = {
+    "second_fault_time_ms": None,
+    "second_failed_disk": None,
+    "max_faults": 1,
+    "lse_per_gb": 0.0,
+    "scrub_interval_ms": None,
+    "scrub_throttle_ms": 0.0,
+}
 
 
 @dataclass(frozen=True)
@@ -55,6 +68,22 @@ class FaultScenario:
     rebuild_rows: Optional[int] = None
     rebuild_parallel: int = 1
     rebuild_throttle_ms: float = 0.0
+    # Multi-fault extensions (all inactive by default; see
+    # _V1_OPTIONAL_DEFAULTS for the hash-compatibility contract).
+    # A scripted second whole-disk failure, and/or further stochastic
+    # failures: with ``mttf_hours`` set, ``max_faults`` of the per-disk
+    # lifetime draws are scheduled in time order instead of only the
+    # earliest.
+    second_fault_time_ms: Optional[float] = None
+    second_failed_disk: Optional[int] = None
+    max_faults: int = 1
+    # Latent sector errors: expected errors per GB of swept capacity,
+    # drawn per disk from seeded Poisson counts (see repro.faults.media).
+    lse_per_gb: float = 0.0
+    # Background scrubbing: a full-pass read of every live cell each
+    # ``scrub_interval_ms``, throttled like the reconstructor.
+    scrub_interval_ms: Optional[float] = None
+    scrub_throttle_ms: float = 0.0
 
     def __post_init__(self):
         if (self.fault_time_ms is None) == (self.mttf_hours is None):
@@ -83,6 +112,56 @@ class FaultScenario:
         if self.rebuild_throttle_ms < 0:
             raise ConfigurationError(
                 f"negative rebuild throttle {self.rebuild_throttle_ms}"
+            )
+        if self.second_fault_time_ms is not None:
+            if self.fault_time_ms is None:
+                raise ConfigurationError(
+                    "a scripted second fault needs a scripted first fault"
+                    " (set fault_time_ms)"
+                )
+            if self.second_fault_time_ms <= self.fault_time_ms:
+                raise ConfigurationError(
+                    f"second fault at {self.second_fault_time_ms} must land"
+                    f" strictly after the first at {self.fault_time_ms}"
+                )
+            if self.second_failed_disk is None:
+                raise ConfigurationError(
+                    "a scripted second fault needs second_failed_disk"
+                )
+        if self.second_failed_disk is not None:
+            if self.second_fault_time_ms is None:
+                raise ConfigurationError(
+                    "second_failed_disk needs second_fault_time_ms"
+                )
+            if self.second_failed_disk < 0:
+                raise ConfigurationError(
+                    f"bad second failed disk {self.second_failed_disk}"
+                )
+            if self.second_failed_disk == self.failed_disk:
+                raise ConfigurationError(
+                    "second failure must strike a different disk"
+                )
+        if self.max_faults < 1:
+            raise ConfigurationError(
+                f"need >= 1 fault, got max_faults={self.max_faults}"
+            )
+        if self.max_faults > 1 and self.mttf_hours is None:
+            raise ConfigurationError(
+                "max_faults > 1 draws extra failures from disk lifetimes"
+                " and needs mttf_hours (script a pair with"
+                " second_fault_time_ms instead)"
+            )
+        if self.lse_per_gb < 0:
+            raise ConfigurationError(
+                f"negative latent-error rate {self.lse_per_gb}"
+            )
+        if self.scrub_interval_ms is not None and self.scrub_interval_ms <= 0:
+            raise ConfigurationError(
+                f"scrub interval must be > 0, got {self.scrub_interval_ms}"
+            )
+        if self.scrub_throttle_ms < 0:
+            raise ConfigurationError(
+                f"negative scrub throttle {self.scrub_throttle_ms}"
             )
 
     # ------------------------------------------------------------------
@@ -113,12 +192,66 @@ class FaultScenario:
         time_ms = min(lifetimes)
         return time_ms, lifetimes.index(time_ms)
 
+    @property
+    def multi_fault(self) -> bool:
+        """Does this scenario schedule more than one whole-disk failure?"""
+        return self.second_fault_time_ms is not None or self.max_faults > 1
+
+    def draw_faults(self, n_disks: int) -> List[Tuple[float, int]]:
+        """Every scheduled failure as ``(time_ms, disk)``, in time order.
+
+        Deterministic scenarios return the scripted first (and optional
+        second) failure; stochastic scenarios draw one exponential
+        lifetime per disk and schedule the ``max_faults`` earliest.
+        Equal draws break ties by disk id, so the sequence is a pure
+        function of the scenario and ``n_disks``.
+        """
+        if self.fault_time_ms is not None:
+            faults = [(self.fault_time_ms, self.failed_disk)]
+            if self.second_fault_time_ms is not None:
+                if not 0 <= self.second_failed_disk < n_disks:
+                    raise ConfigurationError(
+                        f"second failed disk {self.second_failed_disk}"
+                        f" outside 0..{n_disks - 1}"
+                    )
+                faults.append(
+                    (self.second_fault_time_ms, self.second_failed_disk)
+                )
+            if not 0 <= self.failed_disk < n_disks:
+                raise ConfigurationError(
+                    f"failed disk {self.failed_disk} outside"
+                    f" 0..{n_disks - 1}"
+                )
+            return faults
+        lifetimes = [
+            (
+                exponential_lifetime_ms(
+                    self.mttf_hours,
+                    random.Random(f"{self.fault_seed}/disk-{disk}"),
+                ),
+                disk,
+            )
+            for disk in range(n_disks)
+        ]
+        lifetimes.sort()
+        return lifetimes[: self.max_faults]
+
     # ------------------------------------------------------------------
     # Serialization and hashing.
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        """Flat JSON-able form.
+
+        Fields added after v1 are omitted while at their inactive
+        defaults, so pre-existing scenarios keep their original content
+        hashes (and old serialized scenarios round-trip unchanged).
+        """
+        data = asdict(self)
+        for name, default in _V1_OPTIONAL_DEFAULTS.items():
+            if data[name] == default:
+                del data[name]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultScenario":

@@ -1,0 +1,193 @@
+"""Periodic background media scrubbing.
+
+Latent sector errors are only dangerous when they are *discovered during
+a rebuild* — the stripe then has no redundancy left to recover the bad
+cell from.  A scrub pass reads every cell of every live disk while the
+array still has full redundancy, and rewrites any cell that reads back
+bad (sector reallocation), clearing the latent error before it can
+ambush a rebuild.
+
+The scrubber is deliberately gentle: one outstanding read at a time,
+disk-major order, an optional idle ``throttle_ms`` between operations,
+and it pauses whenever the array is degraded or rebuilding (a wounded
+array needs its bandwidth; the rebuild sweep is already reading
+everything that matters).  Scrub traffic shares the disk model with
+client and rebuild traffic, so its cost shows up in the same statistics.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable, Optional
+
+from repro.array.controller import ArrayController
+from repro.array.raidops import ArrayMode
+from repro.errors import ConfigurationError
+from repro.faults.media import MediaErrorMap
+
+#: Access ids at or above this value are scrub traffic (rebuild traffic
+#: starts at 1 << 40; scrub ids never collide with either space).
+SCRUB_ID_BASE = 1 << 41
+
+#: Modes in which scrubbing runs; anywhere else it pauses and re-checks.
+_SCRUB_MODES = (ArrayMode.FAULT_FREE, ArrayMode.POST_RECONSTRUCTION)
+
+
+class Scrubber:
+    """Find-and-repair sweep over every live cell, every ``interval_ms``.
+
+    ``rows`` bounds the sweep per disk (``None`` = the controller's full
+    period count — use the same bound as the rebuild domain so scrub and
+    rebuild describe the same array).  ``on_repair(disk, offset)`` fires
+    for every latent error the scrub fixes.
+    """
+
+    def __init__(
+        self,
+        controller: ArrayController,
+        media: MediaErrorMap,
+        interval_ms: float,
+        throttle_ms: float = 0.0,
+        rows: Optional[int] = None,
+        on_repair: Optional[Callable[[int, int], None]] = None,
+    ):
+        if interval_ms <= 0:
+            raise ConfigurationError(
+                f"scrub interval must be > 0, got {interval_ms}"
+            )
+        if throttle_ms < 0:
+            raise ConfigurationError(
+                f"negative scrub throttle {throttle_ms}"
+            )
+        total_rows = (
+            rows
+            if rows is not None
+            else controller.periods * controller.layout.period
+        )
+        if total_rows < 1:
+            raise ConfigurationError(f"need >= 1 scrub row, got {rows}")
+        self.controller = controller
+        self.media = media
+        self.interval_ms = interval_ms
+        self.throttle_ms = throttle_ms
+        self.rows = total_rows
+        self.on_repair = on_repair
+        self.passes_completed = 0
+        self.cells_read = 0
+        self.found = 0
+        self.repaired = 0
+        self._running = False
+        self._stopped = False
+        self._disk = 0
+        self._offset = 0
+        self._next_id = SCRUB_ID_BASE
+
+    def start(self) -> None:
+        """Arm the scrubber: the first pass begins one interval from now."""
+        if self._running or self._stopped:
+            raise ConfigurationError("scrubber already started")
+        self._running = True
+        self.controller.engine.schedule(self.interval_ms, self._begin_pass)
+
+    def stop(self) -> None:
+        """Halt permanently (campaign end, or terminal data loss)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Pass machinery.
+    # ------------------------------------------------------------------
+
+    def _begin_pass(self) -> None:
+        if self._stopped:
+            return
+        self._disk = 0
+        self._offset = 0
+        self._next_cell()
+
+    def _next_cell(self) -> None:
+        if self._stopped:
+            return
+        mode = self.controller.mode
+        if mode is ArrayMode.DATA_LOSS:
+            self._stopped = True
+            return
+        if mode not in _SCRUB_MODES:
+            # The array is wounded; cede the bandwidth and look again in
+            # one interval, resuming from the current position.
+            self.controller.engine.schedule(
+                self.interval_ms, self._next_cell
+            )
+            return
+        while self._disk < self.controller.layout.n:
+            if self.controller.servers[self._disk].failed:
+                self._disk += 1
+                self._offset = 0
+                continue
+            if self._offset >= self.rows:
+                self._disk += 1
+                self._offset = 0
+                self._next_id += 1  # new id per disk sweep
+                continue
+            disk, offset = self._disk, self._offset
+            self._offset += 1
+            self.cells_read += 1
+            self.controller.submit_raw(
+                disk,
+                offset,
+                False,
+                self._next_id,
+                partial(self._read_done, disk, offset),
+                tag="scrub-read",
+            )
+            return
+        self.passes_completed += 1
+        self.controller.engine.schedule(self.interval_ms, self._begin_pass)
+
+    def _read_done(self, disk: int, offset: int) -> None:
+        if self._stopped:
+            return
+        if (
+            self.controller.mode not in _SCRUB_MODES
+            or self.controller.servers[disk].failed
+        ):
+            # The array was wounded while this read was in flight; do not
+            # issue the rewrite — pause via the normal path instead.
+            self._advance()
+            return
+        if self.media.is_bad(disk, offset):
+            self.found += 1
+            self.controller.submit_raw(
+                disk,
+                offset,
+                True,
+                self._next_id,
+                partial(self._rewrite_done, disk, offset),
+                tag="scrub-rewrite",
+            )
+            return
+        self._advance()
+
+    def _rewrite_done(self, disk: int, offset: int) -> None:
+        if self.media.repair(disk, offset):
+            self.repaired += 1
+            if self.on_repair is not None:
+                self.on_repair(disk, offset)
+        self._advance()
+
+    def _advance(self) -> None:
+        if self._stopped:
+            return
+        if self.throttle_ms > 0:
+            self.controller.engine.schedule(
+                self.throttle_ms, self._next_cell
+            )
+        else:
+            self._next_cell()
+
+    def to_dict(self) -> dict:
+        return {
+            "passes_completed": self.passes_completed,
+            "cells_read": self.cells_read,
+            "found": self.found,
+            "repaired": self.repaired,
+        }

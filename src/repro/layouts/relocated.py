@@ -1,0 +1,169 @@
+"""A layout view with one completed spare relocation folded in.
+
+After a distributed-sparing rebuild finishes, the failed disk's units
+live permanently in their same-row spare cells.  If a *second* disk then
+fails, the planner does not need multi-failure logic: from the array's
+point of view the completed relocation is simply the new mapping, and
+the new failure is an ordinary single failure against that mapping.
+:class:`RelocatedView` is that mapping — it wraps the base layout,
+redirects every address on the relocated disk to its spare target, and
+reports ``has_sparing = False`` (the spare space is spent), so the
+planner and reconstructor drive the second repair cycle onto a
+replacement spindle exactly like any no-sparing layout.
+
+The view is duck-typed rather than a :class:`~repro.layouts.base.Layout`
+subclass: the base class validates that a pattern covers the full
+``n x period`` grid, which no longer holds once one spindle's cells are
+dead.  It implements the full surface the planner, the reconstruction
+planner, and the controller consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError, MappingError
+from repro.layouts.address import PhysicalAddress, Role, StripeUnits, UnitInfo
+
+
+class RelocatedView:
+    """The base layout with disk ``relocated_disk``'s units in spare space.
+
+    Addresses on the relocated disk are never returned: data units map to
+    their spare targets, stripes list the targets as members, and
+    ``locate`` resolves a spare target cell to the unit relocated into
+    it.  Asking about the relocated disk itself raises — by construction
+    nothing should be planned there.
+    """
+
+    def __init__(self, base, relocated_disk: int):
+        if not base.has_sparing:
+            raise ConfigurationError(
+                f"{base.name} has no spare space to relocate into"
+            )
+        if not 0 <= relocated_disk < base.n:
+            raise ConfigurationError(
+                f"disk {relocated_disk} outside 0..{base.n - 1}"
+            )
+        self.base = base
+        self.relocated_disk = relocated_disk
+        self.name = f"relocated({base.name}, disk {relocated_disk})"
+        self.n = base.n
+        self.k = base.k
+        # Inverse of the relocation over one period: spare target cell
+        # -> relocated source row on the failed disk.
+        inverse: Dict[Tuple[int, int], int] = {}
+        for row in range(base.period):
+            if base.locate(relocated_disk, row).role is Role.SPARE:
+                continue
+            target = base.relocation_target(
+                PhysicalAddress(relocated_disk, row)
+            )
+            if target.disk == relocated_disk:
+                raise MappingError(
+                    f"{base.name}: cell ({relocated_disk}, {row})"
+                    " relocates onto its own failed spindle"
+                )
+            inverse[(target.disk, target.offset % base.period)] = row
+        self._spare_source = inverse
+
+    # ------------------------------------------------------------------
+    # Geometry (delegated).
+    # ------------------------------------------------------------------
+
+    @property
+    def period(self) -> int:
+        return self.base.period
+
+    @property
+    def stripes_per_period(self) -> int:
+        return self.base.stripes_per_period
+
+    @property
+    def data_per_stripe(self) -> int:
+        return self.base.data_per_stripe
+
+    @property
+    def checks_per_stripe(self) -> int:
+        return self.base.checks_per_stripe
+
+    @property
+    def data_units_per_period(self) -> int:
+        return self.base.data_units_per_period
+
+    @property
+    def has_sparing(self) -> bool:
+        # The spare space is consumed by the folded-in relocation.
+        return False
+
+    def spare_addresses_in_period(self) -> List[PhysicalAddress]:
+        return []
+
+    def relocation_target(self, addr: PhysicalAddress) -> PhysicalAddress:
+        raise MappingError(f"{self.name} has no spare space left")
+
+    # ------------------------------------------------------------------
+    # Forward mapping.
+    # ------------------------------------------------------------------
+
+    def _redirect(self, addr: PhysicalAddress) -> PhysicalAddress:
+        if addr.disk == self.relocated_disk:
+            return self.base.relocation_target(addr)
+        return addr
+
+    def data_unit_cell(self, unit: int) -> Tuple[int, int]:
+        disk, offset = self.base.data_unit_cell(unit)
+        if disk == self.relocated_disk:
+            target = self.base.relocation_target(
+                PhysicalAddress(disk, offset)
+            )
+            return target.disk, target.offset
+        return disk, offset
+
+    def data_unit_address(self, unit: int) -> PhysicalAddress:
+        return PhysicalAddress(*self.data_unit_cell(unit))
+
+    def stripe_of_data_unit(self, unit: int) -> int:
+        return self.base.stripe_of_data_unit(unit)
+
+    def data_units_of_stripe(self, stripe_id: int) -> range:
+        return self.base.data_units_of_stripe(stripe_id)
+
+    def stripe_units(self, stripe_id: int) -> StripeUnits:
+        units = self.base.stripe_units(stripe_id)
+        redirect = self._redirect
+        return StripeUnits(
+            data=[redirect(a) for a in units.data],
+            check=[redirect(a) for a in units.check],
+        )
+
+    # ------------------------------------------------------------------
+    # Inverse mapping.
+    # ------------------------------------------------------------------
+
+    def locate(self, disk: int, offset: int) -> UnitInfo:
+        if disk == self.relocated_disk:
+            raise MappingError(
+                f"disk {disk} was relocated away; its cells hold no data"
+            )
+        if not 0 <= disk < self.n:
+            raise MappingError(f"disk {disk} outside 0..{self.n - 1}")
+        if offset < 0:
+            raise MappingError(f"negative offset {offset}")
+        period = self.base.period
+        cycle, row = divmod(offset, period)
+        source_row = self._spare_source.get((disk, row))
+        if source_row is not None:
+            return self.base.locate(
+                self.relocated_disk, source_row + cycle * period
+            )
+        return self.base.locate(disk, offset)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(n={self.n}, k={self.k}, period={self.period},"
+            f" sparing=False)"
+        )
+
+    def __repr__(self) -> str:
+        return self.describe()

@@ -9,16 +9,22 @@ rebuild times.
 
 from repro.reliability.mttdl import (
     ArrayReliability,
+    CampaignPrediction,
+    campaign_loss_probability,
     exponential_lifetime_ms,
     mttdl_declustered,
     mttdl_distributed_sparing,
     mttdl_raid5,
+    predict_campaign_loss,
 )
 
 __all__ = [
     "ArrayReliability",
+    "CampaignPrediction",
+    "campaign_loss_probability",
     "exponential_lifetime_ms",
     "mttdl_declustered",
     "mttdl_distributed_sparing",
     "mttdl_raid5",
+    "predict_campaign_loss",
 ]

@@ -28,6 +28,7 @@ probability factor.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 
@@ -159,6 +160,57 @@ def exponential_lifetime_ms(
     if mttf_hours <= 0:
         raise ConfigurationError(f"mttf must be positive, got {mttf_hours}")
     return rng.expovariate(1.0 / (mttf_hours * MS_PER_HOUR))
+
+
+def campaign_loss_probability(
+    n: int, mttf_hours: float, window_hours: float
+) -> float:
+    """P(a second failure lands inside the exposure window).
+
+    After the first failure, each of the ``n - 1`` survivors keeps its
+    exponential lifetime (memorylessness), so the time to the *next*
+    failure is exponential with rate ``(n - 1) / mttf`` and the second
+    failure falls inside a ``window_hours`` exposure with probability
+    ``1 - exp(-(n - 1) * window / mttf)``.  This is the per-cycle loss
+    probability the multi-fault campaigns estimate empirically — the
+    same exposure logic the MTTDL models above integrate analytically.
+    """
+    if n < 2:
+        raise ConfigurationError(f"need >= 2 disks, got {n}")
+    if mttf_hours <= 0:
+        raise ConfigurationError(f"mttf must be positive, got {mttf_hours}")
+    if window_hours < 0:
+        raise ConfigurationError(f"negative window {window_hours}")
+    return 1.0 - math.exp(-(n - 1) * window_hours / mttf_hours)
+
+
+@dataclass(frozen=True)
+class CampaignPrediction:
+    """Analytic per-cycle loss probability, with its inputs."""
+
+    n: int
+    mttf_hours: float
+    window_hours: float
+    loss_probability: float
+
+
+def predict_campaign_loss(
+    n: int, mttf_hours: float, window_hours: float
+) -> CampaignPrediction:
+    """The analytic counterpart of a simulated multi-fault campaign.
+
+    ``window_hours`` is the exposure per cycle — the degraded dwell plus
+    the rebuild duration, both measured by the simulator — over which a
+    second whole-disk failure loses data.
+    """
+    return CampaignPrediction(
+        n=n,
+        mttf_hours=mttf_hours,
+        window_hours=window_hours,
+        loss_probability=campaign_loss_probability(
+            n, mttf_hours, window_hours
+        ),
+    )
 
 
 def rebuild_hours_from_simulation(

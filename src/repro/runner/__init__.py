@@ -7,6 +7,7 @@ RUNNER.md at the repository root for the operational guide.
 """
 
 from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.checkpoint import RunCheckpoint
 from repro.runner.execute import (
     canonical_json,
     cell_from_record,
@@ -25,6 +26,7 @@ from repro.runner.figures import (
 )
 from repro.runner.parallel import ParallelRunner, RunReport, default_workers
 from repro.runner.spec import (
+    CampaignTrialSpec,
     ExperimentSpec,
     LifecycleSpec,
     Table1Spec,
@@ -33,12 +35,15 @@ from repro.runner.spec import (
     spec_hash,
     spec_to_dict,
 )
+from repro.runner.workers import run_hardened
 
 __all__ = [
+    "CampaignTrialSpec",
     "ExperimentSpec",
     "LifecycleSpec",
     "ParallelRunner",
     "ResultCache",
+    "RunCheckpoint",
     "RunReport",
     "Table1Spec",
     "canonical_json",
@@ -55,6 +60,7 @@ __all__ = [
     "point_from_record",
     "rebuild_load_curves",
     "response_sweep_specs",
+    "run_hardened",
     "spec_from_dict",
     "spec_hash",
     "spec_to_dict",

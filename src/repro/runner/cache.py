@@ -5,7 +5,9 @@ digits of the spec hash (fan-out keeps directories small).  Each file is
 one result record, written atomically (temp file + rename) so a killed
 run never leaves a half-written entry under the final name.  Reads are
 defensive: unparsable, truncated, or mismatched files count as misses
-and are recomputed — corruption can cost time, never correctness.
+and are recomputed — corruption can cost time, never correctness.  A
+corrupt file is *quarantined* (renamed to ``<hash>.corrupt``) so the
+recomputed record can land cleanly and the bad bytes stay inspectable.
 """
 
 from __future__ import annotations
@@ -40,12 +42,18 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[dict]:
-        """The cached record, or None on miss *or any corruption*."""
+        """The cached record, or None on miss *or any corruption*.
+
+        A missing file is a clean miss; an existing-but-corrupt file
+        (truncated write from a killed process, bit rot, hash mismatch)
+        is quarantined aside so the recompute can overwrite cleanly.
+        """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -54,11 +62,22 @@ class ResultCache:
                 raise ValueError("cache entry is not a record")
             if record.get("spec_hash") != key:
                 raise ValueError("cache entry hash mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
         except (OSError, ValueError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return record
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+            self.quarantined += 1
+        except OSError:
+            pass  # unreadable *and* unmovable: the put() will overwrite
 
     def put(self, key: str, record: dict) -> None:
         path = self.path_for(key)

@@ -15,6 +15,7 @@ from typing import List
 from repro.errors import ConfigurationError
 from repro.runner.spec import (
     MODES,
+    CampaignTrialSpec,
     ExperimentSpec,
     LifecycleSpec,
     Spec,
@@ -133,10 +134,29 @@ def _execute_lifecycle(spec: LifecycleSpec) -> dict:
     }
 
 
+def _execute_campaign_trial(spec: CampaignTrialSpec) -> dict:
+    from repro.experiments.campaign import run_campaign_trial
+
+    return {
+        "trial": run_campaign_trial(
+            spec.layout,
+            spec.scenario(),
+            trial=spec.trial,
+            seed=spec.seed,
+            clients=spec.clients,
+            size_kb=spec.size_kb,
+            is_write=spec.is_write,
+            disks=spec.disks,
+            width=spec.width,
+        )
+    }
+
+
 _EXECUTORS = {
     ExperimentSpec.kind: _execute_response,
     Table1Spec.kind: _execute_table1,
     LifecycleSpec.kind: _execute_lifecycle,
+    CampaignTrialSpec.kind: _execute_campaign_trial,
 }
 
 

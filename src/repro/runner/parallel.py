@@ -8,27 +8,53 @@ byte-identical for any worker count (asserted by the determinism test
 suite).  With a :class:`~repro.runner.cache.ResultCache` attached,
 previously computed specs are served from disk and only the misses are
 simulated; duplicate specs within one call are computed once.
+
+Long campaigns opt into hardening: a per-spec ``timeout_s``, crash/hang
+``retries`` with capped exponential backoff (the pipe-based pool in
+:mod:`repro.runner.workers`), and a :class:`~repro.runner.checkpoint.
+RunCheckpoint` that persists each completed record so a killed run
+resumes where it stopped — with byte-identical final records either
+way.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.runner.cache import ResultCache
+from repro.runner.checkpoint import RunCheckpoint
 from repro.runner.execute import execute_spec
 from repro.runner.spec import Spec, spec_hash
 
 
 def default_workers() -> int:
-    """``$REPRO_BENCH_WORKERS`` (>= 1), else 1 (serial)."""
-    try:
-        return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
-    except ValueError:
+    """``$REPRO_BENCH_WORKERS`` (>= 1), else 1 (serial).
+
+    An unparsable or non-positive value falls back to serial — loudly:
+    silently dropping to one worker turns a typo into a mysterious 8x
+    slowdown, so the bad value is named in a :class:`RuntimeWarning`.
+    """
+    raw = os.environ.get("REPRO_BENCH_WORKERS")
+    if raw is None:
         return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        workers = 0
+    if workers < 1:
+        warnings.warn(
+            f"ignoring invalid REPRO_BENCH_WORKERS={raw!r}"
+            " (need an integer >= 1); running serial",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+    return workers
 
 
 def _pool_context():
@@ -45,33 +71,58 @@ class RunReport:
     """What one :meth:`ParallelRunner.run` call did.
 
     ``records`` is in spec order; ``executed`` counts simulations
-    actually run and ``cache_hits`` counts unique specs served from the
-    cache (in-call duplicates resolve to the first occurrence and count
-    as neither).
+    actually run, ``cache_hits`` counts unique specs served from the
+    cache, and ``checkpoint_hits`` counts those resumed from a
+    checkpoint file (in-call duplicates resolve to the first occurrence
+    and count as none of the three).
     """
 
     records: List[dict]
     executed: int
     cache_hits: int
+    checkpoint_hits: int = 0
 
 
 class ParallelRunner:
     """Run experiment specs, possibly in parallel, possibly cached.
 
     ``workers=None`` reads ``$REPRO_BENCH_WORKERS`` (default serial).
+    ``timeout_s``/``retries``/``backoff_*`` harden multi-worker runs
+    against crashed or wedged workers (see :mod:`repro.runner.workers`);
+    ``checkpoint`` makes the run resumable after a kill.
     """
 
     def __init__(
         self,
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+        backoff_base_s: float = 0.5,
+        backoff_cap_s: float = 30.0,
+        checkpoint: Optional[RunCheckpoint] = None,
     ):
         self.workers = default_workers() if workers is None else int(workers)
         if self.workers < 1:
             raise ConfigurationError(
                 f"need >= 1 worker, got {self.workers}"
             )
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {timeout_s}")
+        if retries < 0:
+            raise ConfigurationError(f"negative retry budget {retries}")
+        if backoff_base_s < 0 or backoff_cap_s < 0:
+            raise ConfigurationError("backoff times must be >= 0")
         self.cache = cache
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.checkpoint = checkpoint
+
+    @property
+    def _hardened(self) -> bool:
+        return self.timeout_s is not None or self.retries > 0
 
     def run(self, specs: Sequence[Spec]) -> RunReport:
         specs = list(specs)
@@ -81,10 +132,17 @@ class ParallelRunner:
         todo: List[tuple] = []  # (key, spec), unique, in first-seen order
         seen = set()
         cache_hits = 0
+        checkpoint_hits = 0
         for key, spec in zip(keys, specs):
             if key in seen:
                 continue
             seen.add(key)
+            if self.checkpoint is not None:
+                record = self.checkpoint.get(key)
+                if record is not None:
+                    resolved[key] = record
+                    checkpoint_hits += 1
+                    continue
             if self.cache is not None:
                 record = self.cache.get(key)
                 if record is not None:
@@ -94,15 +152,7 @@ class ParallelRunner:
             todo.append((key, spec))
 
         if todo:
-            if self.workers > 1 and len(todo) > 1:
-                ctx = _pool_context()
-                processes = min(self.workers, len(todo))
-                with ctx.Pool(processes=processes) as pool:
-                    computed = pool.map(
-                        execute_spec, [spec for _, spec in todo]
-                    )
-            else:
-                computed = [execute_spec(spec) for _, spec in todo]
+            computed = self._execute(todo)
             for (key, _), record in zip(todo, computed):
                 resolved[key] = record
                 if self.cache is not None:
@@ -112,4 +162,38 @@ class ParallelRunner:
             records=[resolved[key] for key in keys],
             executed=len(todo),
             cache_hits=cache_hits,
+            checkpoint_hits=checkpoint_hits,
         )
+
+    def _execute(self, todo: List[tuple]) -> List[dict]:
+        specs = [spec for _, spec in todo]
+        if self.workers > 1 and len(specs) > 1:
+            if self._hardened or self.checkpoint is not None:
+                from repro.runner.workers import run_hardened
+
+                return run_hardened(
+                    specs,
+                    workers=self.workers,
+                    timeout_s=self.timeout_s,
+                    retries=self.retries,
+                    backoff_base_s=self.backoff_base_s,
+                    backoff_cap_s=self.backoff_cap_s,
+                    on_record=(
+                        self.checkpoint.append
+                        if self.checkpoint is not None
+                        else None
+                    ),
+                )
+            ctx = _pool_context()
+            processes = min(self.workers, len(specs))
+            with ctx.Pool(processes=processes) as pool:
+                return pool.map(execute_spec, specs)
+        # Serial path: checkpoint incrementally so a kill between specs
+        # (or a spec that raises) loses nothing already computed.
+        computed = []
+        for spec in specs:
+            record = execute_spec(spec)
+            if self.checkpoint is not None:
+                self.checkpoint.append(record)
+            computed.append(record)
+        return computed

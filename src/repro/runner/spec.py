@@ -162,10 +162,77 @@ class LifecycleSpec:
         )
 
 
-Spec = Union[ExperimentSpec, Table1Spec, LifecycleSpec]
+@dataclass(frozen=True)
+class CampaignTrialSpec:
+    """One multi-fault reliability trial (campaign Monte-Carlo sample).
+
+    Each trial draws ``faults`` exponential disk lifetimes (MTTF
+    ``mttf_hours``) from streams seeded by ``seed * 1_000_003 + trial``
+    — a large odd multiplier keeps per-trial streams disjoint across
+    campaign seeds — and simulates the repair arc to completion or data
+    loss.  ``clients = 0`` (the default) runs the arc unloaded; positive
+    values add the lifecycle experiments' closed-loop clients.
+
+    >>> spec = CampaignTrialSpec(layout="pddl", trial=7)
+    >>> spec_hash(spec) == spec_hash(CampaignTrialSpec(layout="pddl",
+    ...                                                trial=7))
+    True
+    """
+
+    kind: ClassVar[str] = "campaign-trial"
+
+    layout: str
+    disks: int = 13
+    width: Optional[int] = None
+    trial: int = 0
+    seed: int = 0
+    mttf_hours: float = 1000.0
+    faults: int = 2
+    degraded_dwell_ms: float = 0.0
+    rebuild_rows: Optional[int] = None
+    rebuild_parallel: int = 1
+    rebuild_throttle_ms: float = 0.0
+    lse_per_gb: float = 0.0
+    scrub_interval_ms: Optional[float] = None
+    scrub_throttle_ms: float = 0.0
+    clients: int = 0
+    size_kb: int = 8
+    is_write: bool = False
+
+    def __post_init__(self):
+        if self.trial < 0:
+            raise ConfigurationError(f"negative trial index {self.trial}")
+        if self.clients < 0:
+            raise ConfigurationError(
+                f"negative client count {self.clients}"
+            )
+        # Fault/media/scrub validation lives in FaultScenario; build one
+        # now so bad specs fail at construction, not mid-campaign.
+        self.scenario()
+
+    def scenario(self):
+        """The :class:`~repro.faults.scenario.FaultScenario` this encodes."""
+        from repro.faults.scenario import FaultScenario
+
+        return FaultScenario(
+            mttf_hours=self.mttf_hours,
+            fault_seed=self.seed * 1_000_003 + self.trial,
+            max_faults=self.faults,
+            degraded_dwell_ms=self.degraded_dwell_ms,
+            rebuild_rows=self.rebuild_rows,
+            rebuild_parallel=self.rebuild_parallel,
+            rebuild_throttle_ms=self.rebuild_throttle_ms,
+            lse_per_gb=self.lse_per_gb,
+            scrub_interval_ms=self.scrub_interval_ms,
+            scrub_throttle_ms=self.scrub_throttle_ms,
+        )
+
+
+Spec = Union[ExperimentSpec, Table1Spec, LifecycleSpec, CampaignTrialSpec]
 
 _SPEC_TYPES = {
-    cls.kind: cls for cls in (ExperimentSpec, Table1Spec, LifecycleSpec)
+    cls.kind: cls
+    for cls in (ExperimentSpec, Table1Spec, LifecycleSpec, CampaignTrialSpec)
 }
 
 

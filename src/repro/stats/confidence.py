@@ -8,8 +8,51 @@ discards a warmup prefix, then checks the relative CI half-width every
 
 from __future__ import annotations
 
+import math
+from typing import Tuple
+
 from repro.errors import ConfigurationError
 from repro.stats.summary import SummaryStats
+
+#: Two-sided normal quantiles for the confidence levels the repo uses.
+_Z_BY_CONFIDENCE = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at the extremes (0 or ``trials`` successes give a
+    non-degenerate interval), which matters for loss-probability
+    campaigns where the event can be rare.
+
+    >>> low, high = wilson_interval(0, 100)
+    >>> low == 0.0 and 0.0 < high < 0.05
+    True
+    """
+    if trials < 1:
+        raise ConfigurationError(f"need >= 1 trial, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"{successes} successes out of {trials} trials"
+        )
+    z = _Z_BY_CONFIDENCE.get(confidence)
+    if z is None:
+        raise ConfigurationError(
+            f"confidence must be one of"
+            f" {sorted(_Z_BY_CONFIDENCE)}, got {confidence}"
+        )
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    centre = (p + z2 / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
+        / denom
+    )
+    return max(0.0, centre - half), min(1.0, centre + half)
 
 
 class StoppingRule:

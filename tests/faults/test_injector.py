@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.faults import FaultInjector, FaultScenario
 from repro.sim.engine import SimulationEngine
 
@@ -43,11 +43,39 @@ class TestFaultInjector:
         ) == scenario.draw_fault(13)
 
     def test_rejects_double_arm(self):
+        # Double-arming is a caller bug, not a simulation outcome: the
+        # error is a ConfigurationError and names the armed state.
         engine = SimulationEngine()
         injector = make_injector(engine, [], fault_time_ms=10.0)
         injector.arm()
-        with pytest.raises(SimulationError):
+        with pytest.raises(ConfigurationError, match="already armed"):
             injector.arm()
+
+    def test_rejects_arm_after_fired(self):
+        engine = SimulationEngine()
+        injector = make_injector(engine, [], fault_time_ms=10.0)
+        injector.arm()
+        engine.run()
+        assert injector.fired
+        with pytest.raises(ConfigurationError, match="already armed"):
+            injector.arm()
+
+    def test_multi_fault_scenario_fires_in_order(self):
+        engine = SimulationEngine()
+        hits = []
+        injector = make_injector(
+            engine,
+            hits,
+            fault_time_ms=10.0,
+            failed_disk=2,
+            second_fault_time_ms=30.0,
+            second_failed_disk=7,
+        )
+        injector.arm()
+        engine.run()
+        assert hits == [(2, 10.0), (7, 30.0)]
+        assert injector.fired_ms == 10.0
+        assert injector.fired_count == 2
 
     def test_rejects_fault_in_the_past(self):
         engine = SimulationEngine()

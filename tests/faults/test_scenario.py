@@ -85,3 +85,121 @@ class TestHashing:
 
     def test_version_is_part_of_the_hash(self):
         assert FAULT_SCENARIO_VERSION == 1
+
+    def test_single_fault_hashes_are_pinned(self):
+        # The multi-fault/media/scrub fields are omitted from the
+        # canonical form at their inactive defaults, so scenarios from
+        # before those fields existed keep their exact hashes (cache
+        # compatibility).  Do not update these values: a mismatch means
+        # every existing result cache silently invalidates.
+        assert FaultScenario(fault_time_ms=100.0).content_hash() == (
+            "161ebf7b6b155b6365a35c738b4a6396"
+            "e2e62f32c07c41722ac77f62cf4fe40c"
+        )
+        assert FaultScenario(
+            mttf_hours=1000.0, fault_seed=7
+        ).content_hash() == (
+            "126853b9774272acc645221c26ff3ae4"
+            "51faa4c1c854c6c5386363fc0cbfc64e"
+        )
+
+    def test_multi_fault_fields_change_the_hash(self):
+        base = FaultScenario(fault_time_ms=100.0)
+        pair = FaultScenario(
+            fault_time_ms=100.0,
+            second_fault_time_ms=200.0,
+            second_failed_disk=3,
+        )
+        lse = FaultScenario(fault_time_ms=100.0, lse_per_gb=10.0)
+        assert len({s.content_hash() for s in (base, pair, lse)}) == 3
+
+    def test_multi_fault_round_trip(self):
+        scenario = FaultScenario(
+            mttf_hours=500.0,
+            fault_seed=9,
+            max_faults=3,
+            lse_per_gb=25.0,
+            scrub_interval_ms=40.0,
+            scrub_throttle_ms=2.0,
+        )
+        assert FaultScenario.from_dict(scenario.to_dict()) == scenario
+
+
+class TestMultiFaultValidation:
+    def test_scripted_second_fault_needs_both_fields(self):
+        with pytest.raises(ConfigurationError):
+            FaultScenario(fault_time_ms=10.0, second_fault_time_ms=20.0)
+        with pytest.raises(ConfigurationError):
+            FaultScenario(fault_time_ms=10.0, second_failed_disk=3)
+
+    def test_second_fault_must_land_after_the_first(self):
+        with pytest.raises(ConfigurationError):
+            FaultScenario(
+                fault_time_ms=10.0,
+                second_fault_time_ms=10.0,
+                second_failed_disk=3,
+            )
+
+    def test_second_fault_must_hit_a_new_disk(self):
+        with pytest.raises(ConfigurationError):
+            FaultScenario(
+                failed_disk=3,
+                fault_time_ms=10.0,
+                second_fault_time_ms=20.0,
+                second_failed_disk=3,
+            )
+
+    def test_max_faults_needs_mttf(self):
+        with pytest.raises(ConfigurationError):
+            FaultScenario(fault_time_ms=10.0, max_faults=2)
+        with pytest.raises(ConfigurationError):
+            FaultScenario(mttf_hours=100.0, max_faults=0)
+
+    def test_scrub_and_lse_knobs_validate(self):
+        with pytest.raises(ConfigurationError):
+            FaultScenario(fault_time_ms=10.0, lse_per_gb=-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultScenario(fault_time_ms=10.0, scrub_interval_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultScenario(fault_time_ms=10.0, scrub_throttle_ms=-1.0)
+
+
+class TestDrawFaults:
+    def test_scripted_pair_in_order(self):
+        scenario = FaultScenario(
+            failed_disk=2,
+            fault_time_ms=100.0,
+            second_fault_time_ms=250.0,
+            second_failed_disk=7,
+        )
+        assert scenario.draw_faults(13) == [(100.0, 2), (250.0, 7)]
+        assert scenario.multi_fault
+
+    def test_single_fault_matches_draw_fault(self):
+        scenario = FaultScenario(mttf_hours=1000.0, fault_seed=5)
+        assert scenario.draw_faults(13) == [scenario.draw_fault(13)]
+        assert not scenario.multi_fault
+
+    def test_stochastic_draws_are_the_earliest_lifetimes(self):
+        scenario = FaultScenario(
+            mttf_hours=1000.0, fault_seed=11, max_faults=3
+        )
+        faults = scenario.draw_faults(13)
+        assert len(faults) == 3
+        times = [t for t, _ in faults]
+        assert times == sorted(times)
+        assert len({d for _, d in faults}) == 3
+        # The selected failures are exactly the 3 shortest lifetimes of
+        # the full per-disk draw.
+        all_draws = sorted(
+            FaultScenario(
+                mttf_hours=1000.0, fault_seed=11, max_faults=13
+            ).draw_faults(13)
+        )
+        assert faults == all_draws[:3]
+
+    def test_draw_faults_replays_exactly(self):
+        scenario = FaultScenario(
+            mttf_hours=1000.0, fault_seed=4, max_faults=2
+        )
+        assert scenario.draw_faults(13) == scenario.draw_faults(13)

@@ -1,0 +1,136 @@
+"""Runner hardening: crash/hang retries, deterministic failures,
+worker-count parsing, and cache corruption recovery."""
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner import ParallelRunner, ResultCache, canonical_json
+from repro.runner.parallel import default_workers
+from repro.runner.spec import CampaignTrialSpec, spec_hash
+from repro.runner.workers import CRASH_ONCE_ENV, HANG_ONCE_ENV, run_hardened
+
+
+def quick_specs(trials=4):
+    return [
+        CampaignTrialSpec(
+            layout="pddl",
+            trial=trial,
+            seed=5,
+            mttf_hours=0.03,
+            faults=2,
+            degraded_dwell_ms=4000.0,
+            rebuild_rows=26,
+        )
+        for trial in range(trials)
+    ]
+
+
+class TestFaultInjection:
+    def test_crashed_worker_costs_a_retry_not_the_run(
+        self, tmp_path, monkeypatch
+    ):
+        specs = quick_specs()
+        reference = ParallelRunner(workers=1).run(specs).records
+
+        marker = tmp_path / "crash.marker"
+        monkeypatch.setenv(CRASH_ONCE_ENV, str(marker))
+        records = run_hardened(
+            specs, workers=2, retries=2, backoff_base_s=0.01
+        )
+        assert marker.exists()  # the injected crash actually fired
+        assert canonical_json(records) == canonical_json(reference)
+
+    def test_hung_worker_blows_its_deadline_and_retries(
+        self, tmp_path, monkeypatch
+    ):
+        specs = quick_specs(3)
+        reference = ParallelRunner(workers=1).run(specs).records
+
+        marker = tmp_path / "hang.marker"
+        monkeypatch.setenv(HANG_ONCE_ENV, str(marker))
+        records = run_hardened(
+            specs,
+            workers=2,
+            timeout_s=3.0,
+            retries=1,
+            backoff_base_s=0.01,
+        )
+        assert marker.exists()
+        assert canonical_json(records) == canonical_json(reference)
+
+    def test_exhausted_retry_budget_raises(self, tmp_path, monkeypatch):
+        # With no retry budget the single injected crash is fatal, and
+        # the error says which spec spent the budget.
+        marker = tmp_path / "crash.marker"
+        monkeypatch.setenv(CRASH_ONCE_ENV, str(marker))
+        with pytest.raises(RunnerError, match="retry budget"):
+            run_hardened(quick_specs(), workers=2, retries=0)
+
+
+class TestDeterministicFailure:
+    def test_spec_that_raises_is_not_retried(self):
+        # pddl needs a prime+1 disk count; 12 fails inside the worker
+        # identically every time, so the batch aborts instead of
+        # burning the retry budget.
+        bad = CampaignTrialSpec(
+            layout="pddl",
+            disks=12,
+            trial=0,
+            mttf_hours=0.03,
+            rebuild_rows=26,
+        )
+        with pytest.raises(RunnerError, match="not retried"):
+            run_hardened(
+                [bad, *quick_specs(2)],
+                workers=2,
+                retries=3,
+                backoff_base_s=0.01,
+            )
+
+    def test_parameter_validation(self):
+        with pytest.raises(RunnerError):
+            run_hardened(quick_specs(2), workers=0)
+        with pytest.raises(RunnerError):
+            run_hardened(quick_specs(2), workers=2, retries=-1)
+
+
+class TestDefaultWorkers:
+    def test_unset_is_silently_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_WORKERS", raising=False)
+        assert default_workers() == 1
+
+    def test_valid_value_is_used(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "6")
+        assert default_workers() == 6
+
+    @pytest.mark.parametrize("raw", ["banana", "0", "-3", "2.5"])
+    def test_invalid_values_warn_and_fall_back(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", raw)
+        with pytest.warns(RuntimeWarning, match="REPRO_BENCH_WORKERS"):
+            assert default_workers() == 1
+
+
+class TestCacheCorruption:
+    def test_truncated_entry_is_quarantined_and_recomputed(self, tmp_path):
+        spec = quick_specs(1)[0]
+        key = spec_hash(spec)
+        cache = ResultCache(tmp_path / "cache")
+        runner = ParallelRunner(workers=1, cache=cache)
+
+        first = runner.run([spec])
+        assert first.executed == 1
+        reference = first.records
+
+        # Simulate a kill mid-write landing under the final name.
+        entry = cache.path_for(key)
+        entry.write_text('{"spec_hash": "', encoding="utf-8")
+
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert entry.with_suffix(".corrupt").exists()
+
+        second = ParallelRunner(workers=1, cache=cache).run([spec])
+        assert second.executed == 1  # recomputed, not served corrupt
+        assert canonical_json(second.records) == canonical_json(reference)
+        # The recompute healed the entry in place.
+        assert cache.get(key) == reference[0]

@@ -144,6 +144,45 @@ class TestLifecycle:
         assert "1 runs: 1 simulated" in out
 
 
+class TestCampaign:
+    def test_quick_run_then_cache_replay(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_campaign.json"
+        args = [
+            "campaign", "--quick", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out_file),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "loss probability" in out
+        assert "24 trials: 24 simulated" in out
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert payload["bench"] == "campaign"
+        assert payload["summary"]["trials"] == 24
+        assert len(payload["trials"]) == 24
+        for trial in payload["trials"]:
+            assert trial["classification"] in ("survived", "lost")
+        # Replay: every trial served from cache, byte-identical report.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "24 trials: 0 simulated, 24 from cache" in out
+        assert json.loads(out_file.read_text()) == payload
+
+    def test_checkpoint_resume(self, capsys, tmp_path):
+        checkpoint = tmp_path / "run.jsonl"
+        args = [
+            "campaign", "--quick", "--no-cache", "--workers", "1",
+            "--checkpoint", str(checkpoint),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "24 from checkpoint" in out
+
+
 class TestPlan:
     def test_valid(self, capsys):
         assert main(["plan", "13", "4"]) == 0
