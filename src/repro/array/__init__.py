@@ -8,16 +8,28 @@ executes plans on the event engine against mechanical drives;
 :mod:`~repro.array.reconstructor` is the background rebuild process.
 """
 
-from repro.array.controller import ArrayController, LogicalAccess
+from repro.array.controller import (
+    ArrayController,
+    IoRecoveryStats,
+    LogicalAccess,
+    RetryPolicy,
+)
+from repro.array.journal import StripeJournal
 from repro.array.raidops import AccessPlan, ArrayMode, UnitOp, plan_access
 from repro.array.reconstructor import Reconstructor
+from repro.array.resync import Resynchronizer, classify_stripe
 
 __all__ = [
     "AccessPlan",
     "ArrayController",
     "ArrayMode",
+    "IoRecoveryStats",
     "LogicalAccess",
     "Reconstructor",
+    "Resynchronizer",
+    "RetryPolicy",
+    "StripeJournal",
     "UnitOp",
+    "classify_stripe",
     "plan_access",
 ]

@@ -10,9 +10,9 @@ access, to the moment the array completes the access".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from functools import partial
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.array.raidops import (
     AccessPlan,
@@ -20,14 +20,78 @@ from repro.array.raidops import (
     RebuiltPredicate,
     plan_access,
 )
-from repro.disk.drive import DiskDrive, DiskRequest
+from repro.disk.drive import DiskDrive, DiskRequest, TransientErrorModel
 from repro.disk.hp2247 import make_hp2247
 from repro.disk.scheduler import Scheduler, make_scheduler
 from repro.disk.stats import DiskStats, classify_operation
 from repro.errors import ConfigurationError, SimulationError
+from repro.layouts.address import Role
 from repro.layouts.base import Layout
 from repro.sim.engine import SimulationEngine
 from repro.sim.instrument import TraceRecorder, engine_snapshot
+
+#: Access ids at or above this value are transient-error escalation
+#: traffic (on-the-fly sector reconstruction after a retry budget is
+#: exhausted); distinct from rebuild (``1 << 40``) and resync
+#: (``1 << 41``) ids.
+ESCALATION_ID_BASE = 1 << 42
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Controller-level recovery knobs for transient I/O errors.
+
+    A failed operation is retried up to ``retries`` times with capped
+    exponential backoff (``backoff_base_ms * 2**(attempt-1)``, capped at
+    ``backoff_cap_ms``).  ``op_timeout_ms``, when set, treats an
+    operation whose queueing + service exceeded the timeout as failed
+    even if the drive eventually returned it.  When the budget is
+    exhausted: client reads escalate to on-the-fly reconstruction from
+    the stripe's surviving members (plus a repair rewrite of the bad
+    sector); client writes succeed via firmware sector remapping;
+    background (raw) operations give up and complete as-is — they never
+    escalate, which bounds recursion since escalation itself issues raw
+    operations.
+    """
+
+    retries: int = 3
+    backoff_base_ms: float = 1.0
+    backoff_cap_ms: float = 50.0
+    op_timeout_ms: Optional[float] = None
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ConfigurationError(f"negative retries {self.retries}")
+        if self.backoff_base_ms < 0:
+            raise ConfigurationError(
+                f"negative backoff base {self.backoff_base_ms}"
+            )
+        if self.backoff_cap_ms < self.backoff_base_ms:
+            raise ConfigurationError(
+                "backoff cap below base:"
+                f" {self.backoff_cap_ms} < {self.backoff_base_ms}"
+            )
+        if self.op_timeout_ms is not None and self.op_timeout_ms <= 0:
+            raise ConfigurationError(
+                f"op timeout must be positive, got {self.op_timeout_ms}"
+            )
+
+
+@dataclass
+class IoRecoveryStats:
+    """Counters for the transient-error recovery machinery."""
+
+    transient_failures: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    remapped_writes: int = 0
+    escalated_reads: int = 0
+    repaired_sectors: int = 0
+    escalation_failures: int = 0
+    raw_give_ups: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
 
 
 @dataclass(frozen=True)
@@ -48,6 +112,9 @@ class _InFlight:
     on_complete: Callable[[LogicalAccess, float], None]
     phase: int = 0
     outstanding: int = 0
+    #: Stripes a write touches — populated only when a journal or oracle
+    #: is attached (the plain hot path never computes it).
+    stripes: Optional[List[int]] = None
 
 
 class DiskServer:
@@ -65,7 +132,7 @@ class DiskServer:
         engine: SimulationEngine,
         drive: DiskDrive,
         scheduler: Scheduler,
-        on_done: Callable[[DiskRequest], None],
+        on_done: Callable[[int, DiskRequest, bool], None],
         disk_id: int = 0,
         record_timelines: bool = False,
     ):
@@ -128,13 +195,31 @@ class DiskServer:
         if self.busy_timeline is not None:
             self.busy_timeline.append((now, stats.busy_ms))
         self.engine.schedule(
-            record.total_ms, partial(self._complete, request)
+            record.total_ms, partial(self._complete, request, record.failed)
         )
 
-    def _complete(self, request: DiskRequest) -> None:
+    def _complete(self, request: DiskRequest, failed: bool) -> None:
         self._note_depth(-1)
-        self._on_done(request)
+        self._on_done(self.disk_id, request, failed)
         self._start_next()
+
+    def crash_reset(self) -> int:
+        """Power loss: queued and in-service operations vanish.
+
+        The engine's pending events are cleared separately (by the crash
+        injector), so the in-service completion never fires; this drops
+        the queue and busy state so a restarted controller starts clean.
+        Returns the number of operations lost.
+        """
+        dropped = self.scheduler.clear()
+        if self.busy:
+            dropped += 1
+        self.busy = False
+        dropped_depth = self.queue_depth
+        self.queue_depth = 0
+        if dropped_depth and self.queue_timeline is not None:
+            self.queue_timeline.append((self.engine.now, 0))
+        return dropped
 
 
 class ArrayController:
@@ -210,6 +295,23 @@ class ArrayController:
         self._raw_callbacks: Dict[int, Callable[[], None]] = {}
         self._raw_counter = 0
         self.completed_accesses = 0
+        #: Crash-consistency attachments — all default-off, so the plain
+        #: hot path (and its byte-identical golden traces) never pays.
+        self.journal = None  # StripeJournal
+        self.oracle = None  # IntegrityOracle
+        #: ``hook(access, phase, total_phases)`` fired between a plan's
+        #: phases (crash injectors place surgical crashes here).
+        self.on_phase_boundary: Optional[
+            Callable[[LogicalAccess, int, int], None]
+        ] = None
+        self.retry_policy: Optional[RetryPolicy] = None
+        self.io_stats = IoRecoveryStats()
+        self._track_deadlines = False
+        self._op_attempts: Dict[Tuple[int, DiskRequest], int] = {}
+        self._op_submitted: Dict[Tuple[int, DiskRequest], float] = {}
+        self._escalations = 0
+        self.crashes = 0
+        self.torn_writes = 0
 
     # ------------------------------------------------------------------
     # Failure control.
@@ -358,6 +460,101 @@ class ArrayController:
             self.mode = ArrayMode.FAULT_FREE
 
     # ------------------------------------------------------------------
+    # Crash consistency and transient-error recovery attachments.
+    # ------------------------------------------------------------------
+
+    def attach_journal(self, journal):
+        """Log write-plan stripes in ``journal`` (NVRAM region log)."""
+        self.journal = journal
+        return journal
+
+    def attach_oracle(self, oracle):
+        """Check every access against ``oracle`` (integrity shadow)."""
+        self.oracle = oracle
+        return oracle
+
+    def set_retry_policy(self, policy: Optional[RetryPolicy]) -> None:
+        self.retry_policy = policy
+        self._track_deadlines = (
+            policy is not None and policy.op_timeout_ms is not None
+        )
+
+    def enable_transient_errors(
+        self,
+        rate: float,
+        seed: object,
+        policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        """Inject seeded per-operation transient failures on every drive.
+
+        Each disk draws from its own named stream
+        (``"{seed}/transient-{disk}"``), so rates and outcomes are stable
+        under array-size changes.  A retry policy is installed alongside
+        (the default one unless ``policy`` is given) — injecting errors
+        with no recovery path would just lose operations.
+        """
+        for disk_id, server in enumerate(self.servers):
+            server.drive.transient_errors = TransientErrorModel(
+                rate, f"{seed}/transient-{disk_id}"
+            )
+        if policy is not None:
+            self.set_retry_policy(policy)
+        elif self.retry_policy is None:
+            self.set_retry_policy(RetryPolicy())
+
+    def crash(self) -> dict:
+        """Volatile controller state dies (power loss / controller panic).
+
+        Every in-flight write becomes a torn write: its stripes may have
+        some cells new and some old, so their parity is untrustworthy.
+        Queued operations vanish with the disk servers' state.  What
+        survives: the journal (NVRAM), media state, platter contents, and
+        mode/failure bookkeeping (re-derived from config on a real
+        restart).  The caller is responsible for
+        ``engine.clear_pending()`` — events scheduled by *other* actors
+        (client arrivals, fault timers) die in the same power loss.
+
+        Returns ``{"accesses", "stripes", "dropped_ops"}`` — the torn
+        write count, the omniscient sorted list of their stripes (ground
+        truth for resync), and operations lost from queues.
+        """
+        layout = self._plan_layout
+        torn_stripes: set = set()
+        torn_accesses = 0
+        for access_id, state in self._in_flight.items():
+            access = state.access
+            if not access.is_write:
+                continue
+            torn_accesses += 1
+            if state.stripes is not None:
+                torn_stripes.update(state.stripes)
+            else:
+                stripe_of = layout.stripe_of_data_unit
+                torn_stripes.update(
+                    stripe_of(u)
+                    for u in range(
+                        access.first_unit,
+                        access.first_unit + access.unit_count,
+                    )
+                )
+            if self.oracle is not None:
+                self.oracle.tear_write(access_id)
+        self._in_flight.clear()
+        self._raw_callbacks.clear()
+        self._op_attempts.clear()
+        self._op_submitted.clear()
+        dropped_ops = 0
+        for server in self.servers:
+            dropped_ops += server.crash_reset()
+        self.crashes += 1
+        self.torn_writes += torn_accesses
+        return {
+            "accesses": torn_accesses,
+            "stripes": sorted(torn_stripes),
+            "dropped_ops": dropped_ops,
+        }
+
+    # ------------------------------------------------------------------
     # Access submission.
     # ------------------------------------------------------------------
 
@@ -399,7 +596,59 @@ class ArrayController:
             submitted_ms=self.engine.now,
             on_complete=on_complete,
         )
+        journal = self.journal
+        oracle = self.oracle
+        if access.is_write and (journal is not None or oracle is not None):
+            stripe_of = self._plan_layout.stripe_of_data_unit
+            state.stripes = sorted(
+                {
+                    stripe_of(u)
+                    for u in range(
+                        access.first_unit,
+                        access.first_unit + access.unit_count,
+                    )
+                }
+            )
         self._in_flight[access.access_id] = state
+        if oracle is not None:
+            if access.is_write:
+                oracle.begin_write(
+                    access.access_id, access.first_unit, access.unit_count
+                )
+            elif self.failed_disk is not None and self.mode in (
+                ArrayMode.DEGRADED,
+                ArrayMode.RECONSTRUCTION,
+            ):
+                # Units on the failed disk will be served by on-the-fly
+                # reconstruction through their parity chain.
+                failed = self.failed_disk
+                rebuilt = self._rebuilt
+                address_of = self._plan_layout.data_unit_address
+                for unit in range(
+                    access.first_unit,
+                    access.first_unit + access.unit_count,
+                ):
+                    addr = address_of(unit)
+                    if addr.disk == failed and not (
+                        rebuilt is not None and rebuilt(addr.offset)
+                    ):
+                        oracle.check_reconstructed_read(unit)
+        if journal is not None and state.stripes is not None:
+            # NVRAM append: the dirty marks land (and cost latency_ms)
+            # before the first phase may touch a platter.
+            journal.mark(state.stripes)
+            if journal.latency_ms > 0:
+                self.engine.schedule(
+                    journal.latency_ms,
+                    partial(self._launch_journaled, access.access_id),
+                )
+                return
+        self._launch_phase(state)
+
+    def _launch_journaled(self, access_id: int) -> None:
+        state = self._in_flight.get(access_id)
+        if state is None:
+            return  # crashed during the journal append window
         self._launch_phase(state)
 
     def _launch_phase(self, state: _InFlight) -> None:
@@ -421,6 +670,10 @@ class ArrayController:
         if not live:
             self._advance(state)
             return
+        if self._track_deadlines:
+            now = self.engine.now
+            for disk, request in live:
+                self._op_submitted[(disk, request)] = now
         for disk, request in live:
             self.servers[disk].submit(request)
 
@@ -515,11 +768,39 @@ class ArrayController:
             access_id=access_id,
             tag=("raw", token, tag),
         )
+        if self._track_deadlines:
+            self._op_submitted[(disk, request)] = self.engine.now
         self.servers[disk].submit(request)
 
-    def _request_done(self, request: DiskRequest) -> None:
-        if isinstance(request.tag, tuple) and request.tag[0] == "raw":
-            callback = self._raw_callbacks.pop(request.tag[1], None)
+    # ------------------------------------------------------------------
+    # Completion path (and transient-error recovery).
+    # ------------------------------------------------------------------
+
+    def _request_done(
+        self, disk: int, request: DiskRequest, failed: bool
+    ) -> None:
+        policy = self.retry_policy
+        if policy is not None:
+            if self._track_deadlines:
+                submitted = self._op_submitted.pop((disk, request), None)
+                if (
+                    not failed
+                    and submitted is not None
+                    and self.engine.now - submitted > policy.op_timeout_ms
+                ):
+                    # The drive did finish, but past the deadline: the
+                    # controller already gave up on this attempt.
+                    self.io_stats.timeouts += 1
+                    failed = True
+            if failed:
+                self.io_stats.transient_failures += 1
+                if self._handle_failed_op(policy, disk, request):
+                    return  # a retry or escalation owns the op now
+            elif self._op_attempts:
+                self._op_attempts.pop((disk, request), None)
+        tag = request.tag
+        if isinstance(tag, tuple) and tag[0] == "raw":
+            callback = self._raw_callbacks.pop(tag[1], None)
             if callback is not None:
                 callback()
             return
@@ -530,12 +811,149 @@ class ArrayController:
         if state.outstanding == 0:
             self._advance(state)
 
+    def _handle_failed_op(
+        self, policy: RetryPolicy, disk: int, request: DiskRequest
+    ) -> bool:
+        """Route one failed operation: retry, escalate, or give up.
+
+        Returns True when recovery has taken ownership of the operation
+        (its completion will be delivered later); False when the caller
+        should deliver it now (budget exhausted, op deemed successful by
+        remap/give-up).
+        """
+        key = (disk, request)
+        attempt = self._op_attempts.get(key, 0) + 1
+        if attempt <= policy.retries:
+            self._op_attempts[key] = attempt
+            self.io_stats.retries += 1
+            delay = min(
+                policy.backoff_base_ms * (2 ** (attempt - 1)),
+                policy.backoff_cap_ms,
+            )
+            self.engine.schedule(
+                delay, partial(self._resubmit, disk, request)
+            )
+            return True
+        self._op_attempts.pop(key, None)
+        tag = request.tag
+        if isinstance(tag, tuple) and tag[0] == "raw":
+            # Background traffic never escalates (escalation itself is
+            # raw traffic — this bound ends the recursion); the step
+            # machinery above it owns any further recovery.
+            self.io_stats.raw_give_ups += 1
+            return False
+        if request.is_write:
+            # Firmware remaps the failing sector; the rewrite succeeds.
+            self.io_stats.remapped_writes += 1
+            return False
+        self._escalate_read(disk, request)
+        return True
+
+    def _resubmit(self, disk: int, request: DiskRequest) -> None:
+        server = self.servers[disk]
+        if server.failed:
+            # The disk died during the backoff: the op can never succeed.
+            # Deliver it as dropped, mirroring _launch_phase's rule for
+            # plans that predate a failure.
+            self._op_attempts.pop((disk, request), None)
+            self._request_done(disk, request, False)
+            return
+        if self._track_deadlines:
+            self._op_submitted[(disk, request)] = self.engine.now
+        server.submit(request)
+
+    def _escalate_read(self, disk: int, request: DiskRequest) -> None:
+        """Retry budget exhausted on a client read: rebuild the sectors
+        on the fly from each stripe's surviving members, rewrite the
+        unreadable cells (repair), then deliver the original completion.
+        """
+        self.io_stats.escalated_reads += 1
+        layout = self._plan_layout
+        unit_sectors = self.stripe_unit_sectors
+        first = request.lba // unit_sectors
+        count = max(1, request.sectors // unit_sectors)
+        pending = {"units": 0}
+
+        def unit_done() -> None:
+            pending["units"] -= 1
+            if pending["units"] == 0:
+                self._request_done(disk, request, False)
+
+        for offset in range(first, first + count):
+            info = layout.locate(disk, offset)
+            if info.role is Role.SPARE:
+                continue
+            stripe = info.stripe
+            members = [
+                a
+                for a in layout.stripe_units(stripe).all_units()
+                if not (a.disk == disk and a.offset == offset)
+                and not self.servers[a.disk].failed
+            ]
+            if len(members) < len(layout.stripe_units(stripe).all_units()) - 1:
+                # Another member is on a failed disk: no redundancy left
+                # to rebuild this sector from right now.
+                self.io_stats.escalation_failures += 1
+                continue
+            if self.oracle is not None:
+                self.oracle.check_escalated_reconstruction(stripe)
+            pending["units"] += 1
+            self._reconstruct_sector(disk, offset, members, unit_done)
+        if pending["units"] == 0:
+            self._request_done(disk, request, False)
+
+    def _reconstruct_sector(
+        self,
+        disk: int,
+        offset: int,
+        members: List,
+        done: Callable[[], None],
+    ) -> None:
+        self._escalations += 1
+        access_id = ESCALATION_ID_BASE + self._escalations
+        remaining = {"reads": len(members)}
+
+        def write_done() -> None:
+            self.io_stats.repaired_sectors += 1
+            done()
+
+        def read_done() -> None:
+            remaining["reads"] -= 1
+            if remaining["reads"] == 0:
+                self.submit_raw(
+                    disk,
+                    offset,
+                    True,
+                    access_id,
+                    write_done,
+                    tag="escalation-write",
+                )
+
+        for addr in members:
+            self.submit_raw(
+                addr.disk,
+                addr.offset,
+                False,
+                access_id,
+                read_done,
+                tag="escalation-read",
+            )
+
     def _advance(self, state: _InFlight) -> None:
         state.phase += 1
         if state.phase < len(state.plan.phases):
+            hook = self.on_phase_boundary
+            if hook is not None:
+                hook(state.access, state.phase, len(state.plan.phases))
+                if state.access.access_id not in self._in_flight:
+                    return  # the hook crashed the controller
             self._launch_phase(state)
             return
         del self._in_flight[state.access.access_id]
+        if self.journal is not None and state.stripes is not None:
+            self.journal.clear(state.stripes)
+        if self.oracle is not None and state.access.is_write:
+            self.oracle.commit_write(state.access.access_id)
         self.completed_accesses += 1
         response = self.engine.now - state.submitted_ms
         state.on_complete(state.access, response)
@@ -579,7 +997,7 @@ class ArrayController:
                     [t, busy] for t, busy in server.busy_timeline
                 ]
             disks.append(entry)
-        return {
+        record = {
             "engine": engine_snapshot(self.engine),
             "disks": disks,
             "max_queue_high_water": max(
@@ -587,6 +1005,18 @@ class ArrayController:
             ),
             "completed_accesses": self.completed_accesses,
         }
+        # Crash-consistency keys only appear when their feature is on, so
+        # inactive-default runs stay byte-identical with existing caches.
+        if self.journal is not None:
+            record["journal"] = self.journal.to_dict()
+        if self.retry_policy is not None:
+            record["io_recovery"] = self.io_stats.to_dict()
+        if self.crashes:
+            record["crashes"] = {
+                "count": self.crashes,
+                "torn_writes": self.torn_writes,
+            }
+        return record
 
     def disk_stats(self) -> List[DiskStats]:
         return [server.stats for server in self.servers]

@@ -27,7 +27,7 @@ from repro.core.reconstruction import (
     rebuild_plan,
 )
 from repro.errors import SimulationError
-from repro.layouts.address import PhysicalAddress
+from repro.layouts.address import PhysicalAddress, Role
 
 #: Access ids at or above this value are background rebuild traffic; they
 #: share the locality-classification machinery with client accesses without
@@ -244,6 +244,16 @@ class Reconstructor:
             self._rebuilt_offsets.add(step.lost.offset)
             if self.media is not None:
                 self.media.clear(target.disk, target.offset)
+            oracle = controller.oracle
+            if oracle is not None:
+                # A lost *data* unit was regenerated through the parity
+                # chain — corrupt if a torn write left it untrustworthy.
+                lost_role = controller.plan_layout.locate(
+                    step.lost.disk, step.lost.offset
+                ).role
+                oracle.check_rebuild_step(
+                    step.stripe, lost_role is Role.DATA
+                )
             if self.on_step is not None:
                 self.on_step(self)
             self._refill_slot()

@@ -1,0 +1,341 @@
+"""Post-crash parity resynchronization (closing the write hole).
+
+After a controller crash, every write that was mid-plan may have updated
+some of its stripes' cells but not others — parity inconsistent with
+data.  Recovery re-reads each affected stripe's data units and rewrites
+its check units, making parity consistent-by-construction again.  Which
+stripes get that treatment is the whole game:
+
+* **Journal replay** — with a :class:`~repro.array.journal.StripeJournal`
+  the NVRAM dirty set names exactly the stripes of torn writes, so the
+  resync touches a handful of stripes and completes in milliseconds.
+* **Full sweep** — without a journal nothing identifies the torn
+  stripes, so every stripe in the array must be recomputed.  This is the
+  measurable baseline the journal is beating in ``BENCH_crash.json``.
+
+Stripes whose parity chain crosses a failed disk cannot always be
+recomputed; :func:`classify_stripe` is the shared (pure) classification
+used both here and by the crash property tests:
+
+``recompute``
+    Every member readable — re-read data, rewrite parity.  Safe.
+``parity_lost``
+    The *check* unit is on the failed disk.  There is no stored parity
+    to be inconsistent, hence no write hole: skip.
+``data_lost``
+    A *data* unit is on the failed disk.  Parity is the only way to
+    recover it, and if a torn write left that parity untrustworthy the
+    unit is unrecoverable — terminal data loss (folds into the
+    campaign's ``DATA_LOSS`` accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Set
+
+from repro.array.controller import ArrayController
+from repro.array.raidops import ArrayMode, RebuiltPredicate
+from repro.errors import SimulationError
+from repro.layouts.address import PhysicalAddress
+from repro.layouts.base import Layout
+
+#: Access ids at or above this value are resync traffic (distinct from
+#: client ids and from rebuild ids at ``1 << 40``).
+RESYNC_ID_BASE = 1 << 41
+
+
+def classify_stripe(
+    layout: Layout,
+    stripe: int,
+    failed_disk: Optional[int],
+    rebuilt: Optional[RebuiltPredicate] = None,
+) -> str:
+    """Classify one suspect stripe for resync (see module docstring).
+
+    ``rebuilt`` is the reconstruction frontier, if a rebuild was in
+    progress: cells already swept into spare space (or onto a
+    replacement) count as readable.
+    """
+    if failed_disk is None:
+        return "recompute"
+    units = layout.stripe_units(stripe)
+    for addr in units.data:
+        if addr.disk == failed_disk and not (
+            rebuilt is not None and rebuilt(addr.offset)
+        ):
+            return "data_lost"
+    for addr in units.check:
+        if addr.disk == failed_disk and not (
+            rebuilt is not None and rebuilt(addr.offset)
+        ):
+            return "parity_lost"
+    return "recompute"
+
+
+class Resynchronizer:
+    """Replays the dirty-stripe set after a controller restart.
+
+    Attach to a restarted controller and :meth:`start`.  With ``journal``
+    the sweep covers exactly its dirty stripes; without, the full array
+    (bounded by ``rows`` the same way rebuild sweeps are).  ``suspect``
+    is the simulator's omniscient set of genuinely-torn stripes (from
+    :meth:`ArrayController.crash`): a ``data_lost`` stripe only means
+    actual loss if it really was torn — pass ``None`` to treat every
+    swept stripe as torn (the conservative default, and exact for
+    journal replay since the dirty set *is* the torn set).
+
+    ``parallel_stripes`` bounds concurrent stripe recomputations and
+    ``throttle_ms`` idles each slot between stripes, mirroring the
+    rebuild throttle, so resync interference with client traffic is
+    tunable.
+    """
+
+    def __init__(
+        self,
+        controller: ArrayController,
+        journal=None,
+        suspect: Optional[Set[int]] = None,
+        rows: Optional[int] = None,
+        parallel_stripes: int = 1,
+        throttle_ms: float = 0.0,
+        on_finished: Optional[Callable[[float], None]] = None,
+        on_data_loss: Optional[
+            Callable[["Resynchronizer", List[int]], None]
+        ] = None,
+        rebuilt: Optional[RebuiltPredicate] = None,
+    ):
+        if parallel_stripes < 1:
+            raise SimulationError("need at least one resync slot")
+        if throttle_ms < 0:
+            raise SimulationError(f"negative resync throttle {throttle_ms}")
+        self.controller = controller
+        self.layout = controller.plan_layout
+        self.journal = journal
+        self.suspect = suspect
+        self.parallel_stripes = parallel_stripes
+        self.throttle_ms = throttle_ms
+        self.on_finished = on_finished
+        self.on_data_loss = on_data_loss
+        self.rebuilt = rebuilt
+        layout = self.layout
+        if journal is not None:
+            self.sweep: List[int] = journal.dirty_stripes()
+        else:
+            periods = (
+                controller.periods
+                if rows is None
+                else max(1, rows // layout.period)
+            )
+            self.sweep = list(range(periods * layout.stripes_per_period))
+        self.stripes_total = len(self.sweep)
+        self.recomputed = 0
+        self.parity_lost_skipped = 0
+        self.consistent_skipped = 0
+        self.data_lost_stripes: List[int] = []
+        self.reads_issued = 0
+        self.writes_issued = 0
+        self.started_ms: Optional[float] = None
+        self.finished_ms: Optional[float] = None
+        self._queue: Iterator[int] = iter(())
+        self._active = 0
+        self._pending_issues = 0
+        self._exhausted = False
+        self._aborted = False
+        self._next_id = RESYNC_ID_BASE
+
+    # ------------------------------------------------------------------
+    # Start and classification.
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.started_ms is not None:
+            raise SimulationError("resync already started")
+        controller = self.controller
+        self.started_ms = controller.engine.now
+        failed = (
+            controller.failed_disk
+            if controller.mode
+            in (ArrayMode.DEGRADED, ArrayMode.RECONSTRUCTION)
+            else None
+        )
+        recompute: List[int] = []
+        for stripe in self.sweep:
+            kind = classify_stripe(self.layout, stripe, failed, self.rebuilt)
+            if kind == "recompute":
+                recompute.append(stripe)
+            elif kind == "parity_lost":
+                # No stored parity to disagree with its data: the stripe
+                # is merely degraded, not holed.  The rebuild sweep will
+                # recompute the check unit from data anyway.
+                self.parity_lost_skipped += 1
+            elif self.suspect is not None and stripe not in self.suspect:
+                # Data member lost but no write was torn on this stripe:
+                # parity is still trustworthy, reconstruction stays safe.
+                self.consistent_skipped += 1
+            else:
+                self.data_lost_stripes.append(stripe)
+        if self.data_lost_stripes:
+            self._handle_data_loss()
+            if self._aborted:
+                return
+        self._queue = iter(recompute)
+        for _ in range(self.parallel_stripes):
+            self._issue_next()
+        self._maybe_finish()  # degenerate: nothing to recompute
+
+    def _handle_data_loss(self) -> None:
+        """Torn stripes with a lost data member: the write hole ate data."""
+        stripes = self.data_lost_stripes
+        if self.on_data_loss is not None:
+            self.on_data_loss(self, stripes)
+            return
+        self._aborted = True
+        self.controller.declare_data_loss(
+            f"write hole: {len(stripes)} dirty stripe(s) with a data"
+            f" member on failed disk {self.controller.failed_disk}"
+            f" (first: stripe {stripes[0]})"
+        )
+
+    @property
+    def aborted(self) -> bool:
+        return self._aborted
+
+    @property
+    def complete(self) -> bool:
+        return self.finished_ms is not None
+
+    # ------------------------------------------------------------------
+    # Stripe recomputation machinery.
+    # ------------------------------------------------------------------
+
+    def _live_address(self, addr: PhysicalAddress) -> PhysicalAddress:
+        """Where the unit at ``addr`` actually lives right now."""
+        controller = self.controller
+        if addr.disk != controller.failed_disk:
+            return addr
+        if controller.mode is ArrayMode.POST_RECONSTRUCTION:
+            return self.layout.relocation_target(addr)
+        if self.rebuilt is not None and self.rebuilt(addr.offset):
+            if self.layout.has_sparing:
+                return self.layout.relocation_target(addr)
+            return addr  # rebuilt onto the replacement spindle in place
+        return addr
+
+    def _issue_next(self) -> None:
+        if self._exhausted or self._aborted:
+            return
+        stripe = next(self._queue, None)
+        if stripe is None:
+            self._exhausted = True
+            return
+        self._active += 1
+        self._run_stripe(stripe)
+
+    def _refill_slot(self) -> None:
+        if self._aborted:
+            return
+        if self._exhausted:
+            self._maybe_finish()
+            return
+        if self.throttle_ms > 0:
+            self._pending_issues += 1
+            self.controller.engine.schedule(
+                self.throttle_ms, self._delayed_issue
+            )
+        else:
+            self._issue_next()
+            self._maybe_finish()
+
+    def _delayed_issue(self) -> None:
+        self._pending_issues -= 1
+        self._issue_next()
+        self._maybe_finish()
+
+    def _run_stripe(self, stripe: int) -> None:
+        """Read every data unit, then rewrite every check unit."""
+        controller = self.controller
+        units = self.layout.stripe_units(stripe)
+        access_id = self._next_id
+        self._next_id += 1
+        reads = [self._live_address(a) for a in units.data]
+        writes = [self._live_address(a) for a in units.check]
+        remaining = {"reads": len(reads), "writes": len(writes)}
+
+        def write_done() -> None:
+            remaining["writes"] -= 1
+            if remaining["writes"] > 0:
+                return
+            self._active -= 1
+            self.recomputed += 1
+            oracle = controller.oracle
+            if oracle is not None:
+                oracle.note_resync(stripe)
+            self._refill_slot()
+
+        def all_reads_good() -> None:
+            for addr in writes:
+                self.writes_issued += 1
+                controller.submit_raw(
+                    addr.disk,
+                    addr.offset,
+                    True,
+                    access_id,
+                    write_done,
+                    tag="resync-write",
+                )
+
+        def read_done() -> None:
+            remaining["reads"] -= 1
+            if remaining["reads"] == 0:
+                all_reads_good()
+
+        for addr in reads:
+            self.reads_issued += 1
+            controller.submit_raw(
+                addr.disk,
+                addr.offset,
+                False,
+                access_id,
+                read_done,
+                tag="resync-read",
+            )
+
+    def _maybe_finish(self) -> None:
+        if (
+            self._exhausted
+            and not self._aborted
+            and self._active == 0
+            and self._pending_issues == 0
+        ):
+            self._finish()
+
+    def _finish(self) -> None:
+        if self.finished_ms is not None:
+            return
+        self.finished_ms = self.controller.engine.now
+        if self.journal is not None:
+            self.journal.reset()
+        if self.on_finished is not None:
+            self.on_finished(self.duration_ms)
+
+    @property
+    def duration_ms(self) -> float:
+        if self.started_ms is None or self.finished_ms is None:
+            raise SimulationError("resync has not finished")
+        return self.finished_ms - self.started_ms
+
+    def to_dict(self) -> dict:
+        return {
+            "stripes_swept": self.stripes_total,
+            "recomputed": self.recomputed,
+            "parity_lost_skipped": self.parity_lost_skipped,
+            "consistent_skipped": self.consistent_skipped,
+            "data_lost_stripes": list(self.data_lost_stripes),
+            "reads": self.reads_issued,
+            "writes": self.writes_issued,
+            "duration_ms": (
+                self.duration_ms if self.finished_ms is not None else None
+            ),
+            "complete": self.complete,
+            "aborted": self._aborted,
+        }

@@ -14,6 +14,8 @@ figure of the paper can be regenerated from a shell:
 - ``lifecycle``  — reconstruction-under-load lifecycle runs (Figs 8-14, 18)
 - ``campaign``   — multi-fault reliability campaigns (loss probability,
   MTTDL cross-check; see EXPERIMENTS.md "Campaigns")
+- ``crash``      — controller-crash trials: journaled vs full-sweep
+  resync after a torn write (see EXPERIMENTS.md "Crash trials")
 - ``profile``    — cProfile one simulation point (hot functions, ev/s)
 """
 
@@ -27,6 +29,31 @@ from repro.errors import ReproError
 from repro.runner.spec import MODES as _MODES
 
 DEFAULT_LAYOUTS = ["datum", "parity-declustering", "raid5", "pddl", "prime"]
+
+
+def _write_report(path: str, payload: dict, indent: int = 2) -> None:
+    """Write a JSON report, or fail with a clean CLI error.
+
+    An unwritable ``--out`` (missing directory, permission, path through
+    a regular file) must exit nonzero with one clear line, not a
+    traceback — the runner may have just spent minutes simulating, and
+    the user needs to know the results still live in the cache.
+    """
+    import json
+
+    from repro.errors import RunnerError
+
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent, sort_keys=True)
+            handle.write("\n")
+    except OSError as exc:
+        raise RunnerError(
+            f"cannot write report to {path!r}: {exc}"
+            " (simulated results are preserved in the cache;"
+            " rerun with a writable --out)"
+        ) from None
+    print(f"wrote {path}")
 
 
 def _cmd_goals(args: argparse.Namespace) -> int:
@@ -213,7 +240,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_lifecycle(args: argparse.Namespace) -> int:
-    import json
     import time
 
     from repro.runner import (
@@ -252,6 +278,7 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
         max_samples=max_samples,
         seed=args.seed,
         disks=args.disks,
+        oracle=args.oracle,
     )
     cache = None
     if not args.no_cache:
@@ -286,6 +313,11 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
         for mode, mean in life["mode_means_ms"].items():
             n = record["histograms"][mode]["count"]
             print(f"  {mode:20s} n={n:<5d} mean={mean:8.2f} ms")
+        if args.oracle:
+            print(
+                f"  oracle: {life['oracle']['corruption_events']}"
+                " corruption event(s)"
+            )
 
     print()
     for layout, curve in sorted(rebuild_load_curves(report.records).items()):
@@ -318,15 +350,18 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
                 for life in (r["lifecycle"] for r in report.records)
             ],
         }
-        with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(summary, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"wrote {args.out}")
+        if args.oracle:
+            summary["oracle"] = {
+                "corruption_events": sum(
+                    r["lifecycle"]["oracle"]["corruption_events"]
+                    for r in report.records
+                ),
+            }
+        _write_report(args.out, summary)
     return 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    import json
     import time
 
     from repro.experiments.campaign import campaign_specs, summarize_campaign
@@ -362,6 +397,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         scrub_interval_ms=args.scrub_interval,
         scrub_throttle_ms=args.scrub_throttle,
         clients=args.clients,
+        transient_io_rate=args.transient_io_rate,
+        oracle=args.oracle,
     )
     cache = None
     if not args.no_cache:
@@ -410,6 +447,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 else ""
             )
         )
+    if args.oracle:
+        corruption = sum(
+            t["oracle"]["corruption_events"] for t in trial_records
+        )
+        print(
+            f"  oracle: {corruption} silent corruption event(s)"
+            f" across {summary['trials']} shadow-verified trials"
+        )
     print(
         f"{len(specs)} trials: {report.executed} simulated,"
         f" {report.cache_hits} from cache,"
@@ -450,16 +495,158 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 for t in trial_records
             ],
         }
-        with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"wrote {args.out}")
+        # New keys appear only when their features are on, so default
+        # campaign reports stay byte-identical to pre-oracle builds.
+        if args.oracle:
+            payload["config"]["oracle"] = True
+            payload["oracle"] = {
+                "corruption_events": sum(
+                    t["oracle"]["corruption_events"] for t in trial_records
+                ),
+                "torn_writes": sum(
+                    t["oracle"]["torn_writes"] for t in trial_records
+                ),
+            }
+        if args.transient_io_rate > 0:
+            payload["config"]["transient_io_rate"] = args.transient_io_rate
+        _write_report(args.out, payload)
+    return 0
+
+
+def _cmd_crash(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.crashtrial import crash_specs, summarize_crash
+    from repro.runner import (
+        ParallelRunner,
+        ResultCache,
+        RunCheckpoint,
+        default_cache_dir,
+    )
+
+    if args.quick:
+        layouts = ["pddl"]
+        client_counts = [2, 4]
+        max_pre_samples, post_samples = 80, 20
+        # The boundary must land before the pre-crash budget runs out.
+        boundary = 60
+    else:
+        layouts = args.layouts
+        client_counts = args.clients
+        max_pre_samples, post_samples = args.pre_samples, args.post_samples
+        boundary = args.boundary
+    specs = crash_specs(
+        layouts=layouts,
+        client_counts=client_counts,
+        disks=args.disks,
+        size_kb=args.size,
+        seed=args.seed,
+        crash_boundary=boundary,
+        journal_latency_ms=args.journal_latency,
+        resync_rows=args.resync_rows,
+        max_pre_samples=max_pre_samples,
+        post_samples=post_samples,
+    )
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    checkpoint = (
+        RunCheckpoint(args.checkpoint) if args.checkpoint else None
+    )
+    runner = ParallelRunner(
+        workers=args.workers,
+        cache=cache,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        checkpoint=checkpoint,
+    )
+    started = time.perf_counter()
+    report = runner.run(specs)
+    elapsed = time.perf_counter() - started
+
+    trial_records = [r["crash_trial"] for r in report.records]
+    summary = summarize_crash(trial_records)
+
+    for t in trial_records:
+        journal = "journal" if t["journal"] else "full-sweep"
+        resync = (
+            "--"
+            if t["resync_ms"] is None
+            else f"{t['resync_ms']:8.1f} ms"
+        )
+        print(
+            f"crash: {t['layout']}, {t['clients']} clients, {journal:10s}"
+            f" -> {t['classification']:9s}"
+            f" torn {len(t['crash']['torn_stripes']):2d}"
+            f" resync {resync}"
+            f" oracle {t['oracle']['corruption_events']}"
+        )
+    print()
+    print(
+        f"resync: journal {summary['journal_resync_ms']:.1f} ms"
+        f" vs full sweep {summary['full_sweep_resync_ms']:.1f} ms"
+        f" ({summary['resync_speedup']:.1f}x),"
+        f" recomputed {summary['stripes_recomputed_journal']}"
+        f" vs {summary['stripes_recomputed_full_sweep']} stripes"
+    )
+    print(
+        f"oracle: {summary['corruption_events']} silent corruption"
+        f" event(s), {summary['data_loss_trials']} declared data-loss"
+        f" trial(s) in {summary['trials']} trials"
+    )
+    print(
+        f"{len(specs)} trials: {report.executed} simulated,"
+        f" {report.cache_hits} from cache,"
+        f" {report.checkpoint_hits} from checkpoint"
+        f" ({runner.workers} workers, {elapsed:.2f}s)"
+    )
+    if cache is not None:
+        print(f"cache dir: {cache.root}")
+
+    if args.out:
+        # Deterministic payload (no wall-clock anywhere): CI byte-compares
+        # a resumed run's file against the committed baseline.
+        payload = {
+            "bench": "crash",
+            "config": {
+                "layouts": layouts,
+                "clients": client_counts,
+                "disks": args.disks,
+                "size_kb": args.size,
+                "seed": args.seed,
+                "crash_boundary": boundary,
+                "journal_latency_ms": args.journal_latency,
+                "resync_rows": args.resync_rows,
+                "pre_samples": max_pre_samples,
+                "post_samples": post_samples,
+            },
+            "summary": summary,
+            "trials": [
+                {
+                    "layout": t["layout"],
+                    "clients": t["clients"],
+                    "journal": t["journal"],
+                    "classification": t["classification"],
+                    "crashed_at_ms": t["crash"]["crashed_at_ms"],
+                    "torn_stripes": len(t["crash"]["torn_stripes"]),
+                    "resync_ms": t["resync_ms"],
+                    "stripes_swept": (
+                        None
+                        if t["resync"] is None
+                        else t["resync"]["stripes_swept"]
+                    ),
+                    "pre_mean_ms": t["pre"]["mean_ms"],
+                    "post_mean_ms": t["post"]["mean_ms"],
+                    "corruption_events": t["oracle"]["corruption_events"],
+                }
+                for t in trial_records
+            ],
+        }
+        _write_report(args.out, payload)
     return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    import json
-
     from repro.runner.spec import ExperimentSpec, LifecycleSpec
     from repro.sim.profile import profile_spec
 
@@ -489,10 +676,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     report = profile_spec(spec, top=args.top, sort=args.sort)
     print(report.render())
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(report.to_dict(), handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        print(f"\nwrote {args.out}")
+        print()
+        _write_report(args.out, report.to_dict(), indent=1)
     return 0
 
 
@@ -633,6 +818,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     life.add_argument("--no-cache", action="store_true")
     life.add_argument(
+        "--oracle", action="store_true",
+        help="shadow every run with the integrity oracle and report"
+        " silent-corruption counts",
+    )
+    life.add_argument(
         "--out", default=None,
         help="write a JSON summary (rebuild duration, per-mode means)",
     )
@@ -688,6 +878,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--clients", type=int, default=0,
         help="foreground client load during each trial",
     )
+    camp.add_argument(
+        "--transient-io-rate", type=float, default=0.0,
+        help="per-operation transient I/O error probability, recovered"
+        " by the controller's retry/escalation machinery",
+    )
+    camp.add_argument(
+        "--oracle", action="store_true",
+        help="shadow every trial with the integrity oracle and report"
+        " silent-corruption counts",
+    )
     camp.add_argument("--seed", type=int, default=0)
     camp.add_argument(
         "--workers", type=int, default=None,
@@ -715,6 +915,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path (deterministic content; '' to skip)",
     )
     camp.set_defaults(func=_cmd_campaign)
+
+    crash = sub.add_parser(
+        "crash",
+        help="controller-crash trials: journaled vs full-sweep resync",
+    )
+    crash.add_argument(
+        "--quick", action="store_true",
+        help="small canned sweep (pddl, 2/4 clients, journal on/off)",
+    )
+    crash.add_argument("--layouts", nargs="+", default=["pddl"])
+    crash.add_argument("--clients", type=_int_list, default=[2, 4, 8])
+    crash.add_argument("--disks", "-n", type=int, default=13)
+    crash.add_argument("--size", type=int, default=8, help="access KB")
+    crash.add_argument(
+        "--boundary", type=int, default=150,
+        help="crash at this write-plan phase boundary (array-wide count;"
+        " keep it below --pre-samples or the crash never fires)",
+    )
+    crash.add_argument(
+        "--journal-latency", type=float, default=0.05,
+        help="NVRAM journal write latency in ms (journal-on trials)",
+    )
+    crash.add_argument(
+        "--resync-rows", type=int, default=26,
+        help="rows the full-sweep resync baseline covers (client writes"
+        " are confined to the same region)",
+    )
+    crash.add_argument("--pre-samples", type=int, default=200)
+    crash.add_argument("--post-samples", type=int, default=50)
+    crash.add_argument("--seed", type=int, default=0)
+    crash.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: $REPRO_BENCH_WORKERS or 1)",
+    )
+    crash.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-trial deadline in seconds (enables the hardened pool)",
+    )
+    crash.add_argument(
+        "--retries", type=int, default=0,
+        help="crash/timeout retries per trial (capped exponential backoff)",
+    )
+    crash.add_argument(
+        "--checkpoint", default=None,
+        help="JSONL checkpoint file; a killed run resumes from it",
+    )
+    crash.add_argument(
+        "--cache-dir", default=None,
+        help="result cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    crash.add_argument("--no-cache", action="store_true")
+    crash.add_argument(
+        "--out", default="BENCH_crash.json",
+        help="JSON report path (deterministic content; '' to skip)",
+    )
+    crash.set_defaults(func=_cmd_crash)
 
     prof = sub.add_parser(
         "profile",

@@ -12,8 +12,9 @@ makes SSTF matter.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import NamedTuple
+from typing import NamedTuple, Optional
 
 from repro.disk.geometry import DiskGeometry
 from repro.disk.seek import SeekModel
@@ -37,17 +38,54 @@ class DiskRequest(NamedTuple):
 
 @dataclass(frozen=True)
 class ServiceRecord:
-    """Timing decomposition of one serviced request."""
+    """Timing decomposition of one serviced request.
+
+    ``failed`` marks a *transient* I/O error: the drive spent the full
+    mechanical time (arm moved, transfer attempted) but the operation did
+    not succeed — a retry of the same sector usually will.  Distinct from
+    the persistent :class:`~repro.faults.media.MediaErrorMap` errors,
+    which never heal without a rewrite.
+    """
 
     seek_ms: float
     latency_ms: float
     transfer_ms: float
     cylinder_changed: bool
     head_changed: bool
+    failed: bool = False
 
     @property
     def total_ms(self) -> float:
         return self.seek_ms + self.latency_ms + self.transfer_ms
+
+
+class TransientErrorModel:
+    """Seeded per-operation transient-failure draws for one drive.
+
+    Each mechanical service draws once from the drive's named stream;
+    with probability ``rate`` the operation fails transiently.  A zero
+    rate consumes no randomness, so attaching an inactive model leaves
+    simulations byte-identical.
+    """
+
+    def __init__(self, rate: float, seed: object):
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(
+                f"transient error rate must be in [0, 1), got {rate}"
+            )
+        self.rate = rate
+        self._rng = random.Random(seed)
+        self.draws = 0
+        self.injected = 0
+
+    def draw(self) -> bool:
+        if self.rate <= 0.0:
+            return False
+        self.draws += 1
+        if self._rng.random() < self.rate:
+            self.injected += 1
+            return True
+        return False
 
 
 class DiskDrive:
@@ -91,6 +129,9 @@ class DiskDrive:
         self.buffer_hits = 0
         self.ops_serviced = 0
         self.busy_ms = 0.0
+        #: Optional transient-failure injection; None (the default) draws
+        #: nothing and keeps service byte-identical to an error-free drive.
+        self.transient_errors: Optional[TransientErrorModel] = None
 
     def reset(self) -> None:
         self.cylinder = 0
@@ -184,10 +225,18 @@ class DiskDrive:
 
         self.cylinder = cylinder
         self.head = head
+        # Transient failure draw covers mechanical transfers only — a
+        # buffer hit touches no media (it returned above).
+        failed = (
+            self.transient_errors.draw()
+            if self.transient_errors is not None
+            else False
+        )
         if self.track_buffer:
             # Reading fills the buffer with the final track touched;
-            # writes invalidate it (write-through, no read-back).
-            if request.is_write:
+            # writes invalidate it (write-through, no read-back), and a
+            # failed read caches nothing trustworthy.
+            if request.is_write or failed:
                 self._buffered_track = None
             else:
                 self._buffered_track = (cylinder, head)
@@ -199,6 +248,7 @@ class DiskDrive:
             transfer_ms=transfer_ms,
             cylinder_changed=cylinder_changed,
             head_changed=head_changed,
+            failed=failed,
         )
 
     def __repr__(self) -> str:

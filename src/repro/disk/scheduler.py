@@ -45,6 +45,12 @@ class Scheduler(abc.ABC):
         """Queued requests, oldest first (arrival order)."""
         return [req for _, req in self._queue]
 
+    def clear(self) -> int:
+        """Drop every queued request (controller crash); returns count."""
+        dropped = len(self._queue)
+        self._queue.clear()
+        return dropped
+
     @abc.abstractmethod
     def pop(self, current_cylinder: int) -> Optional[DiskRequest]:
         """Remove and return the next request, or None when empty."""

@@ -60,6 +60,7 @@ def run_campaign_trial(
     is_write: bool = False,
     disks: Optional[int] = None,
     width: Optional[int] = None,
+    oracle: bool = False,
 ) -> dict:
     """One seeded array lifetime, to completion or data loss.
 
@@ -68,6 +69,15 @@ def run_campaign_trial(
     the measurand); positive ``clients`` adds the closed-loop client
     traffic of the lifecycle experiments, whose draws come from the same
     ``{seed}/client-{c}`` stream family.
+
+    ``oracle=True`` attaches the integrity shadow
+    (:class:`repro.faults.oracle.IntegrityOracle`): every write, rebuild
+    step, and on-the-fly reconstruction is checked and the trial record
+    gains an ``"oracle"`` verification block whose
+    ``corruption_events`` must be zero — silent corruption is never an
+    acceptable campaign outcome.  A scenario with ``transient_io_rate``
+    set additionally injects per-operation I/O errors recovered by the
+    controller's retry/escalation machinery (``"io_recovery"`` block).
     """
     if clients < 0:
         raise ConfigurationError(f"negative client count {clients}")
@@ -80,6 +90,15 @@ def run_campaign_trial(
         scheduler_window=PAPER_SCHEDULER_WINDOW,
         stripe_unit_kb=PAPER_STRIPE_UNIT_KB,
     )
+    oracle_model = None
+    if oracle:
+        from repro.faults.oracle import IntegrityOracle
+
+        oracle_model = controller.attach_oracle(IntegrityOracle(layout))
+    if scenario.transient_io_rate > 0:
+        controller.enable_transient_errors(
+            scenario.transient_io_rate, scenario.fault_seed
+        )
     rows = (
         scenario.rebuild_rows
         if scenario.rebuild_rows is not None
@@ -184,7 +203,7 @@ def run_campaign_trial(
         cycle_ms = lifecycle.data_loss_ms
         window_ms = None
     recon = lifecycle.reconstructor
-    return {
+    record = {
         "layout": layout_name,
         "disks": layout.n,
         "trial": trial,
@@ -216,6 +235,15 @@ def run_campaign_trial(
         "scrub": None if scrubber is None else scrubber.to_dict(),
         "samples": samples["count"],
     }
+    # Feature-gated keys only: inactive-default trials keep producing the
+    # exact bytes existing caches and baselines hold.
+    if oracle_model is not None:
+        record["oracle"] = oracle_model.verify(
+            failed_disk=controller.failed_disk
+        )
+    if scenario.transient_io_rate > 0:
+        record["io_recovery"] = controller.io_stats.to_dict()
+    return record
 
 
 def campaign_specs(
@@ -236,6 +264,8 @@ def campaign_specs(
     clients: int = 0,
     size_kb: int = 8,
     is_write: bool = False,
+    transient_io_rate: float = 0.0,
+    oracle: bool = False,
 ):
     """One :class:`~repro.runner.spec.CampaignTrialSpec` per trial.
 
@@ -268,6 +298,8 @@ def campaign_specs(
             clients=clients,
             size_kb=size_kb,
             is_write=is_write,
+            transient_io_rate=transient_io_rate,
+            oracle=oracle,
         )
         for trial in range(trials)
     ]

@@ -57,6 +57,9 @@ class LifecycleRun:
     by_mode: LatencyByMode
     progress: ProgressTimeline
     instrumentation: dict
+    #: Integrity verification block (None unless the run was started
+    #: with ``oracle=True``); ``corruption_events`` must be zero.
+    oracle: Optional[dict] = None
 
     def mode_summary_rows(self) -> List[str]:
         rows = []
@@ -84,6 +87,7 @@ def run_lifecycle(
     width: Optional[int] = None,
     record_timelines: bool = False,
     trace: Optional[TraceRecorder] = None,
+    oracle: bool = False,
 ) -> LifecycleRun:
     """Run one full-lifecycle simulation point.
 
@@ -110,6 +114,11 @@ def run_lifecycle(
     )
     if trace is not None:
         controller.attach_trace(trace)
+    oracle_model = None
+    if oracle:
+        from repro.faults.oracle import IntegrityOracle
+
+        oracle_model = controller.attach_oracle(IntegrityOracle(layout))
 
     progress = ProgressTimeline()
     lifecycle = ArrayLifecycle(
@@ -176,5 +185,10 @@ def run_lifecycle(
         progress=progress,
         instrumentation=controller.instrumentation_record(
             include_timelines=record_timelines
+        ),
+        oracle=(
+            None
+            if oracle_model is None
+            else oracle_model.verify(failed_disk=controller.failed_disk)
         ),
     )

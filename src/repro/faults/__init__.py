@@ -22,6 +22,7 @@ second whole-disk failure exactly against the rebuild frontier,
 rebuild.
 """
 
+from repro.faults.crash import CrashInjector
 from repro.faults.injector import FaultInjector
 from repro.faults.lifecycle import ArrayLifecycle
 from repro.faults.media import MediaErrorMap
@@ -30,18 +31,22 @@ from repro.faults.multifault import (
     evaluate_second_failure,
     second_failure_repair_steps,
 )
+from repro.faults.oracle import IntegrityOracle, StripeParityModel
 from repro.faults.scenario import FAULT_SCENARIO_VERSION, FaultScenario
 from repro.faults.scrubber import SCRUB_ID_BASE, Scrubber
 
 __all__ = [
     "ArrayLifecycle",
+    "CrashInjector",
     "FAULT_SCENARIO_VERSION",
     "FaultInjector",
     "FaultScenario",
+    "IntegrityOracle",
     "MediaErrorMap",
     "SCRUB_ID_BASE",
     "Scrubber",
     "SecondFailureOutcome",
+    "StripeParityModel",
     "evaluate_second_failure",
     "second_failure_repair_steps",
 ]

@@ -40,6 +40,7 @@ _V1_OPTIONAL_DEFAULTS = {
     "lse_per_gb": 0.0,
     "scrub_interval_ms": None,
     "scrub_throttle_ms": 0.0,
+    "transient_io_rate": 0.0,
 }
 
 
@@ -84,6 +85,12 @@ class FaultScenario:
     # ``scrub_interval_ms``, throttled like the reconstructor.
     scrub_interval_ms: Optional[float] = None
     scrub_throttle_ms: float = 0.0
+    # Transient I/O errors: per-operation failure probability, drawn from
+    # per-disk named streams ``"{fault_seed}/transient-{disk}"`` (distinct
+    # from the *persistent* latent sector errors above; recovered by the
+    # controller's retry/escalation machinery, see
+    # :class:`repro.array.controller.RetryPolicy`).
+    transient_io_rate: float = 0.0
 
     def __post_init__(self):
         if (self.fault_time_ms is None) == (self.mttf_hours is None):
@@ -162,6 +169,11 @@ class FaultScenario:
         if self.scrub_throttle_ms < 0:
             raise ConfigurationError(
                 f"negative scrub throttle {self.scrub_throttle_ms}"
+            )
+        if not 0.0 <= self.transient_io_rate < 1.0:
+            raise ConfigurationError(
+                "transient I/O rate must be in [0, 1), got"
+                f" {self.transient_io_rate}"
             )
 
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ from repro.errors import ConfigurationError
 from repro.runner.spec import (
     MODES,
     CampaignTrialSpec,
+    CrashTrialSpec,
     ExperimentSpec,
     LifecycleSpec,
     Spec,
@@ -109,8 +110,9 @@ def _execute_lifecycle(spec: LifecycleSpec) -> dict:
         disks=spec.disks,
         width=spec.width,
         record_timelines=spec.timelines,
+        oracle=spec.oracle,
     )
-    return {
+    record = {
         "lifecycle": {
             "layout": run.layout,
             "spec_label": run.spec_label,
@@ -132,6 +134,9 @@ def _execute_lifecycle(spec: LifecycleSpec) -> dict:
         "progress": list(run.progress.points),
         "instrumentation": run.instrumentation,
     }
+    if run.oracle is not None:
+        record["lifecycle"]["oracle"] = run.oracle
+    return record
 
 
 def _execute_campaign_trial(spec: CampaignTrialSpec) -> dict:
@@ -148,6 +153,36 @@ def _execute_campaign_trial(spec: CampaignTrialSpec) -> dict:
             is_write=spec.is_write,
             disks=spec.disks,
             width=spec.width,
+            oracle=spec.oracle,
+        )
+    }
+
+
+def _execute_crash_trial(spec: CrashTrialSpec) -> dict:
+    from repro.experiments.crashtrial import run_crash_trial
+
+    return {
+        "crash_trial": run_crash_trial(
+            spec.layout,
+            disks=spec.disks,
+            width=spec.width,
+            clients=spec.clients,
+            size_kb=spec.size_kb,
+            seed=spec.seed,
+            journal=spec.journal,
+            journal_latency_ms=spec.journal_latency_ms,
+            crash_time_ms=spec.crash_time_ms,
+            crash_boundary=spec.crash_boundary,
+            crash_seed=spec.crash_seed,
+            crash_max_boundary=spec.crash_max_boundary,
+            fail_disk_at_ms=spec.fail_disk_at_ms,
+            failed_disk=spec.failed_disk,
+            transient_io_rate=spec.transient_io_rate,
+            restart_delay_ms=spec.restart_delay_ms,
+            resync_rows=spec.resync_rows,
+            resync_parallel=spec.resync_parallel,
+            max_pre_samples=spec.max_pre_samples,
+            post_samples=spec.post_samples,
         )
     }
 
@@ -157,6 +192,7 @@ _EXECUTORS = {
     Table1Spec.kind: _execute_table1,
     LifecycleSpec.kind: _execute_lifecycle,
     CampaignTrialSpec.kind: _execute_campaign_trial,
+    CrashTrialSpec.kind: _execute_crash_trial,
 }
 
 

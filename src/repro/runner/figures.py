@@ -120,6 +120,7 @@ def lifecycle_sweep_specs(
     max_samples: int = 4000,
     seed: int = 0,
     disks: int = 13,
+    oracle: bool = False,
 ) -> List[LifecycleSpec]:
     """A lifecycle sweep over (layout, client count).
 
@@ -143,6 +144,7 @@ def lifecycle_sweep_specs(
             rebuild_throttle_ms=rebuild_throttle_ms,
             post_samples=post_samples,
             max_samples=max_samples,
+            oracle=oracle,
         )
         for layout in layouts
         for c in clients

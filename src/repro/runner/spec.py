@@ -21,6 +21,16 @@ from repro.errors import ConfigurationError
 #: Part of every content hash; bump on any change that alters results.
 SPEC_SCHEMA_VERSION = 1
 
+#: Spec fields added after v1 shipped, per kind, with their inactive
+#: defaults.  :func:`spec_to_dict` omits them while they hold these
+#: values, so specs predating the fields keep their original content
+#: hashes and existing caches stay valid (same contract as
+#: ``FaultScenario._V1_OPTIONAL_DEFAULTS``).
+_V1_SPEC_OPTIONAL = {
+    "lifecycle": {"oracle": False},
+    "campaign-trial": {"oracle": False, "transient_io_rate": 0.0},
+}
+
 #: Canonical short names for the array modes (CLI and spec encoding).
 MODES = {
     "ff": ArrayMode.FAULT_FREE,
@@ -135,6 +145,9 @@ class LifecycleSpec:
     post_samples: int = 100
     max_samples: int = 4000
     timelines: bool = False
+    # Post-v1 (hash-omitted at default, see _V1_SPEC_OPTIONAL): attach
+    # the integrity oracle and record its verification in the result.
+    oracle: bool = False
 
     def __post_init__(self):
         if self.clients < 1:
@@ -198,6 +211,10 @@ class CampaignTrialSpec:
     clients: int = 0
     size_kb: int = 8
     is_write: bool = False
+    # Post-v1 (hash-omitted at defaults, see _V1_SPEC_OPTIONAL):
+    # per-operation transient I/O errors and the integrity oracle.
+    transient_io_rate: float = 0.0
+    oracle: bool = False
 
     def __post_init__(self):
         if self.trial < 0:
@@ -225,20 +242,126 @@ class CampaignTrialSpec:
             lse_per_gb=self.lse_per_gb,
             scrub_interval_ms=self.scrub_interval_ms,
             scrub_throttle_ms=self.scrub_throttle_ms,
+            transient_io_rate=self.transient_io_rate,
         )
 
 
-Spec = Union[ExperimentSpec, Table1Spec, LifecycleSpec, CampaignTrialSpec]
+@dataclass(frozen=True)
+class CrashTrialSpec:
+    """One controller-crash + recovery trial (``repro crash``).
+
+    Closed-loop clients write until the crash fires — at a scripted
+    simulation time (``crash_time_ms``), at a scripted write-plan phase
+    boundary (``crash_boundary``), or at a boundary drawn from the
+    ``crash_seed`` stream; exactly one must be set.  ``journal=True``
+    replays the NVRAM dirty-stripe log on restart; ``journal=False`` is
+    the full-sweep baseline, with the sweep bounded by ``resync_rows``
+    the way rebuild sweeps are.  ``fail_disk_at_ms`` optionally fails a
+    disk first, so the crash lands on a degraded array and dirty stripes
+    on the failed disk's parity chains surface as data loss.
+
+    >>> spec = CrashTrialSpec(layout="pddl", crash_boundary=3)
+    >>> spec_hash(spec) == spec_hash(CrashTrialSpec(layout="pddl",
+    ...                                             crash_boundary=3))
+    True
+    """
+
+    kind: ClassVar[str] = "crash-trial"
+
+    layout: str
+    disks: int = 13
+    width: Optional[int] = None
+    clients: int = 4
+    size_kb: int = 8
+    seed: int = 0
+    journal: bool = True
+    journal_latency_ms: float = 0.05
+    crash_time_ms: Optional[float] = None
+    crash_boundary: Optional[int] = None
+    crash_seed: Optional[int] = None
+    crash_max_boundary: int = 64
+    fail_disk_at_ms: Optional[float] = None
+    failed_disk: int = 0
+    transient_io_rate: float = 0.0
+    restart_delay_ms: float = 10.0
+    resync_rows: int = 26
+    resync_parallel: int = 1
+    max_pre_samples: int = 200
+    post_samples: int = 50
+
+    def __post_init__(self):
+        if self.clients < 1:
+            raise ConfigurationError(f"need >= 1 client, got {self.clients}")
+        configured = sum(
+            x is not None
+            for x in (self.crash_time_ms, self.crash_boundary, self.crash_seed)
+        )
+        if configured != 1:
+            raise ConfigurationError(
+                "set exactly one of crash_time_ms, crash_boundary,"
+                f" crash_seed (got {configured})"
+            )
+        if self.journal_latency_ms < 0:
+            raise ConfigurationError(
+                f"negative journal latency {self.journal_latency_ms}"
+            )
+        if self.fail_disk_at_ms is not None and self.fail_disk_at_ms < 0:
+            raise ConfigurationError(
+                f"negative fault time {self.fail_disk_at_ms}"
+            )
+        if not 0 <= self.failed_disk < self.disks:
+            raise ConfigurationError(f"bad failed disk {self.failed_disk}")
+        if not 0.0 <= self.transient_io_rate < 1.0:
+            raise ConfigurationError(
+                "transient I/O rate must be in [0, 1), got"
+                f" {self.transient_io_rate}"
+            )
+        if self.restart_delay_ms < 0:
+            raise ConfigurationError(
+                f"negative restart delay {self.restart_delay_ms}"
+            )
+        if self.resync_rows < 1:
+            raise ConfigurationError(
+                f"need >= 1 resync row, got {self.resync_rows}"
+            )
+        if self.resync_parallel < 1:
+            raise ConfigurationError("need >= 1 resync slot")
+        if self.max_pre_samples < 1 or self.post_samples < 0:
+            raise ConfigurationError("need positive sample bounds")
+
+
+Spec = Union[
+    ExperimentSpec,
+    Table1Spec,
+    LifecycleSpec,
+    CampaignTrialSpec,
+    CrashTrialSpec,
+]
 
 _SPEC_TYPES = {
     cls.kind: cls
-    for cls in (ExperimentSpec, Table1Spec, LifecycleSpec, CampaignTrialSpec)
+    for cls in (
+        ExperimentSpec,
+        Table1Spec,
+        LifecycleSpec,
+        CampaignTrialSpec,
+        CrashTrialSpec,
+    )
 }
 
 
 def spec_to_dict(spec: Spec) -> dict:
-    """Flat JSON-able form, ``kind`` included."""
+    """Flat JSON-able form, ``kind`` included.
+
+    Post-v1 fields are omitted while at their inactive defaults so old
+    specs keep their original hashes (see ``_V1_SPEC_OPTIONAL``).
+    """
     data = asdict(spec)
+    optional = _V1_SPEC_OPTIONAL.get(spec.kind)
+    if optional:
+        for name, default in optional.items():
+            if data[name] == default:
+                del data[name]
     data["kind"] = spec.kind
     return data
 

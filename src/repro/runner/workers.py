@@ -14,9 +14,14 @@ tasks unattributable.  The parent multiplexes completions with
 :func:`multiprocessing.connection.wait`; a worker that exits (EOF on its
 pipe) or blows its per-task deadline is reaped, its task is requeued
 with capped exponential backoff, and a fresh worker is spawned in its
-place.  Tasks that fail *deterministically* — the spec itself raises —
-are not retried: re-running them would fail identically, so the batch
-aborts with :class:`~repro.errors.RunnerError` naming the spec.
+place.  Tasks that raise are classified before any backoff happens:
+a :class:`~repro.errors.ReproError` is a *deterministic* function of
+the spec (the simulation itself rejected it) — re-running it would fail
+identically, so the batch aborts immediately with
+:class:`~repro.errors.RunnerError` naming the spec, never sleeping a
+wall-clock backoff first.  Any other exception is environmental
+(out-of-memory, a vanished cache directory, ...) and retryable like a
+crash.
 
 Fault-injection hooks (for tests and the CI resume job): setting
 ``REPRO_RUNNER_CRASH_ONCE_FILE`` (or ``..._HANG_ONCE_FILE``) to a path
@@ -35,7 +40,7 @@ import time
 from multiprocessing.connection import wait as connection_wait
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.errors import RunnerError
+from repro.errors import ReproError, RunnerError
 from repro.runner.execute import execute_spec
 from repro.runner.spec import Spec
 
@@ -73,10 +78,12 @@ def _maybe_fault_hooks() -> None:
 def _worker_main(conn) -> None:
     """Worker loop: receive ``(index, spec)``, send back the outcome.
 
-    ``None`` is the shutdown sentinel.  Exceptions from the spec itself
-    are reported as ``("error", ...)`` — they are deterministic and must
-    not be retried; anything that kills the process (crash hook, OOM,
-    signal) surfaces to the parent as EOF on the pipe.
+    ``None`` is the shutdown sentinel.  Exceptions are reported as
+    ``("error", index, message, retryable)``: a :class:`ReproError` is a
+    deterministic verdict on the spec itself (``retryable=False``, the
+    parent must not burn backoff sleeps on it), anything else is
+    environmental and worth a retry.  Whatever kills the process
+    outright (crash hook, OOM, signal) surfaces as EOF on the pipe.
     """
     while True:
         try:
@@ -89,8 +96,15 @@ def _worker_main(conn) -> None:
         _maybe_fault_hooks()
         try:
             record = execute_spec(spec)
-        except Exception as exc:  # noqa: BLE001 - reported, not retried
-            conn.send(("error", index, f"{type(exc).__name__}: {exc}"))
+        except Exception as exc:  # noqa: BLE001 - classified by parent
+            conn.send(
+                (
+                    "error",
+                    index,
+                    f"{type(exc).__name__}: {exc}",
+                    not isinstance(exc, ReproError),
+                )
+            )
             continue
         conn.send(("done", index, record))
 
@@ -208,7 +222,7 @@ def run_hardened(
             for conn in connection_wait(list(busy), timeout=_POLL_S):
                 handle = busy[conn]
                 try:
-                    kind, index, payload = conn.recv()
+                    message = conn.recv()
                 except (EOFError, OSError):
                     # The worker died mid-task (crash, OOM-kill, ...).
                     dead = handle.task
@@ -219,11 +233,21 @@ def run_hardened(
                     replacement.task = dead  # requeue() reads .task
                     requeue(replacement, "worker process died")
                     continue
+                kind, index, payload = message[0], message[1], message[2]
                 if kind == "error":
-                    raise fail_everything(
-                        f"spec {index} ({specs[index]!r}) raised in a"
-                        f" worker (deterministic, not retried): {payload}"
-                    )
+                    retryable = message[3]
+                    if not retryable:
+                        # A ReproError is a pure function of the spec:
+                        # fail the batch NOW, with zero backoff sleeps.
+                        raise fail_everything(
+                            f"spec {index} ({specs[index]!r}) raised in a"
+                            f" worker (deterministic, not retried):"
+                            f" {payload}"
+                        )
+                    # Environmental failure in a still-healthy worker:
+                    # the process survives, only the task is requeued.
+                    requeue(handle, f"worker raised: {payload}")
+                    continue
                 results[index] = payload
                 if on_record is not None:
                     on_record(payload)

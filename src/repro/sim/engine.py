@@ -174,3 +174,13 @@ class SimulationEngine:
 
     def pending(self) -> int:
         return len(self._heap)
+
+    def clear_pending(self) -> int:
+        """Drop every scheduled event (power loss): nothing pending fires.
+
+        Returns the number of events dropped.  The clock and counters are
+        untouched — a restarted simulation continues from ``now``.
+        """
+        dropped = len(self._heap)
+        self._heap.clear()
+        return dropped

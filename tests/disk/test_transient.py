@@ -1,0 +1,116 @@
+"""Transient I/O errors and the controller's retry/escalation path."""
+
+import pytest
+
+from repro.array.controller import (
+    ArrayController,
+    LogicalAccess,
+    RetryPolicy,
+)
+from repro.disk.drive import TransientErrorModel
+from repro.errors import ConfigurationError
+from repro.layouts import make_layout
+from repro.sim.engine import SimulationEngine
+
+
+class TestTransientErrorModel:
+    def test_zero_rate_consumes_no_randomness(self):
+        # Byte-determinism contract: attaching an inactive model must
+        # not shift any downstream draw.
+        model = TransientErrorModel(0.0, seed="s")
+        assert not any(model.draw() for _ in range(100))
+        assert model.draws == 0 and model.injected == 0
+
+    def test_draws_are_seeded_and_counted(self):
+        a = TransientErrorModel(0.3, seed="k")
+        b = TransientErrorModel(0.3, seed="k")
+        outcomes = [a.draw() for _ in range(200)]
+        assert outcomes == [b.draw() for _ in range(200)]
+        assert a.draws == 200
+        assert a.injected == sum(outcomes)
+        assert 0 < a.injected < 200
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransientErrorModel(1.0, seed=0)
+        with pytest.raises(ConfigurationError):
+            TransientErrorModel(-0.1, seed=0)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base_ms=5.0, backoff_cap_ms=1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(op_timeout_ms=0.0)
+
+
+def run_workload(rate, policy=None, accesses=60, is_write=False):
+    engine = SimulationEngine()
+    layout = make_layout("raid5", 5, 5)
+    controller = ArrayController(engine, layout)
+    if rate > 0:
+        controller.enable_transient_errors(rate, seed=11, policy=policy)
+    done = []
+
+    def submit(i):
+        controller.submit(
+            LogicalAccess(i, (i * 3) % 40, 1, is_write),
+            lambda a, ms: done.append(ms),
+        )
+
+    for i in range(accesses):
+        engine.schedule_at(i * 5.0, lambda i=i: submit(i))
+    engine.run()
+    return controller, done
+
+
+class TestControllerRecovery:
+    def test_retries_absorb_transient_failures(self):
+        controller, done = run_workload(0.05)
+        stats = controller.io_stats
+        assert len(done) == 60  # every access completed
+        assert stats.transient_failures > 0
+        assert stats.retries > 0
+        # The default budget (3 retries at 5% rate) absorbs everything:
+        # no read ever needed on-the-fly reconstruction.
+        assert stats.escalated_reads == 0
+
+    def test_exhausted_reads_escalate_to_reconstruction(self):
+        policy = RetryPolicy(retries=0, backoff_base_ms=0.1)
+        controller, done = run_workload(0.25, policy=policy)
+        stats = controller.io_stats
+        assert len(done) == 60
+        assert stats.escalated_reads > 0
+        # Escalation repairs the failing sector with a rewrite.
+        assert stats.repaired_sectors > 0
+
+    def test_exhausted_writes_remap_instead_of_escalating(self):
+        policy = RetryPolicy(retries=0, backoff_base_ms=0.1)
+        controller, done = run_workload(0.25, policy=policy, is_write=True)
+        stats = controller.io_stats
+        assert len(done) == 60
+        assert stats.remapped_writes > 0
+
+    def test_errors_cost_time_but_not_correctness(self):
+        clean_controller, clean = run_workload(0.0)
+        noisy_controller, noisy = run_workload(0.10)
+        assert len(clean) == len(noisy) == 60
+        assert sum(noisy) > sum(clean)  # retries + backoff cost time
+
+    def test_disabled_injection_leaves_io_stats_empty(self):
+        controller, done = run_workload(0.0)
+        assert controller.io_stats.to_dict() == {
+            "transient_failures": 0,
+            "timeouts": 0,
+            "retries": 0,
+            "remapped_writes": 0,
+            "escalated_reads": 0,
+            "repaired_sectors": 0,
+            "escalation_failures": 0,
+            "raw_give_ups": 0,
+        }

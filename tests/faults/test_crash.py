@@ -1,0 +1,116 @@
+"""Unit tests for controller crash injection."""
+
+import pytest
+
+from repro.array.controller import ArrayController, LogicalAccess
+from repro.errors import ConfigurationError, SimulationError
+from repro.faults.crash import CrashInjector
+from repro.layouts import make_layout
+from repro.sim.engine import SimulationEngine
+
+
+def make_array():
+    engine = SimulationEngine()
+    controller = ArrayController(engine, make_layout("raid5", 5, 5))
+    return engine, controller
+
+
+class TestConfiguration:
+    def test_exactly_one_trigger_required(self):
+        _, controller = make_array()
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            CrashInjector(controller)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            CrashInjector(controller, at_time_ms=5.0, at_boundary=1)
+
+    def test_negative_parameters_rejected(self):
+        _, controller = make_array()
+        with pytest.raises(ConfigurationError):
+            CrashInjector(controller, at_time_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            CrashInjector(controller, at_boundary=-1)
+        with pytest.raises(ConfigurationError):
+            CrashInjector(controller, seed=0, max_boundary=0)
+
+    def test_double_arm_is_a_bug(self):
+        _, controller = make_array()
+        crash = CrashInjector(controller, at_boundary=0)
+        crash.arm()
+        with pytest.raises(SimulationError):
+            crash.arm()
+
+
+class TestSeededBoundary:
+    def test_draw_is_deterministic_and_bounded(self):
+        _, controller = make_array()
+        draws = [
+            CrashInjector(controller, seed=7, max_boundary=16).at_boundary
+            for _ in range(3)
+        ]
+        assert len(set(draws)) == 1
+        assert 0 <= draws[0] < 16
+
+    def test_distinct_seeds_vary_the_placement(self):
+        _, controller = make_array()
+        draws = {
+            CrashInjector(controller, seed=s, max_boundary=64).at_boundary
+            for s in range(20)
+        }
+        assert len(draws) > 1
+
+
+class TestFiring:
+    def test_boundary_crash_tears_the_in_flight_write(self):
+        engine, controller = make_array()
+        crash = CrashInjector(controller, at_boundary=0)
+        crash.arm()
+        done = []
+        # A 1-unit write is a two-phase read-modify-write: boundary 0
+        # sits between its pre-reads and its data+parity writes.
+        controller.submit(
+            LogicalAccess(0, 0, 1, True), lambda a, ms: done.append(ms)
+        )
+        engine.run()
+        assert crash.fired
+        assert done == []  # the client never saw a completion
+        assert crash.torn_accesses == 1
+        assert crash.torn_stripes == [0]
+        assert controller.torn_writes == 1
+        record = crash.to_dict()
+        assert record["fired"] is True
+        assert record["crashed_at_ms"] == engine.now
+        assert record["boundary"] == 0
+
+    def test_scripted_time_crash_fires_with_idle_array(self):
+        engine, controller = make_array()
+        crash = CrashInjector(controller, at_time_ms=25.0)
+        crash.arm()
+        engine.run()
+        assert crash.fired
+        assert crash.crashed_at_ms == 25.0
+        assert crash.torn_accesses == 0 and crash.torn_stripes == []
+
+    def test_crash_drops_every_pending_event(self):
+        engine, controller = make_array()
+        crash = CrashInjector(controller, at_time_ms=0.001)
+        crash.arm()
+        controller.submit(
+            LogicalAccess(0, 0, 1, True), lambda a, ms: None
+        )
+        engine.run()
+        # The write's mechanical completions were scheduled and must
+        # vanish in the power loss.
+        assert crash.dropped_events > 0
+        assert engine.now == 0.001
+
+    def test_boundary_past_the_workload_never_fires(self):
+        engine, controller = make_array()
+        crash = CrashInjector(controller, at_boundary=1000)
+        crash.arm()
+        done = []
+        controller.submit(
+            LogicalAccess(0, 0, 1, True), lambda a, ms: done.append(ms)
+        )
+        engine.run()
+        assert not crash.fired
+        assert len(done) == 1  # the write completed normally

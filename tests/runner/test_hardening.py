@@ -1,6 +1,11 @@
 """Runner hardening: crash/hang retries, deterministic failures,
 worker-count parsing, and cache corruption recovery."""
 
+import os
+import subprocess
+import sys
+import time
+
 import pytest
 
 from repro.errors import RunnerError
@@ -68,6 +73,83 @@ class TestFaultInjection:
 
 
 class TestDeterministicFailure:
+    def test_deterministic_failure_skips_backoff_entirely(self):
+        # A ReproError is a pure function of the spec: the batch must
+        # abort without ever entering the capped-exponential backoff
+        # schedule.  With a 30s base delay, one slept backoff would blow
+        # this timing wall by an order of magnitude.
+        bad = CampaignTrialSpec(
+            layout="pddl",
+            disks=12,  # pddl needs a prime+1 disk count
+            trial=0,
+            mttf_hours=0.03,
+            rebuild_rows=26,
+        )
+        started = time.monotonic()
+        with pytest.raises(RunnerError, match="not retried"):
+            run_hardened(
+                [bad],
+                workers=1,
+                retries=5,
+                backoff_base_s=30.0,
+                backoff_cap_s=30.0,
+            )
+        assert time.monotonic() - started < 10.0
+
+    def test_environmental_failure_is_retried_with_backoff(self, tmp_path):
+        # Non-ReproError exceptions are environmental: the task requeues
+        # (with backoff) on a still-healthy worker instead of aborting
+        # the batch — exercised via a cache hook that fails exactly once.
+        specs = quick_specs(2)
+        reference = ParallelRunner(workers=1).run(specs).records
+
+        flaky = tmp_path / "flaky.marker"
+        monkeypatch_code = (
+            "import os\n"
+            "from repro.runner import workers as _wk\n"
+            "_orig = _wk.execute_spec\n"
+            "def _flaky(spec):\n"
+            f"    path = {str(flaky)!r}\n"
+            "    try:\n"
+            "        fd = os.open(path, os.O_CREAT | os.O_EXCL |"
+            " os.O_WRONLY)\n"
+            "    except OSError:\n"
+            "        return _orig(spec)\n"
+            "    os.close(fd)\n"
+            "    raise MemoryError('transient pressure')\n"
+            "_wk.execute_spec = _flaky\n"
+        )
+        site_dir = tmp_path / "site"
+        site_dir.mkdir()
+        (site_dir / "sitecustomize.py").write_text(
+            monkeypatch_code, encoding="utf-8"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(site_dir)] + sys.path
+        )
+        script = (
+            "from repro.runner.workers import run_hardened\n"
+            "from repro.runner import canonical_json\n"
+            "from repro.runner.spec import CampaignTrialSpec\n"
+            "specs = [CampaignTrialSpec(layout='pddl', trial=t, seed=5,"
+            " mttf_hours=0.03, faults=2, degraded_dwell_ms=4000.0,"
+            " rebuild_rows=26) for t in range(2)]\n"
+            "records = run_hardened(specs, workers=1, retries=2,"
+            " backoff_base_s=0.01)\n"
+            "print(canonical_json(records))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert flaky.exists()  # the injected failure actually fired
+        assert proc.stdout.strip() == canonical_json(reference)
+
     def test_spec_that_raises_is_not_retried(self):
         # pddl needs a prime+1 disk count; 12 fails inside the worker
         # identically every time, so the batch aborts instead of

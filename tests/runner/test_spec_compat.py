@@ -1,0 +1,118 @@
+"""Hash compatibility for post-v1 spec fields.
+
+The result cache keys on ``spec_hash``; adding fields to a spec class
+must not reshuffle the keys of every previously cached sweep.  The
+contract: post-v1 fields are *omitted* from the hashed form while at
+their inactive defaults, so a spec that does not use a new feature keeps
+the hash it had before the feature existed.
+"""
+
+from repro.runner.spec import (
+    CampaignTrialSpec,
+    CrashTrialSpec,
+    LifecycleSpec,
+    spec_from_dict,
+    spec_hash,
+    spec_to_dict,
+)
+
+#: Frozen hashes of feature-inactive specs.  These must never change:
+#: a drift here invalidates every result cache in the wild.
+PINNED_LIFECYCLE = (
+    "04f082384cf33b88e8cdab83559969d7707b27d9ad267e2fd6c69df8d95d1f9a"
+)
+PINNED_CAMPAIGN = (
+    "0f50cd50ec1b61f67812a4b059caf0842a5f8903ac4c2a4e37c5a7e12130d009"
+)
+PINNED_CRASH = (
+    "bc5c1549a9da6d4ba1396cade0848dc779ba6438063f31c244075a1e79c381a0"
+)
+
+
+def lifecycle():
+    return LifecycleSpec(layout="pddl", fault_time_ms=500.0)
+
+
+def campaign():
+    return CampaignTrialSpec(layout="pddl", trial=0, mttf_hours=1000.0)
+
+
+class TestInactiveDefaultsKeepV1Hashes:
+    def test_pinned_hashes(self):
+        assert spec_hash(lifecycle()) == PINNED_LIFECYCLE
+        assert spec_hash(campaign()) == PINNED_CAMPAIGN
+        assert (
+            spec_hash(CrashTrialSpec(layout="pddl", crash_boundary=150))
+            == PINNED_CRASH
+        )
+
+    def test_inactive_fields_are_omitted_from_the_hashed_form(self):
+        assert "oracle" not in spec_to_dict(lifecycle())
+        data = spec_to_dict(campaign())
+        assert "oracle" not in data
+        assert "transient_io_rate" not in data
+
+    def test_explicit_defaults_hash_identically(self):
+        assert spec_hash(
+            LifecycleSpec(layout="pddl", fault_time_ms=500.0, oracle=False)
+        ) == PINNED_LIFECYCLE
+        assert spec_hash(
+            CampaignTrialSpec(
+                layout="pddl",
+                trial=0,
+                mttf_hours=1000.0,
+                oracle=False,
+                transient_io_rate=0.0,
+            )
+        ) == PINNED_CAMPAIGN
+
+
+class TestActiveFeaturesChangeTheHash:
+    def test_oracle_on(self):
+        assert spec_hash(
+            LifecycleSpec(layout="pddl", fault_time_ms=500.0, oracle=True)
+        ) != PINNED_LIFECYCLE
+        assert spec_hash(
+            CampaignTrialSpec(
+                layout="pddl", trial=0, mttf_hours=1000.0, oracle=True
+            )
+        ) != PINNED_CAMPAIGN
+
+    def test_transient_rate_on(self):
+        assert spec_hash(
+            CampaignTrialSpec(
+                layout="pddl",
+                trial=0,
+                mttf_hours=1000.0,
+                transient_io_rate=0.01,
+            )
+        ) != PINNED_CAMPAIGN
+
+    def test_crash_spec_fields_matter(self):
+        base = CrashTrialSpec(layout="pddl", crash_boundary=150)
+        assert spec_hash(
+            CrashTrialSpec(layout="pddl", crash_boundary=150, journal=False)
+        ) != spec_hash(base)
+        assert spec_hash(
+            CrashTrialSpec(
+                layout="pddl", crash_boundary=150, journal_latency_ms=5.0
+            )
+        ) != spec_hash(base)
+
+
+class TestRoundTrip:
+    def test_active_specs_survive_dict_round_trip(self):
+        for spec in (
+            LifecycleSpec(layout="pddl", fault_time_ms=500.0, oracle=True),
+            CampaignTrialSpec(
+                layout="pddl",
+                trial=3,
+                mttf_hours=1000.0,
+                oracle=True,
+                transient_io_rate=0.02,
+            ),
+            CrashTrialSpec(layout="prime", crash_boundary=60, clients=8),
+        ):
+            clone = spec_from_dict(spec_to_dict(spec))
+            assert clone == spec
+            assert spec_hash(clone) == spec_hash(spec)

@@ -1,8 +1,69 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
+
+#: Every registered subcommand; the smoke test below fails if a new one
+#: is added without joining this list.
+ALL_COMMANDS = [
+    "goals", "figure3", "response", "seeks", "table1", "table3", "plan",
+    "bench", "lifecycle", "campaign", "crash", "profile",
+]
+
+
+class TestHelpSmoke:
+    def test_command_list_is_current(self):
+        import argparse
+
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        assert sorted(subparsers.choices) == sorted(ALL_COMMANDS)
+
+    @pytest.mark.parametrize("command", ALL_COMMANDS)
+    def test_help_exits_zero(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_top_level_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in ALL_COMMANDS:
+            assert command in out
+
+
+class TestUnwritableOut:
+    """--out through a regular file fails with one clean line, not a
+    traceback (NotADirectoryError fires even for root, unlike a bare
+    permission bit)."""
+
+    @pytest.mark.parametrize(
+        "args",
+        [
+            ["lifecycle", "--quick", "--no-cache", "--workers", "1"],
+            ["campaign", "--quick", "--no-cache", "--workers", "1"],
+            ["crash", "--quick", "--no-cache", "--workers", "1"],
+        ],
+        ids=["lifecycle", "campaign", "crash"],
+    )
+    def test_out_through_regular_file(self, args, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        target = blocker / "report.json"
+        code = main([*args, "--out", str(target)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error: cannot write report" in captured.err
+        assert "Traceback" not in captured.err
 
 
 class TestGoals:
@@ -181,6 +242,53 @@ class TestCampaign:
         assert main(args) == 0
         out = capsys.readouterr().out
         assert "24 from checkpoint" in out
+
+
+class TestCrash:
+    def test_quick_run_then_cache_replay(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_crash.json"
+        args = [
+            "crash", "--quick", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out_file),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "resync: journal" in out
+        assert "0 silent corruption event(s)" in out
+        assert "4 trials: 4 simulated" in out
+
+        payload = json.loads(out_file.read_text())
+        assert payload["bench"] == "crash"
+        assert payload["summary"]["corruption_events"] == 0
+        # The acceptance bar: journal-on resync measurably beats the
+        # full-sweep baseline.
+        assert payload["summary"]["resync_speedup"] > 2.0
+        for trial in payload["trials"]:
+            assert trial["classification"] == "recovered"
+            assert trial["resync_ms"] > 0
+
+        # Replay: every trial from cache, byte-identical report.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "4 trials: 0 simulated, 4 from cache" in out
+        assert json.loads(out_file.read_text()) == payload
+
+
+class TestCampaignOracle:
+    def test_oracle_enabled_campaign_reports_zero_corruption(
+        self, capsys, tmp_path
+    ):
+        out_file = tmp_path / "BENCH_campaign.json"
+        assert main(
+            ["campaign", "--quick", "--no-cache", "--workers", "1",
+             "--oracle", "--out", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "oracle: 0 silent corruption event(s)" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["config"]["oracle"] is True
+        assert payload["oracle"]["corruption_events"] == 0
 
 
 class TestPlan:
