@@ -1,0 +1,77 @@
+"""Nemesis fault-composition campaign on the 13-disk PDDL array.
+
+Runs a seeded sweep of composed-fault trials: each trial draws a legal
+:class:`~repro.faults.nemesis.NemesisSchedule` (disk failures, crashes,
+latent-sector-error bursts, transient I/O storms, scrub-off windows)
+and replays it against a journaled, scrubbed array with the integrity
+oracle armed.  Trials classify as survived, data-loss-legitimate, or
+SILENT_CORRUPTION — the last is a hard failure, since every loss the
+simulator admits must be one the redundancy math actually allows.
+"""
+
+from repro.experiments.nemesistrial import nemesis_specs, summarize_nemesis
+from repro.experiments.report import render_table
+
+from benchmarks._support import bench_runner
+
+DISKS = 13
+ROWS = 26
+
+
+def test_nemesis_composed_faults_pddl(benchmark, bench_scale):
+    trials = 50 * bench_scale
+    specs = nemesis_specs(
+        layout="pddl",
+        trials=trials,
+        disks=DISKS,
+        seed=0,
+        rows=ROWS,
+    )
+    runner = bench_runner()
+
+    report = benchmark.pedantic(
+        lambda: runner.run(specs), rounds=1, iterations=1
+    )
+
+    records = [r["nemesis_trial"] for r in report.records]
+    summary = summarize_nemesis(records)
+
+    applied = ", ".join(
+        f"{kind} x{count}"
+        for kind, count in sorted(summary["events_applied"].items())
+    )
+    print()
+    print(f"Nemesis campaign: pddl, {DISKS} disks, {trials} trials")
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["survived", summary["survived"]],
+                ["data loss (legitimate)", summary["data_loss"]],
+                ["SILENT CORRUPTION", summary["silent_corruption"]],
+                ["faults applied", applied],
+                ["crashes ridden out", summary["crashes"]],
+                ["write-hole stripes resynced",
+                 summary["write_hole_stripes"]],
+                ["mean resync (ms)", f"{summary['mean_resync_ms']:.2f}"],
+                ["rebuilds completed", summary["completed_rebuilds"]],
+                ["lost units (total)", summary["lost_units_total"]],
+            ],
+        )
+    )
+
+    # Every trial reached a terminal classification.
+    assert len(records) == trials
+    assert summary["trials"] == trials
+    # The hard gate: no trial may lose data the schedule cannot justify.
+    assert summary["silent_corruption"] == 0, summary["failing_trials"]
+    assert summary["corruption_events"] == 0
+    # The campaign actually exercises the composition space.
+    assert summary["events_applied"].get("disk-failure", 0) >= trials
+    assert summary["crashes"] > 0
+    # Legitimate double-fault losses occur at this envelope.
+    assert summary["data_loss"] > 0
+    assert summary["survived"] > 0
+    for record in records:
+        if record["classification"] == "data_loss":
+            assert record["loss_reason"], record

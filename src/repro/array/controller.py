@@ -441,6 +441,19 @@ class ArrayController:
         self._rebuilt = rebuilt
         self.mode = ArrayMode.RECONSTRUCTION
 
+    def resume_reconstruction(self, rebuilt: RebuiltPredicate) -> None:
+        """Re-point the live rebuild frontier at a fresh sweep.
+
+        A crash restart resumes an interrupted rebuild with a new
+        reconstructor seeded from the old frontier; the mode stays
+        RECONSTRUCTION throughout — only the predicate changes hands.
+        """
+        if self.mode is not ArrayMode.RECONSTRUCTION:
+            raise SimulationError(
+                f"no reconstruction to resume in {self.mode.value} mode"
+            )
+        self._rebuilt = rebuilt
+
     def finish_reconstruction(self) -> None:
         """The rebuild completed: every lost unit has a live copy again.
 
@@ -501,6 +514,15 @@ class ArrayController:
             self.set_retry_policy(policy)
         elif self.retry_policy is None:
             self.set_retry_policy(RetryPolicy())
+
+    def disable_transient_errors(self) -> None:
+        """End an error storm: drives stop drawing transient failures.
+
+        The retry policy stays installed — recovering an operation issued
+        during the storm must still work after it passes.
+        """
+        for server in self.servers:
+            server.drive.transient_errors = None
 
     def crash(self) -> dict:
         """Volatile controller state dies (power loss / controller panic).

@@ -18,7 +18,7 @@ as the spindles allow, larger values cede bandwidth to client traffic.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Iterable, Iterator, List, Optional, Set
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.array.controller import ArrayController
 from repro.core.reconstruction import (
@@ -64,6 +64,7 @@ class Reconstructor:
         on_unreadable: Optional[
             Callable[["Reconstructor", RebuildStep, PhysicalAddress], None]
         ] = None,
+        already_rebuilt: Optional[Iterable[int]] = None,
     ):
         if parallel_steps < 1:
             raise SimulationError("need at least one rebuild slot")
@@ -98,6 +99,14 @@ class Reconstructor:
         self._steps: Iterator[RebuildStep] = rebuild_plan(
             layout, controller.failed_disk, rows=self.total_rows
         )
+        done = set(already_rebuilt) if already_rebuilt else set()
+        if done:
+            # Resuming a sweep (crash restart): offsets already in spare
+            # space keep their rebuilt copies, so only the remainder of
+            # the plan runs.
+            steps = [s for s in self._steps if s.lost.offset not in done]
+            self.total_steps = len(steps)
+            self._steps = iter(steps)
         self._exhausted = False
         self._aborted = False
         self.started_ms: Optional[float] = None
@@ -107,7 +116,8 @@ class Reconstructor:
         self.unreadable: List[PhysicalAddress] = []
         self._active = 0
         self._pending_issues = 0
-        self._rebuilt_offsets: Set[int] = set()
+        self._rebuilt_offsets: Set[int] = done
+        self._inflight: Dict[int, RebuildStep] = {}
         self._next_id = RECONSTRUCTION_ID_BASE
 
     def start(self) -> None:
@@ -185,6 +195,20 @@ class Reconstructor:
         for _ in range(idle):
             self._issue_next()
 
+    def outstanding_steps(self) -> List[RebuildStep]:
+        """Drain every step without a completed rebuilt copy.
+
+        Used after a controller crash wiped the in-flight operations: the
+        issued-but-unfinished steps plus the never-issued remainder of the
+        plan, in issue order.  The plan is left exhausted — the caller
+        owns the returned steps (typically requeueing the survivors into
+        a fresh reconstructor).
+        """
+        remaining = list(self._steps)
+        self._steps = iter(())
+        self._exhausted = True
+        return list(self._inflight.values()) + remaining
+
     @property
     def progress(self) -> int:
         """Rebuild steps completed so far."""
@@ -236,9 +260,11 @@ class Reconstructor:
         controller = self.controller
         access_id = self._next_id
         self._next_id += 1
+        self._inflight[access_id] = step
         remaining = {"reads": len(step.reads), "failed": False}
 
         def write_done() -> None:
+            self._inflight.pop(access_id, None)
             self._active -= 1
             self.steps_completed += 1
             self._rebuilt_offsets.add(step.lost.offset)
@@ -284,6 +310,7 @@ class Reconstructor:
                     issue_read(addr, attempt + 1)
                     return
                 remaining["failed"] = True
+                self._inflight.pop(access_id, None)
                 self._fail_step(step, addr)
                 return
             remaining["reads"] -= 1

@@ -16,7 +16,14 @@ figure of the paper can be regenerated from a shell:
   MTTDL cross-check; see EXPERIMENTS.md "Campaigns")
 - ``crash``      — controller-crash trials: journaled vs full-sweep
   resync after a torn write (see EXPERIMENTS.md "Crash trials")
+- ``nemesis``    — composed-fault campaigns under the integrity oracle
+  (see EXPERIMENTS.md "Nemesis campaigns")
 - ``profile``    — cProfile one simulation point (hot functions, ev/s)
+
+``bench --compare`` gates on the committed ``BENCH_*.json`` baselines:
+invariant self-checks, level-shift detection between a ``--baseline``
+and a ``--candidate`` report, and ``--exact`` byte-agreement modulo the
+provenance version stamp (see RUNNER.md "The bench-regression gate").
 """
 
 from __future__ import annotations
@@ -173,6 +180,37 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_compare(args: argparse.Namespace) -> int:
+    """The ``bench --compare`` regression gate (no simulation)."""
+    import glob
+
+    from repro.runner import run_compare
+
+    baselines = args.baseline or sorted(glob.glob("BENCH_*.json"))
+    if not baselines:
+        print(
+            "error: no BENCH_*.json reports here and no --baseline given",
+            file=sys.stderr,
+        )
+        return 1
+    problems = run_compare(
+        baselines, candidate_path=args.candidate, exact=args.exact
+    )
+    if problems:
+        for line in problems:
+            print(f"bench-compare: {line}")
+        print(f"bench-compare: FAIL ({len(problems)} problem(s))")
+        return 1
+    reports = len(baselines) + (1 if args.candidate else 0)
+    mode = (
+        "exact"
+        if args.exact
+        else ("level-shift" if args.candidate else "self-check")
+    )
+    print(f"bench-compare: OK ({reports} report(s), {mode})")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import time
 
@@ -185,6 +223,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         response_sweep_specs,
     )
 
+    if args.compare or args.baseline or args.candidate or args.exact:
+        return _bench_compare(args)
     if args.quick:
         sizes, clients, samples = [8, 48], [1, 4], 40
     else:
@@ -370,6 +410,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         ResultCache,
         RunCheckpoint,
         default_cache_dir,
+        sweep_provenance,
     )
 
     if args.quick:
@@ -470,6 +511,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         # runs.
         payload = {
             "bench": "campaign",
+            # Version stamp + sweep hash, so bench --compare attributes
+            # a level shift to a commit range (CI comparisons that need
+            # repo-state independence ignore the version stamp).
+            "provenance": sweep_provenance(specs),
             "config": {
                 "layout": args.layout,
                 "disks": args.disks,
@@ -522,6 +567,7 @@ def _cmd_crash(args: argparse.Namespace) -> int:
         ResultCache,
         RunCheckpoint,
         default_cache_dir,
+        sweep_provenance,
     )
 
     if args.quick:
@@ -608,6 +654,9 @@ def _cmd_crash(args: argparse.Namespace) -> int:
         # a resumed run's file against the committed baseline.
         payload = {
             "bench": "crash",
+            # Version stamp + sweep hash for bench --compare attribution
+            # (CI's --exact comparison ignores the version stamp).
+            "provenance": sweep_provenance(specs),
             "config": {
                 "layouts": layouts,
                 "clients": client_counts,
@@ -644,6 +693,161 @@ def _cmd_crash(args: argparse.Namespace) -> int:
         }
         _write_report(args.out, payload)
     return 0
+
+
+def _cmd_nemesis(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.nemesistrial import (
+        nemesis_specs,
+        summarize_nemesis,
+    )
+    from repro.runner import (
+        ParallelRunner,
+        ResultCache,
+        RunCheckpoint,
+        default_cache_dir,
+        sweep_provenance,
+    )
+
+    trials = 24 if args.quick else args.trials
+    start = 0
+    if args.trial is not None:
+        # Replay exactly one schedule (the failing-seed repro path).
+        trials, start = 1, args.trial
+    specs = nemesis_specs(
+        layout=args.layout,
+        trials=trials,
+        disks=args.disks,
+        seed=args.seed,
+        start=start,
+        clients=args.clients,
+        rows=args.rows,
+        journal=not args.no_journal,
+        scrub_interval_ms=(
+            args.scrub_interval if args.scrub_interval > 0 else None
+        ),
+        max_samples=args.samples,
+        transient_io_rate=args.transient_io_rate,
+        lse_per_gb=args.lse_per_gb,
+    )
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    checkpoint = (
+        RunCheckpoint(args.checkpoint) if args.checkpoint else None
+    )
+    runner = ParallelRunner(
+        workers=args.workers,
+        cache=cache,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        checkpoint=checkpoint,
+    )
+    started = time.perf_counter()
+    report = runner.run(specs)
+    elapsed = time.perf_counter() - started
+
+    trial_records = [r["nemesis_trial"] for r in report.records]
+    summary = summarize_nemesis(trial_records)
+
+    print(
+        f"nemesis: {args.layout}, {args.disks} disks,"
+        f" {summary['trials']} composed-fault trial(s), oracle on"
+    )
+    print(
+        f"  survived {summary['survived']},"
+        f" data-loss {summary['data_loss']},"
+        f" SILENT CORRUPTION {summary['silent_corruption']}"
+    )
+    applied = summary["events_applied"]
+    print(
+        "  faults applied: "
+        + ", ".join(f"{k} x{v}" for k, v in applied.items())
+    )
+    if summary["events_skipped"]:
+        print(
+            "  skipped (legality): "
+            + ", ".join(
+                f"{k} x{v}" for k, v in summary["skip_reasons"].items()
+            )
+        )
+    if summary["mean_resync_ms"] is not None:
+        print(
+            f"  {summary['crashes']} crash(es), mean resync"
+            f" {summary['mean_resync_ms']:.1f} ms,"
+            f" {summary['write_hole_stripes']} write-hole stripe(s)"
+        )
+    print(
+        f"{len(specs)} trials: {report.executed} simulated,"
+        f" {report.cache_hits} from cache,"
+        f" {report.checkpoint_hits} from checkpoint"
+        f" ({runner.workers} workers, {elapsed:.2f}s)"
+    )
+    if cache is not None:
+        print(f"cache dir: {cache.root}")
+
+    failing = summary["failing_trials"]
+    if failing:
+        # One self-contained repro command per failing schedule, for
+        # the CI artifact and for running locally.
+        lines = [
+            f"python -m repro nemesis --layout {args.layout}"
+            f" --disks {args.disks} --seed {args.seed}"
+            f" --trial {t} --no-cache"
+            for t in failing
+        ]
+        for line in lines:
+            print(f"reproduce: {line}")
+        if args.failures_out:
+            _write_report(
+                args.failures_out,
+                {"failing_trials": failing, "commands": lines},
+            )
+
+    if args.out:
+        # Deterministic payload modulo the provenance version stamp:
+        # CI compares a fresh run against the committed baseline with
+        # bench --compare --exact.
+        payload = {
+            "bench": "nemesis",
+            "provenance": sweep_provenance(specs),
+            "config": {
+                "layout": args.layout,
+                "disks": args.disks,
+                "trials": trials,
+                "start": start,
+                "seed": args.seed,
+                "clients": args.clients,
+                "rows": args.rows,
+                "journal": not args.no_journal,
+                "scrub_interval_ms": (
+                    args.scrub_interval if args.scrub_interval > 0 else None
+                ),
+                "max_samples": args.samples,
+                "transient_io_rate": args.transient_io_rate,
+                "lse_per_gb": args.lse_per_gb,
+            },
+            "summary": summary,
+            "trials": [
+                {
+                    "trial": t["trial"],
+                    "classification": t["classification"],
+                    "schedule_hash": t["schedule_hash"],
+                    "events": [
+                        {"kind": e["kind"], "outcome": e["outcome"]}
+                        for e in t["events"]
+                    ],
+                    "crashes": len(t["crashes"]),
+                    "lost_units": t["lost_units"],
+                    "corruption_events": t["oracle"]["corruption_events"],
+                    "samples": t["samples"],
+                }
+                for t in trial_records
+            ],
+        }
+        _write_report(args.out, payload)
+    return 1 if failing else 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -763,6 +967,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--no-cache", action="store_true")
     bench.add_argument("--layouts", nargs="+", default=DEFAULT_LAYOUTS)
+    bench.add_argument(
+        "--compare", action="store_true",
+        help="regression gate instead of a sweep: self-check the"
+        " committed BENCH_*.json reports (or --baseline/--candidate"
+        " pairs) and exit non-zero on any problem",
+    )
+    bench.add_argument(
+        "--baseline", action="append", default=None, metavar="FILE",
+        help="bench report(s) to check; with --candidate, the last one"
+        " is the comparison baseline (default: ./BENCH_*.json)",
+    )
+    bench.add_argument(
+        "--candidate", default=None, metavar="FILE",
+        help="fresh report to compare against the baseline",
+    )
+    bench.add_argument(
+        "--exact", action="store_true",
+        help="require byte-agreement with the baseline, ignoring only"
+        " the provenance version stamp (CI committed-baseline check)",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     life = sub.add_parser(
@@ -971,6 +1195,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path (deterministic content; '' to skip)",
     )
     crash.set_defaults(func=_cmd_crash)
+
+    nem = sub.add_parser(
+        "nemesis",
+        help="composed-fault campaigns under the integrity oracle",
+    )
+    nem.add_argument(
+        "--quick", action="store_true",
+        help="small canned campaign (24 drawn schedules)",
+    )
+    nem.add_argument("--layout", default="pddl")
+    nem.add_argument("--disks", "-n", type=int, default=13)
+    nem.add_argument("--trials", type=int, default=200)
+    nem.add_argument(
+        "--trial", type=int, default=None,
+        help="replay exactly this trial index (the failing-seed repro"
+        " path; overrides --trials/--quick)",
+    )
+    nem.add_argument("--seed", type=int, default=0)
+    nem.add_argument(
+        "--clients", type=int, default=2,
+        help="closed-loop writers per cohort (a crash stalls the live"
+        " cohort; recovery starts a fresh one)",
+    )
+    nem.add_argument(
+        "--rows", type=int, default=26,
+        help="rows covered by rebuild/resync/scrub sweeps (client"
+        " writes are confined to the same region)",
+    )
+    nem.add_argument(
+        "--no-journal", action="store_true",
+        help="recover crashes with the full-sweep resync baseline"
+        " instead of the NVRAM dirty-stripe journal",
+    )
+    nem.add_argument(
+        "--scrub-interval", type=float, default=400.0,
+        help="periodic scrub pass interval in ms (scrub-off windows"
+        " pause it; pass 0 to disable scrubbing entirely)",
+    )
+    nem.add_argument(
+        "--samples", type=int, default=240,
+        help="total client responses per trial across all cohorts",
+    )
+    nem.add_argument(
+        "--transient-io-rate", type=float, default=0.0,
+        help="ambient per-operation transient error probability"
+        " outside storm windows",
+    )
+    nem.add_argument(
+        "--lse-per-gb", type=float, default=0.0,
+        help="latent sector errors seeded up front per GB (bursts in"
+        " the schedule add more mid-run)",
+    )
+    nem.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: $REPRO_BENCH_WORKERS or 1)",
+    )
+    nem.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-trial deadline in seconds (enables the hardened pool)",
+    )
+    nem.add_argument(
+        "--retries", type=int, default=0,
+        help="crash/timeout retries per trial (capped exponential backoff)",
+    )
+    nem.add_argument(
+        "--checkpoint", default=None,
+        help="JSONL checkpoint file; a killed run resumes from it",
+    )
+    nem.add_argument(
+        "--cache-dir", default=None,
+        help="result cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    nem.add_argument("--no-cache", action="store_true")
+    nem.add_argument(
+        "--out", default="BENCH_nemesis.json",
+        help="JSON report path (deterministic content; '' to skip)",
+    )
+    nem.add_argument(
+        "--failures-out", default="nemesis_failures.txt",
+        help="repro-command file written when any trial silently"
+        " corrupts ('' to skip)",
+    )
+    nem.set_defaults(func=_cmd_nemesis)
 
     prof = sub.add_parser(
         "profile",

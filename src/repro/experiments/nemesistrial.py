@@ -1,0 +1,691 @@
+"""Nemesis trials: composed faults under the integrity oracle.
+
+One trial drives a full array lifetime through a
+:class:`~repro.faults.nemesis.NemesisSchedule` — whole-disk failures,
+controller crashes, LSE bursts, transient I/O storms, and scrub-off
+windows, in any drawn composition — while closed-loop clients write and
+the :class:`~repro.faults.oracle.IntegrityOracle` shadows every access.
+Outcomes:
+
+``survived``
+    Every applied fault was absorbed; the array ends fault-free or
+    post-reconstruction with the schedule exhausted.
+``data_loss``
+    The array lost data *and said so* — a second failure sharing a
+    stripe, an unreadable sector ambushing a rebuild, or a write hole
+    confirmed at resync.  Legitimate: the failure model allows it.
+``silent_corruption``
+    The oracle counted at least one corruption event.  This is the hard
+    failure the whole harness exists to catch — no schedule, however
+    adversarial, may produce it.
+
+Dynamic legality (the YDB nemesis pattern): events are applied through
+an :class:`~repro.faults.nemesis.ActiveFaultTracker`; an event that is
+illegal in the world earlier faults created — a failure landing during
+crash recovery, anything after terminal data loss — is skipped with a
+recorded reason, so the trial record shows exactly which faults ran.
+
+Crash recovery composes the PR 4/5 machinery: torn writes feed a
+journal-guided (or full-sweep) resync, an interrupted rebuild resumes
+from its surviving frontier
+(:meth:`~repro.faults.lifecycle.ArrayLifecycle.resume_after_crash`), a
+stalled scrubber is replaced by a fresh generation, and a new client
+cohort takes over from the stalled one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.array.controller import ArrayController
+from repro.array.journal import StripeJournal
+from repro.array.raidops import ArrayMode
+from repro.array.resync import Resynchronizer
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.config import (
+    PAPER_SCHEDULER,
+    PAPER_SCHEDULER_WINDOW,
+    PAPER_STRIPE_UNIT_KB,
+    layout_for,
+)
+from repro.faults.lifecycle import ArrayLifecycle
+from repro.faults.media import MediaErrorMap
+from repro.faults.nemesis import ActiveFaultTracker, NemesisSchedule
+from repro.faults.oracle import IntegrityOracle
+from repro.faults.scenario import FaultScenario
+from repro.faults.scrubber import SCRUB_ID_BASE, Scrubber
+from repro.sim.engine import SimulationEngine
+from repro.workload.client import ClosedLoopClient
+from repro.workload.generators import UniformGenerator
+from repro.workload.spec import AccessSpec
+
+#: Scrubber generations (fresh instance after each crash / scrub-off
+#: window) each get their own access-id block inside the scrub space.
+_SCRUB_GENERATION_STRIDE = 1 << 20
+
+
+def run_nemesis_trial(
+    layout_name: str,
+    schedule: NemesisSchedule,
+    trial: int = 0,
+    seed: int = 0,
+    clients: int = 2,
+    size_kb: int = 8,
+    is_write: bool = True,
+    disks: int = 13,
+    width: Optional[int] = None,
+    rows: int = 26,
+    degraded_dwell_ms: float = 1500.0,
+    rebuild_parallel: int = 1,
+    journal: bool = True,
+    journal_latency_ms: float = 0.05,
+    scrub_interval_ms: Optional[float] = 400.0,
+    scrub_throttle_ms: float = 0.0,
+    restart_delay_ms: float = 10.0,
+    max_samples: int = 240,
+    transient_io_rate: float = 0.0,
+    lse_per_gb: float = 0.0,
+) -> dict:
+    """One composed-fault lifetime (see module docstring).
+
+    Pure function of its arguments: the schedule is already drawn, every
+    RNG here is a named stream, and the event loop is deterministic —
+    trials plug into the runner's byte-determinism contract.
+    """
+    if clients < 0:
+        raise ConfigurationError(f"negative client count {clients}")
+    if restart_delay_ms < 0:
+        raise ConfigurationError(
+            f"negative restart delay {restart_delay_ms}"
+        )
+    engine = SimulationEngine()
+    layout = layout_for(layout_name, disks=disks, width=width)
+    schedule.validate(layout.n, rows)
+    controller = ArrayController(
+        engine,
+        layout,
+        scheduler_name=PAPER_SCHEDULER,
+        scheduler_window=PAPER_SCHEDULER_WINDOW,
+        stripe_unit_kb=PAPER_STRIPE_UNIT_KB,
+    )
+    oracle_model = controller.attach_oracle(IntegrityOracle(layout))
+    journal_log = (
+        controller.attach_journal(StripeJournal(journal_latency_ms))
+        if journal
+        else None
+    )
+    #: Per-trial stream root for fault machinery (storms, ambient LSEs);
+    #: mirrors CampaignTrialSpec.fault_seed so trials are independent.
+    fault_seed = seed * 1_000_003 + trial
+    if transient_io_rate > 0:
+        controller.enable_transient_errors(
+            transient_io_rate, f"{fault_seed}/ambient-0"
+        )
+    media = (
+        MediaErrorMap.from_rate(
+            layout.n, rows, PAPER_STRIPE_UNIT_KB, lse_per_gb,
+            seed=fault_seed,
+        )
+        if lse_per_gb > 0
+        # Always constructed: LSE bursts and the scrubber need a map
+        # even when nothing is seeded up front.
+        else MediaErrorMap({})
+    )
+
+    # The scenario carries the lifecycle's repair knobs; its fault list
+    # is never armed — the schedule below injects failures itself.
+    first_failure = next(
+        (e for e in schedule.events if e.kind == "disk-failure"), None
+    )
+    scenario = FaultScenario(
+        failed_disk=first_failure.disk if first_failure is not None else 0,
+        fault_time_ms=(
+            first_failure.time_ms if first_failure is not None else 0.0
+        ),
+        degraded_dwell_ms=degraded_dwell_ms,
+        rebuild_rows=rows,
+        rebuild_parallel=rebuild_parallel,
+    )
+
+    tracker = ActiveFaultTracker()
+    done: dict = {"classification": None}
+    events_log: List[dict] = []
+    state: dict = {
+        "cohort": 0,
+        "storms": 0,
+        "crashes": [],
+        "resyncs": [],
+        "failure_tokens": [],
+    }
+    scrub_state: dict = {
+        "scrubber": None,
+        "generation": 0,
+        "off_windows": 0,
+        "passes_completed": 0,
+        "cells_read": 0,
+        "found": 0,
+        "repaired": 0,
+    }
+    samples = {"count": 0}
+    heal_timers: dict = {}
+    heal_seq = {"next": 0}
+
+    # ------------------------------------------------------------------
+    # Heal timers: storm ends and scrub-off ends must survive a crash's
+    # clear_pending(), so they live in a registry and re-arm on restart.
+    # ------------------------------------------------------------------
+
+    def _arm_heal(key: int) -> None:
+        at_ms, fn = heal_timers[key]
+
+        def fire() -> None:
+            if heal_timers.pop(key, None) is None:
+                return
+            fn()
+
+        engine.schedule_at(max(at_ms, engine.now), fire)
+
+    def schedule_heal(at_ms: float, fn) -> None:
+        key = heal_seq["next"]
+        heal_seq["next"] += 1
+        heal_timers[key] = (at_ms, fn)
+        _arm_heal(key)
+
+    def rearm_heals() -> None:
+        for key in sorted(heal_timers):
+            _arm_heal(key)
+
+    # ------------------------------------------------------------------
+    # Scrubber generations.
+    # ------------------------------------------------------------------
+
+    def stop_scrubber() -> None:
+        scrubber = scrub_state["scrubber"]
+        if scrubber is None:
+            return
+        for field in ("passes_completed", "cells_read", "found", "repaired"):
+            scrub_state[field] += getattr(scrubber, field)
+        scrubber.stop()
+        scrub_state["scrubber"] = None
+
+    def ensure_scrubber() -> None:
+        """(Re)start scrubbing unless something forbids it right now."""
+        if scrub_interval_ms is None or done["classification"] is not None:
+            return
+        if controller.mode is ArrayMode.DATA_LOSS:
+            return
+        if tracker.is_active("scrub-off") or tracker.is_active("crash"):
+            return
+        stop_scrubber()  # a crash-stalled instance never wakes; replace it
+        generation = scrub_state["generation"]
+        scrub_state["generation"] = generation + 1
+        scrubber = Scrubber(
+            controller,
+            media,
+            interval_ms=scrub_interval_ms,
+            throttle_ms=scrub_throttle_ms,
+            rows=rows,
+            id_base=SCRUB_ID_BASE + generation * _SCRUB_GENERATION_STRIDE,
+        )
+        scrub_state["scrubber"] = scrubber
+        scrubber.start()
+
+    # ------------------------------------------------------------------
+    # Trial termination.
+    # ------------------------------------------------------------------
+
+    def finish(classification: str) -> None:
+        if done["classification"] is not None:
+            return
+        done["classification"] = classification
+        stop_scrubber()
+        engine.stop()
+
+    def maybe_finish() -> None:
+        if done["classification"] is not None:
+            return
+        if progress["idx"] < len(schedule.events):
+            return
+        if tracker.is_active("crash"):
+            return
+        if controller.mode in (
+            ArrayMode.FAULT_FREE,
+            ArrayMode.POST_RECONSTRUCTION,
+        ):
+            finish("survived")
+
+    def on_transition(mode: ArrayMode, now_ms: float) -> None:
+        if mode is ArrayMode.DATA_LOSS:
+            finish("data_loss")
+        elif mode is ArrayMode.POST_RECONSTRUCTION:
+            # The rebuild absorbed every applied whole-disk failure.
+            for token in state["failure_tokens"]:
+                tracker.heal(token, now_ms)
+            state["failure_tokens"] = []
+            maybe_finish()
+
+    lifecycle = ArrayLifecycle(
+        controller, scenario, media=media, on_transition=on_transition
+    )
+
+    # ------------------------------------------------------------------
+    # Client cohorts (a crash stalls the live cohort; a fresh one takes
+    # over once resync completes).
+    # ------------------------------------------------------------------
+
+    periods_swept = max(1, rows // layout.period)
+    write_units = periods_swept * layout.data_units_per_period
+    if write_units > controller.addressable_data_units:
+        write_units = controller.addressable_data_units
+    access_spec = AccessSpec(size_kb=size_kb, is_write=is_write)
+    units = access_spec.units(PAPER_STRIPE_UNIT_KB)
+
+    def on_response(client, access, response_ms) -> bool:
+        samples["count"] += 1
+        return (
+            samples["count"] < max_samples
+            and done["classification"] is None
+        )
+
+    def start_cohort() -> None:
+        if clients < 1 or done["classification"] is not None:
+            return
+        if samples["count"] >= max_samples:
+            return
+        if controller.mode is ArrayMode.DATA_LOSS:
+            return
+        cohort = state["cohort"]
+        state["cohort"] = cohort + 1
+        for c in range(clients):
+            client_id = cohort * clients + c
+            generator = UniformGenerator(
+                write_units,
+                units,
+                random.Random(f"{seed}/nemesis-client-{client_id}"),
+            )
+            ClosedLoopClient(
+                client_id, controller, generator, access_spec, on_response,
+                stripe_unit_kb=PAPER_STRIPE_UNIT_KB,
+            ).start()
+
+    # ------------------------------------------------------------------
+    # Event application (dynamic legality lives here).
+    # ------------------------------------------------------------------
+
+    def log_applied(event) -> None:
+        events_log.append({**event.to_dict(), "outcome": "applied"})
+
+    def log_skipped(event, reason: str) -> None:
+        events_log.append(
+            {**event.to_dict(), "outcome": "skipped", "reason": reason}
+        )
+
+    def apply_disk_failure(event) -> None:
+        if controller.mode is ArrayMode.DATA_LOSS:
+            log_skipped(event, "data-loss")
+            return
+        if tracker.is_active("crash"):
+            log_skipped(event, "crash-recovery")
+            return
+        if controller.servers[event.disk].failed:
+            log_skipped(event, "disk-already-failed")
+            return
+        log_applied(event)
+        state["failure_tokens"].append(
+            tracker.begin(
+                "disk-failure", engine.now, detail=f"disk {event.disk}"
+            )
+        )
+        lifecycle.inject_failure(event.disk)
+
+    def apply_lse_burst(event) -> None:
+        if controller.mode is ArrayMode.DATA_LOSS:
+            log_skipped(event, "data-loss")
+            return
+        log_applied(event)
+        for disk, offset in event.cells:
+            media.inject(disk, offset)
+        tracker.record(
+            "lse-burst", engine.now, detail=f"{len(event.cells)} cell(s)"
+        )
+
+    def apply_storm(event) -> None:
+        if controller.mode is ArrayMode.DATA_LOSS:
+            log_skipped(event, "data-loss")
+            return
+        if tracker.is_active("transient-storm"):
+            log_skipped(event, "storm-active")
+            return
+        log_applied(event)
+        index = state["storms"]
+        state["storms"] = index + 1
+        controller.enable_transient_errors(
+            event.rate, f"{fault_seed}/storm-{index}"
+        )
+        token = tracker.begin(
+            "transient-storm", engine.now, detail=f"rate {event.rate}"
+        )
+
+        def end_storm() -> None:
+            controller.disable_transient_errors()
+            if transient_io_rate > 0:
+                controller.enable_transient_errors(
+                    transient_io_rate, f"{fault_seed}/ambient-{index + 1}"
+                )
+            tracker.heal(token, engine.now)
+
+        schedule_heal(event.time_ms + event.duration_ms, end_storm)
+
+    def apply_scrub_off(event) -> None:
+        if scrub_interval_ms is None:
+            log_skipped(event, "no-scrubber")
+            return
+        if controller.mode is ArrayMode.DATA_LOSS:
+            log_skipped(event, "data-loss")
+            return
+        if tracker.is_active("scrub-off"):
+            log_skipped(event, "window-active")
+            return
+        log_applied(event)
+        scrub_state["off_windows"] += 1
+        stop_scrubber()
+        token = tracker.begin("scrub-off", engine.now)
+
+        def scrub_on() -> None:
+            tracker.heal(token, engine.now)
+            ensure_scrubber()
+
+        schedule_heal(event.time_ms + event.duration_ms, scrub_on)
+
+    def apply_crash(event) -> None:
+        if controller.mode is ArrayMode.DATA_LOSS:
+            log_skipped(event, "data-loss")
+            return
+        if tracker.is_active("crash"):
+            log_skipped(event, "crash-active")
+            return
+        log_applied(event)
+        token = tracker.begin("crash", engine.now)
+        # The frontier survives the crash inside the (now idle) sweep
+        # object; capture it before recovery replaces the reconstructor.
+        recon = lifecycle.reconstructor
+        dropped = engine.clear_pending()
+        torn = controller.crash()
+        state["crashes"].append(
+            {
+                "time_ms": engine.now,
+                "torn_accesses": torn["accesses"],
+                "torn_stripes": len(torn["stripes"]),
+                "dropped_events": dropped,
+            }
+        )
+        # clear_pending() killed the heal timers along with everything
+        # else; NVRAM-like bookkeeping re-arms on the restart path.
+        rearm_heals()
+
+        def resync_done(duration_ms: float) -> None:
+            resync = state["resync"]
+            state["resyncs"].append(
+                {"crashed_at_ms": event.time_ms, **resync.to_dict()}
+            )
+            tracker.heal(token, engine.now)
+            lifecycle.resume_after_crash()
+            ensure_scrubber()
+            start_cohort()
+            maybe_finish()
+
+        def restart() -> None:
+            rebuilt = None
+            if (
+                controller.mode is ArrayMode.RECONSTRUCTION
+                and recon is not None
+            ):
+                rebuilt = recon.is_rebuilt
+            resync = Resynchronizer(
+                controller,
+                journal=journal_log,
+                suspect=set(torn["stripes"]),
+                rows=rows,
+                on_finished=resync_done,
+                rebuilt=rebuilt,
+            )
+            state["resync"] = resync
+            resync.start()
+            if resync.aborted:
+                # The write hole ate data: resync declared the loss
+                # synchronously and the recovery never completes.
+                state["resyncs"].append(
+                    {"crashed_at_ms": event.time_ms, **resync.to_dict()}
+                )
+                finish("data_loss")
+
+        engine.schedule(restart_delay_ms, restart)
+
+    _APPLIERS = {
+        "disk-failure": apply_disk_failure,
+        "crash": apply_crash,
+        "lse-burst": apply_lse_burst,
+        "transient-storm": apply_storm,
+        "scrub-off": apply_scrub_off,
+    }
+
+    # ------------------------------------------------------------------
+    # The event pump: exactly one schedule event is armed at a time, so
+    # a crash's clear_pending() never eats a future fault.
+    # ------------------------------------------------------------------
+
+    progress = {"idx": 0}
+
+    def fire_event() -> None:
+        event = schedule.events[progress["idx"]]
+        progress["idx"] += 1
+        _APPLIERS[event.kind](event)
+        schedule_next_event()
+        maybe_finish()
+
+    def schedule_next_event() -> None:
+        if progress["idx"] >= len(schedule.events):
+            return
+        event = schedule.events[progress["idx"]]
+        engine.schedule_at(max(event.time_ms, engine.now), fire_event)
+
+    schedule_next_event()
+    ensure_scrubber()
+    start_cohort()
+
+    engine.run()
+
+    if done["classification"] is None:
+        raise SimulationError(
+            "nemesis trial drained unclassified in mode"
+            f" {controller.mode.value}"
+        )
+
+    verification = oracle_model.verify(failed_disk=controller.failed_disk)
+    classification = done["classification"]
+    if verification["corruption_events"] > 0:
+        classification = "silent_corruption"
+
+    stop_scrubber()  # fold any final generation into the accumulators
+    recon = lifecycle.reconstructor
+    record = {
+        "layout": layout_name,
+        "disks": layout.n,
+        "trial": trial,
+        "seed": seed,
+        "schedule": schedule.to_dict(),
+        "schedule_hash": schedule.content_hash(),
+        "classification": classification,
+        "loss_reason": controller.data_loss_reason,
+        "events": events_log,
+        "faults": tracker.to_dict(),
+        "transitions": [list(t) for t in lifecycle.transitions],
+        "second_faults": list(lifecycle.second_faults),
+        "lost_units": lifecycle.lost_units,
+        "write_hole_stripes": sum(
+            len(r["data_lost_stripes"]) for r in state["resyncs"]
+        ),
+        "crashes": state["crashes"],
+        "resyncs": state["resyncs"],
+        "completed_rebuild": lifecycle.complete,
+        "rebuild": {
+            "duration_ms": (
+                recon.duration_ms
+                if recon is not None and recon.finished_ms is not None
+                else None
+            ),
+            "steps_completed": 0 if recon is None else recon.steps_completed,
+            "total_steps": 0 if recon is None else recon.total_steps,
+        },
+        "media": media.to_dict(),
+        "scrub": (
+            None
+            if scrub_interval_ms is None
+            else {
+                "generations": scrub_state["generation"],
+                "off_windows": scrub_state["off_windows"],
+                "passes_completed": scrub_state["passes_completed"],
+                "cells_read": scrub_state["cells_read"],
+                "found": scrub_state["found"],
+                "repaired": scrub_state["repaired"],
+            }
+        ),
+        "samples": samples["count"],
+        "oracle": verification,
+        "instrumentation": controller.instrumentation_record(),
+    }
+    if transient_io_rate > 0 or state["storms"] > 0:
+        record["io_recovery"] = controller.io_stats.to_dict()
+    return record
+
+
+def nemesis_specs(
+    layout: str = "pddl",
+    trials: int = 200,
+    disks: int = 13,
+    width: Optional[int] = None,
+    seed: int = 0,
+    start: int = 0,
+    horizon_ms: float = 20000.0,
+    max_disk_failures: int = 2,
+    max_crashes: int = 2,
+    max_lse_bursts: int = 2,
+    max_storms: int = 1,
+    max_scrub_windows: int = 1,
+    storm_rate: float = 0.02,
+    clients: int = 2,
+    size_kb: int = 8,
+    is_write: bool = True,
+    rows: int = 26,
+    degraded_dwell_ms: float = 1500.0,
+    rebuild_parallel: int = 1,
+    journal: bool = True,
+    journal_latency_ms: float = 0.05,
+    scrub_interval_ms: Optional[float] = 400.0,
+    scrub_throttle_ms: float = 0.0,
+    restart_delay_ms: float = 10.0,
+    max_samples: int = 240,
+    transient_io_rate: float = 0.0,
+    lse_per_gb: float = 0.0,
+):
+    """One :class:`~repro.runner.spec.NemesisTrialSpec` per trial.
+
+    ``start`` offsets the trial indices — ``repro nemesis --trial N``
+    replays exactly trial N of a campaign (same derived schedule seed),
+    which is how a failing seed from CI reproduces locally.
+    """
+    # Local import: repro.runner imports the executor module, which
+    # imports this one.
+    from repro.runner.spec import NemesisTrialSpec
+
+    if trials < 1:
+        raise ConfigurationError(f"need >= 1 trial, got {trials}")
+    return [
+        NemesisTrialSpec(
+            layout=layout,
+            disks=disks,
+            width=width,
+            trial=trial,
+            seed=seed,
+            horizon_ms=horizon_ms,
+            max_disk_failures=max_disk_failures,
+            max_crashes=max_crashes,
+            max_lse_bursts=max_lse_bursts,
+            max_storms=max_storms,
+            max_scrub_windows=max_scrub_windows,
+            storm_rate=storm_rate,
+            clients=clients,
+            size_kb=size_kb,
+            is_write=is_write,
+            rows=rows,
+            degraded_dwell_ms=degraded_dwell_ms,
+            rebuild_parallel=rebuild_parallel,
+            journal=journal,
+            journal_latency_ms=journal_latency_ms,
+            scrub_interval_ms=scrub_interval_ms,
+            scrub_throttle_ms=scrub_throttle_ms,
+            restart_delay_ms=restart_delay_ms,
+            max_samples=max_samples,
+            transient_io_rate=transient_io_rate,
+            lse_per_gb=lse_per_gb,
+        )
+        for trial in range(start, start + trials)
+    ]
+
+
+def summarize_nemesis(records: List[dict]) -> dict:
+    """Outcome counts, fault coverage, and the corruption invariant.
+
+    ``silent_corruption`` must be zero; ``failing_trials`` names the
+    trial indices to replay when it is not.
+    """
+    if not records:
+        raise ConfigurationError("no nemesis records to summarize")
+    outcomes = {"survived": 0, "data_loss": 0, "silent_corruption": 0}
+    applied: dict = {}
+    skipped: dict = {}
+    skip_reasons: dict = {}
+    resync_times: List[float] = []
+    for record in records:
+        outcomes[record["classification"]] += 1
+        for event in record["events"]:
+            kind = event["kind"]
+            if event["outcome"] == "applied":
+                applied[kind] = applied.get(kind, 0) + 1
+            else:
+                skipped[kind] = skipped.get(kind, 0) + 1
+                reason = event["reason"]
+                skip_reasons[reason] = skip_reasons.get(reason, 0) + 1
+        for resync in record["resyncs"]:
+            if resync["duration_ms"] is not None:
+                resync_times.append(resync["duration_ms"])
+    return {
+        "trials": len(records),
+        "survived": outcomes["survived"],
+        "data_loss": outcomes["data_loss"],
+        "silent_corruption": outcomes["silent_corruption"],
+        "corruption_events": sum(
+            r["oracle"]["corruption_events"] for r in records
+        ),
+        "failing_trials": sorted(
+            r["trial"]
+            for r in records
+            if r["classification"] == "silent_corruption"
+        ),
+        "events_applied": {k: applied[k] for k in sorted(applied)},
+        "events_skipped": {k: skipped[k] for k in sorted(skipped)},
+        "skip_reasons": {k: skip_reasons[k] for k in sorted(skip_reasons)},
+        "crashes": sum(len(r["crashes"]) for r in records),
+        "write_hole_stripes": sum(
+            r["write_hole_stripes"] for r in records
+        ),
+        "mean_resync_ms": (
+            sum(resync_times) / len(resync_times) if resync_times else None
+        ),
+        "completed_rebuilds": sum(
+            1 for r in records if r["completed_rebuild"]
+        ),
+        "lost_units_total": sum(r["lost_units"] for r in records),
+        "samples_total": sum(r["samples"] for r in records),
+    }

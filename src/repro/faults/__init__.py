@@ -26,6 +26,12 @@ from repro.faults.crash import CrashInjector
 from repro.faults.injector import FaultInjector
 from repro.faults.lifecycle import ArrayLifecycle
 from repro.faults.media import MediaErrorMap
+from repro.faults.nemesis import (
+    NEMESIS_SCHEDULE_VERSION,
+    ActiveFaultTracker,
+    NemesisEvent,
+    NemesisSchedule,
+)
 from repro.faults.multifault import (
     SecondFailureOutcome,
     evaluate_second_failure,
@@ -36,6 +42,7 @@ from repro.faults.scenario import FAULT_SCENARIO_VERSION, FaultScenario
 from repro.faults.scrubber import SCRUB_ID_BASE, Scrubber
 
 __all__ = [
+    "ActiveFaultTracker",
     "ArrayLifecycle",
     "CrashInjector",
     "FAULT_SCENARIO_VERSION",
@@ -43,6 +50,9 @@ __all__ = [
     "FaultScenario",
     "IntegrityOracle",
     "MediaErrorMap",
+    "NEMESIS_SCHEDULE_VERSION",
+    "NemesisEvent",
+    "NemesisSchedule",
     "SCRUB_ID_BASE",
     "Scrubber",
     "SecondFailureOutcome",

@@ -137,6 +137,68 @@ class ArrayLifecycle:
         self.injector.arm()
         return self.injector
 
+    def inject_failure(self, disk: int) -> None:
+        """Deliver one whole-disk failure now, from an external injector.
+
+        The nemesis harness schedules failures itself instead of
+        :meth:`arm`-ing the scenario; this routes the failure through the
+        same first/subsequent classification path the injector uses.
+        """
+        self._on_failure(disk, self.controller.engine.now)
+
+    def resume_after_crash(self) -> None:
+        """Re-arm lifecycle work a controller crash wiped off the engine.
+
+        Call after the post-crash resync completes.  A crash clears every
+        pending event, killing the degraded dwell timer and the rebuild
+        sweep's in-flight steps; platter contents and the spare cells
+        already rebuilt survive.  Depending on the mode at restart:
+
+        - DEGRADED: detection restarts — a fresh dwell timer leads to
+          :meth:`_start_rebuild` as usual.
+        - RECONSTRUCTION: a fresh sweep resumes from the old frontier,
+          carrying over any second-failure repair steps that had not
+          completed.
+        - anywhere else: nothing was in flight; no-op.
+        """
+        controller = self.controller
+        if controller.mode is ArrayMode.DEGRADED:
+            controller.engine.schedule(
+                self.scenario.degraded_dwell_ms, self._start_rebuild
+            )
+            return
+        if controller.mode is not ArrayMode.RECONSTRUCTION:
+            return
+        old = self.reconstructor
+        if old is None:
+            raise SimulationError("reconstruction mode with no sweep")
+        frontier = set(old.rebuilt_offsets)
+        # Steps not certainly completed: the fresh plan re-covers the
+        # failed disk's share; repair steps for *other* slots (survivable
+        # second failures) must be carried over explicitly.
+        carried = [
+            s
+            for s in old.outstanding_steps()
+            if s.lost.disk != controller.failed_disk
+        ]
+        recon = Reconstructor(
+            controller,
+            parallel_steps=self.scenario.rebuild_parallel,
+            rows=self.scenario.rebuild_rows,
+            throttle_ms=self.scenario.rebuild_throttle_ms,
+            on_finished=self._on_rebuilt,
+            on_step=self.on_rebuild_step,
+            allow_replacement=True,
+            media=self.media,
+            on_unreadable=self._on_unreadable,
+            already_rebuilt=frontier,
+        )
+        self.reconstructor = recon
+        if carried:
+            recon.requeue(carried)
+        controller.resume_reconstruction(recon.is_rebuilt)
+        recon.start()
+
     def mode_at(self, time_ms: float) -> str:
         """Mode value in force at ``time_ms`` (from the transition log)."""
         current = self.transitions[0][0]

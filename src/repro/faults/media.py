@@ -50,6 +50,7 @@ class MediaErrorMap:
             disk: set(offsets) for disk, offsets in bad.items() if offsets
         }
         self.seeded = sum(len(s) for s in self._bad.values())
+        self.injected = 0
         self.discovered = 0
         self.repaired = 0
         self.overwritten = 0
@@ -85,6 +86,24 @@ class MediaErrorMap:
                 bad[disk] = set(rng.sample(range(rows), count))
         return cls(bad)
 
+    def inject(self, disk: int, offset: int) -> bool:
+        """Grow a latent error mid-run (an LSE burst); True if new.
+
+        Re-injecting a cell that was already repaired makes it bad again
+        and re-arms discovery accounting for it.
+        """
+        if disk < 0 or offset < 0:
+            raise ConfigurationError(
+                f"bad LSE injection target ({disk}, {offset})"
+            )
+        offsets = self._bad.setdefault(disk, set())
+        if offset in offsets:
+            return False
+        offsets.add(offset)
+        self._seen.discard((disk, offset))
+        self.injected += 1
+        return True
+
     def is_bad(self, disk: int, offset: int) -> bool:
         """Does a read of this cell fail?  Discovery is counted once."""
         bad = offset in self._bad.get(disk, ())
@@ -118,10 +137,13 @@ class MediaErrorMap:
         return sum(len(s) for s in self._bad.values())
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "seeded": self.seeded,
             "discovered": self.discovered,
             "repaired": self.repaired,
             "overwritten": self.overwritten,
             "remaining": self.remaining,
         }
+        if self.injected:
+            data["injected"] = self.injected
+        return data

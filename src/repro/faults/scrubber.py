@@ -39,7 +39,10 @@ class Scrubber:
     ``rows`` bounds the sweep per disk (``None`` = the controller's full
     period count — use the same bound as the rebuild domain so scrub and
     rebuild describe the same array).  ``on_repair(disk, offset)`` fires
-    for every latent error the scrub fixes.
+    for every latent error the scrub fixes.  ``id_base`` overrides the
+    access-id block — a harness that replaces a stalled scrubber (e.g.
+    after a crash wiped its in-flight reads) hands each generation a
+    distinct block so their ids never collide.
     """
 
     def __init__(
@@ -50,6 +53,7 @@ class Scrubber:
         throttle_ms: float = 0.0,
         rows: Optional[int] = None,
         on_repair: Optional[Callable[[int, int], None]] = None,
+        id_base: Optional[int] = None,
     ):
         if interval_ms <= 0:
             raise ConfigurationError(
@@ -80,7 +84,7 @@ class Scrubber:
         self._stopped = False
         self._disk = 0
         self._offset = 0
-        self._next_id = SCRUB_ID_BASE
+        self._next_id = SCRUB_ID_BASE if id_base is None else id_base
 
     def start(self) -> None:
         """Arm the scrubber: the first pass begins one interval from now."""

@@ -6,6 +6,13 @@ worker processes, memoize results on disk by content hash.  See
 RUNNER.md at the repository root for the operational guide.
 """
 
+from repro.runner.benchcompare import (
+    check_invariants,
+    compare_reports,
+    diff_reports,
+    load_report,
+    run_compare,
+)
 from repro.runner.cache import ResultCache, default_cache_dir
 from repro.runner.checkpoint import RunCheckpoint
 from repro.runner.execute import (
@@ -13,6 +20,11 @@ from repro.runner.execute import (
     cell_from_record,
     execute_spec,
     point_from_record,
+)
+from repro.runner.provenance import (
+    source_version,
+    sweep_hash,
+    sweep_provenance,
 )
 from repro.runner.figures import (
     cells_from_records,
@@ -29,6 +41,7 @@ from repro.runner.spec import (
     CampaignTrialSpec,
     ExperimentSpec,
     LifecycleSpec,
+    NemesisTrialSpec,
     Table1Spec,
     mode_name,
     spec_from_dict,
@@ -41,6 +54,7 @@ __all__ = [
     "CampaignTrialSpec",
     "ExperimentSpec",
     "LifecycleSpec",
+    "NemesisTrialSpec",
     "ParallelRunner",
     "ResultCache",
     "RunCheckpoint",
@@ -49,20 +63,28 @@ __all__ = [
     "canonical_json",
     "cell_from_record",
     "cells_from_records",
+    "check_invariants",
+    "compare_reports",
     "curves_from_records",
     "default_cache_dir",
     "default_workers",
+    "diff_reports",
     "execute_spec",
     "figure5_specs",
     "figure6_specs",
     "lifecycle_sweep_specs",
+    "load_report",
     "mode_name",
     "point_from_record",
     "rebuild_load_curves",
     "response_sweep_specs",
+    "run_compare",
     "run_hardened",
+    "source_version",
     "spec_from_dict",
     "spec_hash",
     "spec_to_dict",
+    "sweep_hash",
+    "sweep_provenance",
     "table1_specs",
 ]

@@ -1,0 +1,356 @@
+"""Bench-regression gate: compare ``BENCH_*.json`` reports across history.
+
+Every simulated quantity in the committed baselines is deterministic —
+same specs, same seeds, same event loop — so a *level shift* between two
+reports with matching configs is a behaviour change, not noise, and CI
+can gate on byte-level agreement of the simulated numbers.  Wall-clock
+quantities (the hotpath bench's ``wall_s``/``events_per_s``) are the one
+exception and get a generous machine-tolerance instead.
+
+Three entry points, all behind ``repro bench --compare``:
+
+:func:`check_invariants`
+    Self-check one report: internal consistency (counts add up, CIs
+    bracket their estimate) plus the hard oracle invariants (zero
+    corruption events, zero silent-corruption trials).  Run against the
+    committed baselines in CI so a hand-edited or truncated report
+    fails loudly.
+:func:`compare_reports`
+    Level-shift detection between a baseline and a candidate of the
+    same bench kind.  Differences are attributed to the commit range
+    between the two reports' ``provenance.source_version`` stamps.
+:func:`diff_reports`
+    Deep equality modulo provenance (``--exact``): what CI uses instead
+    of ``cmp`` to compare a fresh run against a committed baseline,
+    since the version stamp legitimately differs across commits.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.errors import RunnerError
+
+#: Bench kinds with committed baselines (BENCH_<kind>.json at the root).
+KNOWN_BENCHES = ("campaign", "crash", "hotpath", "lifecycle", "nemesis")
+
+#: Fractional slowdown tolerated for wall-clock rates before the gate
+#: trips (CI machines vary; the simulated quantities carry the gate).
+WALL_CLOCK_TOLERANCE = 0.5
+
+
+def load_report(path: str) -> dict:
+    """One ``BENCH_*.json`` report, or a clean error."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except OSError as exc:
+        raise RunnerError(f"cannot read bench report {path!r}: {exc}")
+    except ValueError as exc:
+        raise RunnerError(f"bench report {path!r} is not JSON: {exc}")
+    if not isinstance(report, dict) or "bench" not in report:
+        raise RunnerError(
+            f"bench report {path!r} has no 'bench' discriminator"
+        )
+    return report
+
+
+def _version(report: dict) -> str:
+    return report.get("provenance", {}).get("source_version", "unversioned")
+
+
+def _check_campaign(report: dict, problems: List[str]) -> None:
+    summary = report["summary"]
+    trials = summary["trials"]
+    if trials != len(report["trials"]):
+        problems.append(
+            f"summary says {trials} trials but {len(report['trials'])}"
+            " are recorded"
+        )
+    if not 0 <= summary["losses"] <= trials:
+        problems.append(f"losses {summary['losses']} outside [0, {trials}]")
+    if not 0.0 <= summary["loss_probability"] <= 1.0:
+        problems.append(
+            f"loss probability {summary['loss_probability']} outside [0, 1]"
+        )
+    if not summary["ci_low"] <= summary["loss_probability"] <= summary["ci_high"]:
+        problems.append(
+            f"CI [{summary['ci_low']}, {summary['ci_high']}] does not"
+            f" bracket the estimate {summary['loss_probability']}"
+        )
+    oracle = report.get("oracle")
+    if oracle is not None and oracle["corruption_events"] != 0:
+        problems.append(
+            f"{oracle['corruption_events']} silent corruption event(s)"
+        )
+
+
+def _check_crash(report: dict, problems: List[str]) -> None:
+    summary = report["summary"]
+    if summary["corruption_events"] != 0:
+        problems.append(
+            f"{summary['corruption_events']} silent corruption event(s)"
+        )
+    if summary["trials"] != len(report["trials"]):
+        problems.append(
+            f"summary says {summary['trials']} trials but"
+            f" {len(report['trials'])} are recorded"
+        )
+    if summary["resync_speedup"] <= 1.0:
+        problems.append(
+            "journaled resync no faster than the full sweep"
+            f" (speedup {summary['resync_speedup']})"
+        )
+    for trial in report["trials"]:
+        if trial["corruption_events"] != 0:
+            problems.append(
+                f"trial {trial['layout']}/{trial['clients']} clients has"
+                f" {trial['corruption_events']} corruption event(s)"
+            )
+
+
+def _check_nemesis(report: dict, problems: List[str]) -> None:
+    summary = report["summary"]
+    if summary["silent_corruption"] != 0:
+        problems.append(
+            f"{summary['silent_corruption']} SILENT_CORRUPTION trial(s):"
+            f" {summary['failing_trials']}"
+        )
+    if summary["corruption_events"] != 0:
+        problems.append(
+            f"{summary['corruption_events']} oracle corruption event(s)"
+        )
+    counted = (
+        summary["survived"]
+        + summary["data_loss"]
+        + summary["silent_corruption"]
+    )
+    if counted != summary["trials"]:
+        problems.append(
+            f"outcomes sum to {counted}, not {summary['trials']}"
+        )
+    if summary["trials"] != len(report["trials"]):
+        problems.append(
+            f"summary says {summary['trials']} trials but"
+            f" {len(report['trials'])} are recorded"
+        )
+
+
+def _check_hotpath(report: dict, problems: List[str]) -> None:
+    if report["total"]["events"] <= 0:
+        problems.append("no engine events recorded")
+    if report["speedup"]["total"] <= 0:
+        problems.append(f"non-positive speedup {report['speedup']['total']}")
+
+
+def _check_lifecycle(report: dict, problems: List[str]) -> None:
+    if not report["runs"]:
+        problems.append("no lifecycle runs recorded")
+
+
+_CHECKERS = {
+    "campaign": _check_campaign,
+    "crash": _check_crash,
+    "nemesis": _check_nemesis,
+    "hotpath": _check_hotpath,
+    "lifecycle": _check_lifecycle,
+}
+
+
+def check_invariants(report: dict) -> List[str]:
+    """Internal-consistency problems of one report (empty = healthy)."""
+    kind = report["bench"]
+    checker = _CHECKERS.get(kind)
+    if checker is None:
+        return [f"unknown bench kind {kind!r}"]
+    problems: List[str] = []
+    try:
+        checker(report, problems)
+    except (KeyError, TypeError) as exc:
+        problems.append(f"malformed {kind} report: missing {exc}")
+    return problems
+
+
+def _strip_provenance(report: dict) -> dict:
+    """A copy with the repo-state-dependent version stamp removed."""
+    clean = dict(report)
+    provenance = clean.get("provenance")
+    if isinstance(provenance, dict):
+        provenance = dict(provenance)
+        provenance.pop("source_version", None)
+        clean["provenance"] = provenance
+    return clean
+
+
+def _walk_diff(a, b, path: str, out: List[str], limit: int) -> None:
+    if len(out) >= limit:
+        return
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            where = f"{path}.{key}" if path else key
+            if key not in a:
+                out.append(f"{where}: only in candidate")
+            elif key not in b:
+                out.append(f"{where}: only in baseline")
+            else:
+                _walk_diff(a[key], b[key], where, out, limit)
+            if len(out) >= limit:
+                return
+        return
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            out.append(f"{path}: {len(a)} vs {len(b)} entries")
+            return
+        for i, (x, y) in enumerate(zip(a, b)):
+            _walk_diff(x, y, f"{path}[{i}]", out, limit)
+            if len(out) >= limit:
+                return
+        return
+    if a != b:
+        out.append(f"{path}: {a!r} vs {b!r}")
+
+
+def diff_reports(baseline: dict, candidate: dict, limit: int = 20) -> List[str]:
+    """Paths where the reports differ, ignoring the version stamp."""
+    out: List[str] = []
+    _walk_diff(
+        _strip_provenance(baseline),
+        _strip_provenance(candidate),
+        "",
+        out,
+        limit,
+    )
+    return out
+
+
+def _shift(key: str, base, cand, baseline: dict, candidate: dict) -> str:
+    return (
+        f"{key}: {base!r} ({_version(baseline)})"
+        f" -> {cand!r} ({_version(candidate)})"
+    )
+
+
+def _summary_shifts(
+    baseline: dict,
+    candidate: dict,
+    regressions: List[str],
+    skip: tuple = (),
+) -> None:
+    base, cand = baseline["summary"], candidate["summary"]
+    for key in sorted(set(base) | set(cand)):
+        if key in skip:
+            continue
+        if base.get(key) != cand.get(key):
+            regressions.append(
+                _shift(
+                    f"summary.{key}",
+                    base.get(key),
+                    cand.get(key),
+                    baseline,
+                    candidate,
+                )
+            )
+
+
+def compare_reports(baseline: dict, candidate: dict) -> List[str]:
+    """Level shifts between two same-kind reports (empty = no change).
+
+    Simulated quantities must match exactly (the whole pipeline is
+    seeded and deterministic); wall-clock rates in the hotpath bench
+    tolerate :data:`WALL_CLOCK_TOLERANCE` slowdown.  A config mismatch
+    is reported as its own problem — the reports measured different
+    sweeps, so their numbers are incomparable.
+    """
+    regressions: List[str] = []
+    if baseline["bench"] != candidate["bench"]:
+        return [
+            f"bench kinds differ: {baseline['bench']!r} vs"
+            f" {candidate['bench']!r} — nothing to compare"
+        ]
+    kind = baseline["bench"]
+    if baseline.get("config") != candidate.get("config"):
+        regressions.append(
+            "configs differ — these reports measured different sweeps"
+        )
+        return regressions
+    if kind in ("campaign", "crash", "nemesis"):
+        _summary_shifts(baseline, candidate, regressions)
+        if baseline["trials"] != candidate["trials"]:
+            diffs = diff_reports(
+                {"trials": baseline["trials"]},
+                {"trials": candidate["trials"]},
+                limit=5,
+            )
+            for entry in diffs:
+                regressions.append(
+                    _shift(entry, "baseline", "candidate", baseline, candidate)
+                )
+    elif kind == "lifecycle":
+        for entry in diff_reports(
+            {"runs": baseline["runs"]}, {"runs": candidate["runs"]}, limit=10
+        ):
+            regressions.append(
+                _shift(entry, "baseline", "candidate", baseline, candidate)
+            )
+    elif kind == "hotpath":
+        base_total, cand_total = baseline["total"], candidate["total"]
+        if base_total["events"] != cand_total["events"]:
+            regressions.append(
+                _shift(
+                    "total.events",
+                    base_total["events"],
+                    cand_total["events"],
+                    baseline,
+                    candidate,
+                )
+            )
+        floor = base_total["events_per_s"] * WALL_CLOCK_TOLERANCE
+        if cand_total["events_per_s"] < floor:
+            regressions.append(
+                f"total.events_per_s: {cand_total['events_per_s']:.0f}"
+                f" below {floor:.0f}"
+                f" ({WALL_CLOCK_TOLERANCE:.0%} of baseline"
+                f" {base_total['events_per_s']:.0f};"
+                f" {_version(baseline)} -> {_version(candidate)})"
+            )
+    return regressions
+
+
+def run_compare(
+    baseline_paths: List[str],
+    candidate_path: Optional[str] = None,
+    exact: bool = False,
+) -> List[str]:
+    """The ``repro bench --compare`` engine; problem lines (empty = pass).
+
+    With only baselines: invariant self-check of each report.  With a
+    candidate: the last baseline is compared against it — level-shift
+    detection by default, deep equality modulo provenance with
+    ``exact=True``.  Either way every named report is also
+    invariant-checked, so a truncated or hand-edited file never passes.
+    """
+    problems: List[str] = []
+    reports = []
+    for path in baseline_paths:
+        report = load_report(path)
+        reports.append((path, report))
+        for problem in check_invariants(report):
+            problems.append(f"{path}: {problem}")
+    if candidate_path is None:
+        return problems
+    if not reports:
+        raise RunnerError("--candidate needs a --baseline to compare against")
+    candidate = load_report(candidate_path)
+    for problem in check_invariants(candidate):
+        problems.append(f"{candidate_path}: {problem}")
+    base_path, baseline = reports[-1]
+    if exact:
+        for entry in diff_reports(baseline, candidate):
+            problems.append(
+                f"{base_path} vs {candidate_path}: {entry}"
+            )
+    else:
+        for entry in compare_reports(baseline, candidate):
+            problems.append(f"{base_path} vs {candidate_path}: {entry}")
+    return problems

@@ -19,6 +19,7 @@ from repro.runner.spec import (
     CrashTrialSpec,
     ExperimentSpec,
     LifecycleSpec,
+    NemesisTrialSpec,
     Spec,
     Table1Spec,
     spec_hash,
@@ -187,12 +188,42 @@ def _execute_crash_trial(spec: CrashTrialSpec) -> dict:
     }
 
 
+def _execute_nemesis_trial(spec: NemesisTrialSpec) -> dict:
+    from repro.experiments.nemesistrial import run_nemesis_trial
+
+    return {
+        "nemesis_trial": run_nemesis_trial(
+            spec.layout,
+            spec.schedule(),
+            trial=spec.trial,
+            seed=spec.seed,
+            clients=spec.clients,
+            size_kb=spec.size_kb,
+            is_write=spec.is_write,
+            disks=spec.disks,
+            width=spec.width,
+            rows=spec.rows,
+            degraded_dwell_ms=spec.degraded_dwell_ms,
+            rebuild_parallel=spec.rebuild_parallel,
+            journal=spec.journal,
+            journal_latency_ms=spec.journal_latency_ms,
+            scrub_interval_ms=spec.scrub_interval_ms,
+            scrub_throttle_ms=spec.scrub_throttle_ms,
+            restart_delay_ms=spec.restart_delay_ms,
+            max_samples=spec.max_samples,
+            transient_io_rate=spec.transient_io_rate,
+            lse_per_gb=spec.lse_per_gb,
+        )
+    }
+
+
 _EXECUTORS = {
     ExperimentSpec.kind: _execute_response,
     Table1Spec.kind: _execute_table1,
     LifecycleSpec.kind: _execute_lifecycle,
     CampaignTrialSpec.kind: _execute_campaign_trial,
     CrashTrialSpec.kind: _execute_crash_trial,
+    NemesisTrialSpec.kind: _execute_nemesis_trial,
 }
 
 

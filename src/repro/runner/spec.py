@@ -29,6 +29,7 @@ SPEC_SCHEMA_VERSION = 1
 _V1_SPEC_OPTIONAL = {
     "lifecycle": {"oracle": False},
     "campaign-trial": {"oracle": False, "transient_io_rate": 0.0},
+    "nemesis-trial": {"transient_io_rate": 0.0, "lse_per_gb": 0.0},
 }
 
 #: Canonical short names for the array modes (CLI and spec encoding).
@@ -330,12 +331,101 @@ class CrashTrialSpec:
             raise ConfigurationError("need positive sample bounds")
 
 
+@dataclass(frozen=True)
+class NemesisTrialSpec:
+    """One composed-fault nemesis trial (``repro nemesis``).
+
+    The schedule is not stored in the spec — it is re-drawn from
+    ``seed * 1_000_003 + trial`` (the campaign trial-stream convention)
+    with the ``max_*`` envelope below, so the spec stays a flat record
+    of JSON scalars and a failing trial reproduces from its index alone.
+    Every trial runs with the integrity oracle attached; there is no
+    knob to turn it off — the silent-corruption invariant *is* the
+    experiment.
+
+    >>> spec = NemesisTrialSpec(layout="pddl", trial=7)
+    >>> spec_hash(spec) == spec_hash(NemesisTrialSpec(layout="pddl",
+    ...                                               trial=7))
+    True
+    """
+
+    kind: ClassVar[str] = "nemesis-trial"
+
+    layout: str
+    disks: int = 13
+    width: Optional[int] = None
+    trial: int = 0
+    seed: int = 0
+    # Schedule envelope (see NemesisSchedule.draw).
+    horizon_ms: float = 20000.0
+    max_disk_failures: int = 2
+    max_crashes: int = 2
+    max_lse_bursts: int = 2
+    max_storms: int = 1
+    max_scrub_windows: int = 1
+    storm_rate: float = 0.02
+    # Workload and repair knobs (lifecycle/crash-trial conventions).
+    clients: int = 2
+    size_kb: int = 8
+    is_write: bool = True
+    rows: int = 26
+    degraded_dwell_ms: float = 1500.0
+    rebuild_parallel: int = 1
+    journal: bool = True
+    journal_latency_ms: float = 0.05
+    scrub_interval_ms: Optional[float] = 400.0
+    scrub_throttle_ms: float = 0.0
+    restart_delay_ms: float = 10.0
+    max_samples: int = 240
+    # Post-v1 (hash-omitted at defaults, see _V1_SPEC_OPTIONAL):
+    # ambient transient errors and up-front seeded latent sector errors.
+    transient_io_rate: float = 0.0
+    lse_per_gb: float = 0.0
+
+    def __post_init__(self):
+        if self.trial < 0:
+            raise ConfigurationError(f"negative trial index {self.trial}")
+        if self.clients < 0:
+            raise ConfigurationError(
+                f"negative client count {self.clients}"
+            )
+        if self.max_samples < 1:
+            raise ConfigurationError("need >= 1 sample")
+        if not 0.0 <= self.transient_io_rate < 1.0:
+            raise ConfigurationError(
+                "transient I/O rate must be in [0, 1), got"
+                f" {self.transient_io_rate}"
+            )
+        # Envelope validation (ranges, rates, windows) lives in
+        # NemesisSchedule.draw/validate; draw the schedule now so bad
+        # specs fail at construction, not mid-campaign in a worker.
+        self.schedule()
+
+    def schedule(self):
+        """The :class:`~repro.faults.nemesis.NemesisSchedule` this encodes."""
+        from repro.faults.nemesis import NemesisSchedule
+
+        return NemesisSchedule.draw(
+            seed=self.seed * 1_000_003 + self.trial,
+            n_disks=self.disks,
+            rows=self.rows,
+            horizon_ms=self.horizon_ms,
+            max_disk_failures=self.max_disk_failures,
+            max_crashes=self.max_crashes,
+            max_lse_bursts=self.max_lse_bursts,
+            max_storms=self.max_storms,
+            max_scrub_windows=self.max_scrub_windows,
+            storm_rate=self.storm_rate,
+        )
+
+
 Spec = Union[
     ExperimentSpec,
     Table1Spec,
     LifecycleSpec,
     CampaignTrialSpec,
     CrashTrialSpec,
+    NemesisTrialSpec,
 ]
 
 _SPEC_TYPES = {
@@ -346,6 +436,7 @@ _SPEC_TYPES = {
         LifecycleSpec,
         CampaignTrialSpec,
         CrashTrialSpec,
+        NemesisTrialSpec,
     )
 }
 

@@ -1,0 +1,216 @@
+"""Unit tests for the bench-regression gate."""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner.benchcompare import (
+    KNOWN_BENCHES,
+    check_invariants,
+    compare_reports,
+    diff_reports,
+    load_report,
+    run_compare,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def nemesis_report():
+    return {
+        "bench": "nemesis",
+        "provenance": {
+            "source_version": "abc1234",
+            "spec_schema": 1,
+            "spec_count": 2,
+            "sweep_hash": "f" * 64,
+        },
+        "config": {"layout": "pddl", "disks": 13, "trials": 2, "seed": 0},
+        "summary": {
+            "trials": 2,
+            "survived": 1,
+            "data_loss": 1,
+            "silent_corruption": 0,
+            "corruption_events": 0,
+            "failing_trials": [],
+        },
+        "trials": [
+            {"trial": 0, "classification": "survived",
+             "corruption_events": 0},
+            {"trial": 1, "classification": "data_loss",
+             "corruption_events": 0},
+        ],
+    }
+
+
+def campaign_report():
+    return {
+        "bench": "campaign",
+        "config": {"layout": "pddl"},
+        "summary": {
+            "trials": 1,
+            "losses": 0,
+            "loss_probability": 0.0,
+            "ci_low": 0.0,
+            "ci_high": 0.14,
+        },
+        "trials": [{"trial": 0}],
+    }
+
+
+class TestCheckInvariants:
+    def test_healthy_reports_pass(self):
+        assert check_invariants(nemesis_report()) == []
+        assert check_invariants(campaign_report()) == []
+
+    def test_silent_corruption_is_a_hard_fail(self):
+        report = nemesis_report()
+        report["summary"]["silent_corruption"] = 1
+        report["summary"]["survived"] = 0
+        report["summary"]["failing_trials"] = [1]
+        problems = check_invariants(report)
+        assert any("SILENT_CORRUPTION" in p for p in problems)
+        assert any("[1]" in p for p in problems)
+
+    def test_outcome_sum_mismatch(self):
+        report = nemesis_report()
+        report["summary"]["survived"] = 5
+        assert any("sum" in p for p in check_invariants(report))
+
+    def test_trial_count_mismatch(self):
+        report = nemesis_report()
+        report["trials"].pop()
+        assert any("recorded" in p for p in check_invariants(report))
+
+    def test_campaign_ci_must_bracket_estimate(self):
+        report = campaign_report()
+        report["summary"]["ci_low"] = 0.5
+        assert any("bracket" in p for p in check_invariants(report))
+
+    def test_unknown_bench_kind(self):
+        assert check_invariants({"bench": "mystery"}) == [
+            "unknown bench kind 'mystery'"
+        ]
+
+    def test_truncated_report_is_malformed_not_a_crash(self):
+        problems = check_invariants({"bench": "nemesis"})
+        assert problems and "malformed" in problems[0]
+
+
+class TestDiffReports:
+    def test_identical_modulo_version_stamp(self):
+        a, b = nemesis_report(), nemesis_report()
+        b["provenance"]["source_version"] = "def5678-dirty"
+        assert diff_reports(a, b) == []
+
+    def test_value_change_is_located(self):
+        a, b = nemesis_report(), nemesis_report()
+        b["trials"][1]["classification"] = "survived"
+        diffs = diff_reports(a, b)
+        assert diffs == [
+            "trials[1].classification: 'data_loss' vs 'survived'"
+        ]
+
+    def test_length_change_reported_once(self):
+        a, b = nemesis_report(), nemesis_report()
+        b["trials"].append({"trial": 2})
+        assert diff_reports(a, b) == ["trials: 2 vs 3 entries"]
+
+    def test_limit_caps_output(self):
+        a = {"bench": "x", "v": list(range(100))}
+        b = {"bench": "x", "v": [n + 1 for n in range(100)]}
+        assert len(diff_reports(a, b, limit=3)) == 3
+
+
+class TestCompareReports:
+    def test_no_shift_no_problems(self):
+        assert compare_reports(nemesis_report(), nemesis_report()) == []
+
+    def test_summary_level_shift_named_with_versions(self):
+        base, cand = nemesis_report(), nemesis_report()
+        cand["provenance"]["source_version"] = "def5678"
+        cand["summary"]["survived"] = 2
+        cand["summary"]["data_loss"] = 0
+        shifts = compare_reports(base, cand)
+        assert any(
+            "summary.survived" in s and "abc1234" in s and "def5678" in s
+            for s in shifts
+        )
+
+    def test_kind_mismatch_is_incomparable(self):
+        shifts = compare_reports(nemesis_report(), campaign_report())
+        assert shifts == [
+            "bench kinds differ: 'nemesis' vs 'campaign'"
+            " — nothing to compare"
+        ]
+
+    def test_config_mismatch_stops_comparison(self):
+        base, cand = nemesis_report(), nemesis_report()
+        cand["config"]["seed"] = 99
+        shifts = compare_reports(base, cand)
+        assert shifts == [
+            "configs differ — these reports measured different sweeps"
+        ]
+
+    def test_hotpath_tolerates_slow_machines(self):
+        base = {
+            "bench": "hotpath",
+            "config": None,
+            "total": {"events": 1000, "events_per_s": 100000.0},
+        }
+        slow = copy.deepcopy(base)
+        slow["total"]["events_per_s"] = 60000.0
+        assert compare_reports(base, slow) == []
+        crawl = copy.deepcopy(base)
+        crawl["total"]["events_per_s"] = 40000.0
+        assert any(
+            "events_per_s" in s for s in compare_reports(base, crawl)
+        )
+
+
+class TestRunCompare:
+    def test_missing_file_raises_runner_error(self, tmp_path):
+        with pytest.raises(RunnerError, match="cannot read"):
+            run_compare([str(tmp_path / "nope.json")])
+
+    def test_non_json_raises_runner_error(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{half a report")
+        with pytest.raises(RunnerError, match="not JSON"):
+            run_compare([str(path)])
+
+    def test_candidate_without_baseline_raises(self, tmp_path):
+        path = tmp_path / "cand.json"
+        path.write_text(json.dumps(nemesis_report()))
+        with pytest.raises(RunnerError, match="needs a --baseline"):
+            run_compare([], candidate_path=str(path))
+
+    def test_exact_mode_flags_any_simulated_drift(self, tmp_path):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(json.dumps(nemesis_report()))
+        drifted = nemesis_report()
+        drifted["trials"][0]["corruption_events"] = 0
+        drifted["summary"]["data_loss"] = 1
+        drifted["trials"][1]["classification"] = "survived"
+        drifted["summary"]["survived"] = 1
+        cand.write_text(json.dumps(drifted))
+        problems = run_compare(
+            [str(base)], candidate_path=str(cand), exact=True
+        )
+        assert any("classification" in p for p in problems)
+
+
+class TestCommittedBaselines:
+    """Every committed BENCH_*.json must pass its own invariant check."""
+
+    @pytest.mark.parametrize("kind", KNOWN_BENCHES)
+    def test_baseline_self_check(self, kind):
+        path = REPO_ROOT / f"BENCH_{kind}.json"
+        if not path.exists():
+            pytest.skip(f"{path.name} not committed yet")
+        report = load_report(str(path))
+        assert check_invariants(report) == []

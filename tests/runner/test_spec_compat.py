@@ -11,6 +11,7 @@ from repro.runner.spec import (
     CampaignTrialSpec,
     CrashTrialSpec,
     LifecycleSpec,
+    NemesisTrialSpec,
     spec_from_dict,
     spec_hash,
     spec_to_dict,
@@ -26,6 +27,9 @@ PINNED_CAMPAIGN = (
 )
 PINNED_CRASH = (
     "bc5c1549a9da6d4ba1396cade0848dc779ba6438063f31c244075a1e79c381a0"
+)
+PINNED_NEMESIS = (
+    "670adbb36eff6cf34da78061abd130225e497ddb5b84ad19c38cec2114c01e0f"
 )
 
 
@@ -45,12 +49,18 @@ class TestInactiveDefaultsKeepV1Hashes:
             spec_hash(CrashTrialSpec(layout="pddl", crash_boundary=150))
             == PINNED_CRASH
         )
+        assert (
+            spec_hash(NemesisTrialSpec(layout="pddl")) == PINNED_NEMESIS
+        )
 
     def test_inactive_fields_are_omitted_from_the_hashed_form(self):
         assert "oracle" not in spec_to_dict(lifecycle())
         data = spec_to_dict(campaign())
         assert "oracle" not in data
         assert "transient_io_rate" not in data
+        nemesis = spec_to_dict(NemesisTrialSpec(layout="pddl"))
+        assert "transient_io_rate" not in nemesis
+        assert "lse_per_gb" not in nemesis
 
     def test_explicit_defaults_hash_identically(self):
         assert spec_hash(
@@ -65,6 +75,17 @@ class TestInactiveDefaultsKeepV1Hashes:
                 transient_io_rate=0.0,
             )
         ) == PINNED_CAMPAIGN
+        assert spec_hash(
+            NemesisTrialSpec(
+                layout="pddl", transient_io_rate=0.0, lse_per_gb=0.0
+            )
+        ) == PINNED_NEMESIS
+
+    def test_other_kinds_pins_unchanged_by_the_nemesis_kind(self):
+        """Registering a new spec kind must not perturb existing hashes —
+        the schema version and per-kind payloads are independent."""
+        assert spec_hash(lifecycle()) == PINNED_LIFECYCLE
+        assert spec_hash(campaign()) == PINNED_CAMPAIGN
 
 
 class TestActiveFeaturesChangeTheHash:
@@ -87,6 +108,23 @@ class TestActiveFeaturesChangeTheHash:
                 transient_io_rate=0.01,
             )
         ) != PINNED_CAMPAIGN
+
+    def test_nemesis_optionals_on(self):
+        assert spec_hash(
+            NemesisTrialSpec(layout="pddl", transient_io_rate=0.01)
+        ) != PINNED_NEMESIS
+        assert spec_hash(
+            NemesisTrialSpec(layout="pddl", lse_per_gb=5000.0)
+        ) != PINNED_NEMESIS
+
+    def test_nemesis_envelope_fields_matter(self):
+        base = NemesisTrialSpec(layout="pddl")
+        assert spec_hash(
+            NemesisTrialSpec(layout="pddl", max_crashes=1)
+        ) != spec_hash(base)
+        assert spec_hash(
+            NemesisTrialSpec(layout="pddl", trial=1)
+        ) != spec_hash(base)
 
     def test_crash_spec_fields_matter(self):
         base = CrashTrialSpec(layout="pddl", crash_boundary=150)
@@ -112,6 +150,9 @@ class TestRoundTrip:
                 transient_io_rate=0.02,
             ),
             CrashTrialSpec(layout="prime", crash_boundary=60, clients=8),
+            NemesisTrialSpec(
+                layout="prime", trial=9, lse_per_gb=2000.0, max_storms=2
+            ),
         ):
             clone = spec_from_dict(spec_to_dict(spec))
             assert clone == spec

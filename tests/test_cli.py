@@ -10,7 +10,7 @@ from repro.cli import build_parser, main
 #: is added without joining this list.
 ALL_COMMANDS = [
     "goals", "figure3", "response", "seeks", "table1", "table3", "plan",
-    "bench", "lifecycle", "campaign", "crash", "profile",
+    "bench", "lifecycle", "campaign", "crash", "nemesis", "profile",
 ]
 
 
@@ -52,8 +52,9 @@ class TestUnwritableOut:
             ["lifecycle", "--quick", "--no-cache", "--workers", "1"],
             ["campaign", "--quick", "--no-cache", "--workers", "1"],
             ["crash", "--quick", "--no-cache", "--workers", "1"],
+            ["nemesis", "--trial", "0", "--no-cache", "--workers", "1"],
         ],
-        ids=["lifecycle", "campaign", "crash"],
+        ids=["lifecycle", "campaign", "crash", "nemesis"],
     )
     def test_out_through_regular_file(self, args, tmp_path, capsys):
         blocker = tmp_path / "blocker"
@@ -273,6 +274,99 @@ class TestCrash:
         out = capsys.readouterr().out
         assert "4 trials: 0 simulated, 4 from cache" in out
         assert json.loads(out_file.read_text()) == payload
+
+
+class TestNemesis:
+    def test_quick_run_then_cache_replay(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_nemesis.json"
+        args = [
+            "nemesis", "--quick", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out_file),
+            "--failures-out", "",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "SILENT CORRUPTION 0" in out
+        assert "24 trials: 24 simulated" in out
+
+        payload = json.loads(out_file.read_text())
+        assert payload["bench"] == "nemesis"
+        assert payload["summary"]["silent_corruption"] == 0
+        assert payload["summary"]["trials"] == 24
+        assert len(payload["trials"]) == 24
+        assert "source_version" in payload["provenance"]
+        for trial in payload["trials"]:
+            assert trial["classification"] in ("survived", "data_loss")
+            assert trial["corruption_events"] == 0
+
+        # Replay: every trial from cache, byte-identical modulo the
+        # provenance stamp (identical here — same working tree).
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "24 trials: 0 simulated, 24 from cache" in out
+        assert json.loads(out_file.read_text()) == payload
+
+    def test_single_trial_repro(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_nemesis.json"
+        assert main(
+            ["nemesis", "--trial", "5", "--no-cache", "--workers", "1",
+             "--out", str(out_file), "--failures-out", ""]
+        ) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["config"]["start"] == 5
+        assert payload["summary"]["trials"] == 1
+        assert payload["trials"][0]["trial"] == 5
+
+
+class TestBenchCompare:
+    @pytest.fixture()
+    def nemesis_report(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_nemesis.json"
+        assert main(
+            ["nemesis", "--trials", "4", "--no-cache", "--workers", "1",
+             "--out", str(out_file), "--failures-out", ""]
+        ) == 0
+        capsys.readouterr()
+        return out_file
+
+    def test_self_check_passes(self, nemesis_report, capsys):
+        assert main(
+            ["bench", "--compare", "--baseline", str(nemesis_report)]
+        ) == 0
+        assert "bench-compare: OK" in capsys.readouterr().out
+
+    def test_perturbed_report_fails(self, nemesis_report, tmp_path, capsys):
+        payload = json.loads(nemesis_report.read_text())
+        payload["summary"]["survived"] += 1
+        perturbed = tmp_path / "BENCH_perturbed.json"
+        perturbed.write_text(json.dumps(payload))
+        code = main(
+            ["bench", "--compare", "--baseline", str(nemesis_report),
+             "--candidate", str(perturbed)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "summary.survived" in captured.out
+        assert "bench-compare: FAIL" in captured.out
+
+    def test_exact_ignores_version_stamp(
+        self, nemesis_report, tmp_path, capsys
+    ):
+        payload = json.loads(nemesis_report.read_text())
+        payload["provenance"]["source_version"] = "elsewhere-123"
+        other = tmp_path / "BENCH_other.json"
+        other.write_text(json.dumps(payload))
+        assert main(
+            ["bench", "--compare", "--exact",
+             "--baseline", str(nemesis_report), "--candidate", str(other)]
+        ) == 0
+        assert "bench-compare: OK" in capsys.readouterr().out
+
+    def test_missing_reports_error(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--compare"]) == 1
+        assert "no BENCH_*.json" in capsys.readouterr().err
 
 
 class TestCampaignOracle:
