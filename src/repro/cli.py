@@ -18,6 +18,8 @@ figure of the paper can be regenerated from a shell:
   resync after a torn write (see EXPERIMENTS.md "Crash trials")
 - ``nemesis``    — composed-fault campaigns under the integrity oracle
   (see EXPERIMENTS.md "Nemesis campaigns")
+- ``traffic``    — open-loop offered-load sweeps with SLO/overload
+  accounting (see EXPERIMENTS.md "Open-loop traffic")
 - ``profile``    — cProfile one simulation point (hot functions, ev/s)
 
 ``bench --compare`` gates on the committed ``BENCH_*.json`` baselines:
@@ -850,6 +852,147 @@ def _cmd_nemesis(args: argparse.Namespace) -> int:
     return 1 if failing else 0
 
 
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.openloop import (
+        openloop_specs,
+        summarize_openloop,
+    )
+    from repro.runner import (
+        ParallelRunner,
+        ResultCache,
+        RunCheckpoint,
+        default_cache_dir,
+        sweep_provenance,
+    )
+
+    layouts = args.layouts
+    rates = args.rates
+    arrivals = args.arrivals
+    if args.quick:
+        layouts = ["raid5", "pddl"]
+        rates = [350.0, 550.0]
+        arrivals = 150
+    specs = openloop_specs(
+        layouts,
+        rates,
+        phases=args.phases,
+        arrival=args.arrival,
+        arrivals=arrivals,
+        seed=args.seed,
+        disks=args.disks,
+        queue_depth=args.queue_depth,
+        service_slots=args.service_slots,
+        slo_p99_ms=args.slo_p99,
+        slo_p999_ms=args.slo_p999,
+        horizon_ms=args.horizon,
+    )
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    checkpoint = (
+        RunCheckpoint(args.checkpoint) if args.checkpoint else None
+    )
+    runner = ParallelRunner(
+        workers=args.workers,
+        cache=cache,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        checkpoint=checkpoint,
+    )
+    started = time.perf_counter()
+    report = runner.run(specs)
+    elapsed = time.perf_counter() - started
+
+    trial_records = [r["openloop"] for r in report.records]
+    summary = summarize_openloop(trial_records)
+
+    print(
+        f"traffic: {args.arrival} arrivals, {len(layouts)} layout(s) x"
+        f" {len(rates)} offered load(s) x {len(args.phases)} phase(s),"
+        f" {arrivals} arrivals/trial"
+    )
+    print(
+        f"  overloaded {summary['overloaded_trials']}/{summary['trials']}"
+        f" trial(s), SLO-violating {summary['slo_violated_trials']},"
+        f" shed {summary['shed_total']} arrival(s)"
+    )
+    for layout in sorted(summary["knees"]):
+        knees = summary["knees"][layout]
+        rendered = ", ".join(
+            f"{phase}: {'-' if rate is None else f'{rate:g}/s'}"
+            for phase, rate in sorted(knees.items())
+        )
+        print(f"  knee[{layout}]  {rendered}")
+    for entry in summary["divergence"]:
+        print(
+            f"  diverges: {entry['layout']} @ {entry['rate_per_s']:g}/s"
+            f" — rebuild p999 {entry['rebuild_p999_ms']:.1f} ms"
+            f" (ff {entry['ff_p999_ms']:.1f} ms,"
+            f" {entry['rebuild_shed']} shed)"
+        )
+    print(
+        f"{len(specs)} trials: {report.executed} simulated,"
+        f" {report.cache_hits} from cache,"
+        f" {report.checkpoint_hits} from checkpoint"
+        f" ({runner.workers} workers, {elapsed:.2f}s)"
+    )
+    if cache is not None:
+        print(f"cache dir: {cache.root}")
+
+    if args.out:
+        # Deterministic payload modulo the provenance version stamp:
+        # CI compares a fresh run against the committed baseline with
+        # bench --compare --exact.  Trials are summarized (no raw
+        # histogram buckets or per-disk counters) to keep the committed
+        # file small; the full records live in the result cache.
+        payload = {
+            "bench": "traffic",
+            "provenance": sweep_provenance(specs),
+            "config": {
+                "layouts": list(layouts),
+                "rates_per_s": list(rates),
+                "phases": list(args.phases),
+                "arrival": args.arrival,
+                "arrivals": arrivals,
+                "seed": args.seed,
+                "disks": args.disks,
+                "queue_depth": args.queue_depth,
+                "service_slots": args.service_slots,
+                "slo_p99_ms": args.slo_p99,
+                "slo_p999_ms": args.slo_p999,
+                "horizon_ms": args.horizon,
+            },
+            "summary": summary,
+            "trials": [
+                {
+                    "layout": t["layout"],
+                    "phase": t["phase"],
+                    "rate_per_s": t["rate_per_s"],
+                    "offered": t["offered"],
+                    "completed": t["completed"],
+                    "shed": t["shed"],
+                    "truncated": t["truncated"],
+                    "overloaded": t["overloaded"],
+                    "slo_violated": t["slo_violated"],
+                    "tail": t["tail"],
+                    "time_in_violation_ms": t["slo"][
+                        "time_in_violation_ms"
+                    ],
+                    "violation_windows": t["slo"]["violation_windows"],
+                    "queue_high_water": t["queue"]["queue_high_water"],
+                    "mean_wait_ms": t["queue"]["mean_wait_ms"],
+                    "overload": t["overload"],
+                    "modes": t["modes"],
+                }
+                for t in trial_records
+            ],
+        }
+        _write_report(args.out, payload)
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.runner.spec import ExperimentSpec, LifecycleSpec
     from repro.sim.profile import profile_spec
@@ -1278,6 +1421,83 @@ def build_parser() -> argparse.ArgumentParser:
         " corrupts ('' to skip)",
     )
     nem.set_defaults(func=_cmd_nemesis)
+
+    traffic = sub.add_parser(
+        "traffic",
+        help="open-loop offered-load sweeps with SLO/overload accounting",
+    )
+    traffic.add_argument(
+        "--quick", action="store_true",
+        help="small canned sweep (raid5+pddl at two offered loads)",
+    )
+    traffic.add_argument("--layouts", nargs="+", default=DEFAULT_LAYOUTS)
+    traffic.add_argument(
+        "--rates", nargs="+", type=float,
+        default=[250.0, 350.0, 450.0, 550.0],
+        help="offered loads in arrivals/second",
+    )
+    traffic.add_argument(
+        "--phases", nargs="+", default=["ff", "rebuild"],
+        choices=["ff", "degraded", "rebuild"],
+        help="array states the traffic is offered against",
+    )
+    traffic.add_argument(
+        "--arrival", default="poisson",
+        choices=["poisson", "mmpp", "trace"],
+        help="arrival process (Poisson / bursty MMPP / diurnal trace)",
+    )
+    traffic.add_argument(
+        "--arrivals", type=int, default=300,
+        help="arrivals offered per trial",
+    )
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument("--disks", "-n", type=int, default=13)
+    traffic.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="admission FIFO bound; arrivals beyond it are shed",
+    )
+    traffic.add_argument(
+        "--service-slots", type=int, default=12,
+        help="accesses in flight in the array at once",
+    )
+    traffic.add_argument(
+        "--slo-p99", type=float, default=120.0,
+        help="declared p99 latency ceiling, ms",
+    )
+    traffic.add_argument(
+        "--slo-p999", type=float, default=250.0,
+        help="declared p999 latency ceiling, ms",
+    )
+    traffic.add_argument(
+        "--horizon", type=float, default=30000.0,
+        help="per-trial simulation-time safety stop, ms",
+    )
+    traffic.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: $REPRO_BENCH_WORKERS or 1)",
+    )
+    traffic.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-trial deadline in seconds (enables the hardened pool)",
+    )
+    traffic.add_argument(
+        "--retries", type=int, default=0,
+        help="crash/timeout retries per trial (capped exponential backoff)",
+    )
+    traffic.add_argument(
+        "--checkpoint", default=None,
+        help="JSONL checkpoint file; a killed run resumes from it",
+    )
+    traffic.add_argument(
+        "--cache-dir", default=None,
+        help="result cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    traffic.add_argument("--no-cache", action="store_true")
+    traffic.add_argument(
+        "--out", default="BENCH_traffic.json",
+        help="JSON report path (deterministic content; '' to skip)",
+    )
+    traffic.set_defaults(func=_cmd_traffic)
 
     prof = sub.add_parser(
         "profile",

@@ -1,0 +1,390 @@
+"""Open-loop traffic trials: arrivals x admission x lifecycle.
+
+One trial offers a fixed number of open-loop arrivals (Poisson, MMPP, or
+diurnal trace) to an array through a bounded admission queue, in one of
+three phases:
+
+- ``ff``       — fault-free array;
+- ``degraded`` — a disk failed before traffic starts and the rebuild has
+  not begun (the detection/dwell window, stretched past the run);
+- ``rebuild``  — the rebuild sweep is running for the whole measurement
+  window (full-disk sweep, throttled, armed before traffic starts).
+
+The measurand is the *tail*: p99/p999/exact-max latency from offer to
+completion (admission wait included), SLO time-in-violation, shed
+counts, and the overload detector's verdict.  The flagship sweep holds
+the offered load fixed across phases, so "the knee" — the offered load
+where a layout's mid-rebuild tail diverges from its fault-free tail —
+falls straight out of the committed BENCH_traffic.json.
+
+Every draw comes from named seeded streams (``{seed}/arrivals``,
+``{seed}/openloop-loc``), so trials are pure functions of their specs
+and plug into the runner's byte-determinism contract.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.array.controller import ArrayController, LogicalAccess
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    PAPER_SCHEDULER,
+    PAPER_SCHEDULER_WINDOW,
+    PAPER_STRIPE_UNIT_KB,
+    layout_for,
+)
+from repro.faults.lifecycle import ArrayLifecycle
+from repro.faults.scenario import FaultScenario
+from repro.sim.engine import SimulationEngine
+from repro.sim.instrument import DepthTimeline, ProgressTimeline
+from repro.traffic.admission import AdmissionQueue, OverloadDetector
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    MMPPArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.traffic.sla import SlaTracker, SloPolicy
+from repro.workload.generators import UniformGenerator
+from repro.workload.spec import AccessSpec
+
+#: Trial phases (see module docstring).
+PHASES = ("ff", "degraded", "rebuild")
+
+#: Supported arrival models.
+ARRIVALS = ("poisson", "mmpp", "trace")
+
+#: Non-fault-free phases fail the disk this early, before any traffic.
+_FAULT_AT_MS = 1.0
+
+#: Gap between the last phase transition and the first arrival draw, so
+#: every offered access sees the phase the trial name promises.
+_SETTLE_MS = 9.0
+
+
+def _build_arrivals(
+    arrival: str,
+    rate_per_s: float,
+    burst_ratio: float,
+    burst_fraction: float,
+    burst_dwell_ms: float,
+    trace_period_ms: float,
+    rng: random.Random,
+) -> ArrivalProcess:
+    if arrival == "poisson":
+        return PoissonArrivals(rate_per_s, rng)
+    if arrival == "mmpp":
+        return MMPPArrivals.bursty(
+            rate_per_s, burst_ratio, burst_fraction, burst_dwell_ms, rng
+        )
+    if arrival == "trace":
+        return TraceArrivals.diurnal(rate_per_s, trace_period_ms, rng)
+    raise ConfigurationError(
+        f"arrival model must be one of {ARRIVALS}, got {arrival!r}"
+    )
+
+
+def run_openloop_trial(
+    layout_name: str,
+    rate_per_s: float,
+    arrival: str = "poisson",
+    phase: str = "ff",
+    arrivals: int = 300,
+    seed: int = 0,
+    size_kb: int = 8,
+    is_write: bool = False,
+    disks: Optional[int] = None,
+    width: Optional[int] = None,
+    burst_ratio: float = 6.0,
+    burst_fraction: float = 0.15,
+    burst_dwell_ms: float = 120.0,
+    trace_period_ms: float = 600.0,
+    failed_disk: int = 0,
+    degraded_dwell_ms: float = 40.0,
+    rebuild_parallel: int = 1,
+    rebuild_throttle_ms: float = 4.0,
+    queue_depth: int = 64,
+    service_slots: int = 12,
+    slo_p99_ms: float = 120.0,
+    slo_p999_ms: float = 250.0,
+    window_ms: float = 100.0,
+    overload_windows: int = 3,
+    horizon_ms: float = 30000.0,
+    record_timelines: bool = False,
+) -> dict:
+    """One open-loop trial; returns a JSON-able record.
+
+    The run ends when every offered arrival is resolved (completed or
+    shed) or at ``horizon_ms``, whichever comes first; a horizon stop
+    marks the record ``truncated``.
+    """
+    if phase not in PHASES:
+        raise ConfigurationError(
+            f"phase must be one of {PHASES}, got {phase!r}"
+        )
+    if arrivals < 1:
+        raise ConfigurationError(f"need >= 1 arrival, got {arrivals}")
+    if horizon_ms <= 0:
+        raise ConfigurationError(
+            f"horizon must be positive, got {horizon_ms}"
+        )
+    engine = SimulationEngine()
+    layout = layout_for(layout_name, disks=disks, width=width)
+    controller = ArrayController(
+        engine,
+        layout,
+        scheduler_name=PAPER_SCHEDULER,
+        scheduler_window=PAPER_SCHEDULER_WINDOW,
+        stripe_unit_kb=PAPER_STRIPE_UNIT_KB,
+        record_timelines=record_timelines,
+    )
+
+    # Fault machinery: the degraded phase stretches the dwell past the
+    # horizon so the rebuild never starts; the rebuild phase sweeps the
+    # whole disk, throttled, so reconstruction is in flight for the
+    # entire measurement window.
+    lifecycle: Optional[ArrayLifecycle] = None
+    progress = ProgressTimeline()
+    traffic_start_ms = 0.0
+    if phase != "ff":
+        dwell = (
+            horizon_ms + _SETTLE_MS
+            if phase == "degraded"
+            else degraded_dwell_ms
+        )
+        scenario = FaultScenario(
+            failed_disk=failed_disk,
+            fault_time_ms=_FAULT_AT_MS,
+            degraded_dwell_ms=dwell,
+            rebuild_rows=None,
+            rebuild_parallel=rebuild_parallel,
+            rebuild_throttle_ms=rebuild_throttle_ms,
+        )
+        lifecycle = ArrayLifecycle(
+            controller,
+            scenario,
+            on_rebuild_step=lambda recon: progress.record(
+                engine.now, recon.fraction_complete
+            ),
+        )
+        lifecycle.arm()
+        traffic_start_ms = _FAULT_AT_MS + _SETTLE_MS
+        if phase == "rebuild":
+            traffic_start_ms += degraded_dwell_ms
+
+    tracker = SlaTracker(
+        SloPolicy(p99_ms=slo_p99_ms, p999_ms=slo_p999_ms),
+        window_ms=window_ms,
+    )
+    detector = OverloadDetector(
+        window_ms=window_ms, windows=overload_windows
+    )
+    timeline = DepthTimeline()
+    totals = {"resolved": 0}
+    mode_counts: dict = {}
+
+    def resolve() -> None:
+        totals["resolved"] += 1
+        if totals["resolved"] >= arrivals:
+            engine.stop()
+
+    def on_response(
+        access: LogicalAccess, total_ms: float, wait_ms: float
+    ) -> None:
+        now = engine.now
+        tracker.record(now, total_ms)
+        mode = (
+            lifecycle.mode_at(now - total_ms)
+            if lifecycle is not None
+            else "fault-free"
+        )
+        mode_counts[mode] = mode_counts.get(mode, 0) + 1
+        resolve()
+
+    queue = AdmissionQueue(
+        controller,
+        on_response,
+        depth=queue_depth,
+        service_slots=service_slots,
+        detector=detector,
+        timeline=timeline,
+    )
+
+    units = AccessSpec(size_kb, is_write).units(PAPER_STRIPE_UNIT_KB)
+    location = UniformGenerator(
+        controller.addressable_data_units,
+        units,
+        random.Random(f"{seed}/openloop-loc"),
+    )
+    process = _build_arrivals(
+        arrival,
+        rate_per_s,
+        burst_ratio,
+        burst_fraction,
+        burst_dwell_ms,
+        trace_period_ms,
+        random.Random(f"{seed}/arrivals"),
+    )
+
+    state = {"offered": 0}
+
+    def arrive() -> None:
+        access = LogicalAccess(
+            access_id=state["offered"],
+            first_unit=location.next_start(),
+            unit_count=units,
+            is_write=is_write,
+        )
+        state["offered"] += 1
+        if not queue.offer(access):
+            resolve()
+        if state["offered"] < arrivals:
+            engine.schedule(process.next_delay_ms(), arrive)
+
+    engine.schedule_at(
+        traffic_start_ms + process.next_delay_ms(), arrive
+    )
+    engine.schedule_at(horizon_ms, engine.stop)
+    engine.run()
+
+    truncated = totals["resolved"] < arrivals
+    overload = detector.report()
+    slo = tracker.report()
+    stats = queue.stats()
+    # "Detected overload": the detector latched sustained queue growth,
+    # or arrivals were shed outright (the queue hit its bound).
+    overloaded = bool(overload["overloaded"] or stats["shed"] > 0)
+    record = {
+        "layout": layout_name,
+        "phase": phase,
+        "arrival": arrival,
+        "rate_per_s": rate_per_s,
+        "offered": state["offered"],
+        "completed": stats["completed"],
+        "shed": stats["shed"],
+        "truncated": truncated,
+        "overloaded": overloaded,
+        "slo_violated": bool(
+            slo["p99_violated"] or slo["p999_violated"]
+        ),
+        "tail": slo["tail"],
+        "slo": slo,
+        "queue": stats,
+        "overload": overload,
+        "modes": dict(sorted(mode_counts.items())),
+        "histogram": tracker.histogram.to_dict(),
+        "instrumentation": controller.instrumentation_record(
+            include_timelines=record_timelines
+        ),
+    }
+    if lifecycle is not None:
+        recon = lifecycle.reconstructor
+        record["rebuild"] = {
+            "transitions": [list(t) for t in lifecycle.transitions],
+            "fraction": (
+                0.0 if recon is None else recon.fraction_complete
+            ),
+            "steps": 0 if recon is None else recon.steps_completed,
+            "finished": lifecycle.complete,
+        }
+    if record_timelines:
+        record["timelines"] = {
+            "queue_depth": list(timeline.points),
+            "rebuild_progress": list(progress.points),
+        }
+    record["queue"]["waiting_high_water"] = timeline.high_water
+    return record
+
+
+def openloop_specs(
+    layouts: List[str],
+    rates_per_s: List[float],
+    phases: List[str] = ("ff", "rebuild"),
+    arrival: str = "poisson",
+    arrivals: int = 300,
+    seed: int = 0,
+    disks: Optional[int] = None,
+    **overrides,
+) -> list:
+    """The offered-load sweep as runner specs (layout x rate x phase)."""
+    # Local import: repro.runner imports the experiment drivers' specs.
+    from repro.runner.spec import OpenLoopSpec
+
+    specs = []
+    for layout in layouts:
+        for rate in rates_per_s:
+            for phase in phases:
+                kwargs = dict(overrides)
+                if disks is not None:
+                    kwargs["disks"] = disks
+                specs.append(
+                    OpenLoopSpec(
+                        layout=layout,
+                        rate_per_s=rate,
+                        phase=phase,
+                        arrival=arrival,
+                        arrivals=arrivals,
+                        seed=seed,
+                        **kwargs,
+                    )
+                )
+    return specs
+
+
+def summarize_openloop(records: List[dict]) -> dict:
+    """Reduce trial records to the knee/divergence summary.
+
+    The *knee* of a (layout, phase) curve is the lowest offered load
+    where the trial detected overload; *divergence* entries are
+    (layout, rate) points where the mid-rebuild array is overloaded
+    while the fault-free array at the same offered load is not — the
+    headline comparison of the open-loop experiment.
+    """
+    by_config = {
+        (r["layout"], r["phase"], r["rate_per_s"]): r for r in records
+    }
+    layouts = sorted({r["layout"] for r in records})
+    phases = sorted({r["phase"] for r in records})
+    rates = sorted({r["rate_per_s"] for r in records})
+    knees: dict = {}
+    for layout in layouts:
+        knees[layout] = {}
+        for phase in phases:
+            knee = None
+            for rate in rates:
+                record = by_config.get((layout, phase, rate))
+                if record is not None and record["overloaded"]:
+                    knee = rate
+                    break
+            knees[layout][phase] = knee
+    divergence = []
+    for layout in layouts:
+        for rate in rates:
+            ff = by_config.get((layout, "ff", rate))
+            rebuild = by_config.get((layout, "rebuild", rate))
+            if ff is None or rebuild is None:
+                continue
+            if rebuild["overloaded"] and not ff["overloaded"]:
+                divergence.append(
+                    {
+                        "layout": layout,
+                        "rate_per_s": rate,
+                        "rebuild_p999_ms": rebuild["tail"]["p999_ms"],
+                        "ff_p999_ms": ff["tail"]["p999_ms"],
+                        "rebuild_shed": rebuild["shed"],
+                        "rebuild_slo_violated": rebuild["slo_violated"],
+                    }
+                )
+    return {
+        "trials": len(records),
+        "overloaded_trials": sum(1 for r in records if r["overloaded"]),
+        "slo_violated_trials": sum(
+            1 for r in records if r["slo_violated"]
+        ),
+        "shed_total": sum(r["shed"] for r in records),
+        "truncated_trials": sum(1 for r in records if r["truncated"]),
+        "knees": knees,
+        "divergence": divergence,
+    }

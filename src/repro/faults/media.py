@@ -11,26 +11,18 @@ cell) clear entries and are counted.
 
 from __future__ import annotations
 
-import math
 import random
 from typing import Dict, Set
 
 from repro.errors import ConfigurationError
 
+# The sampler moved to repro.sim.random so the open-loop arrival code can
+# share it; re-exported here because callers and tests import it from
+# this module.  The small-lambda draw sequence is byte-identical to the
+# original in-module implementation (regression-pinned).
+from repro.sim.random import poisson_draw
 
-def poisson_draw(lam: float, rng: random.Random) -> int:
-    """One Poisson(lam) draw (Knuth's product method; lam is small here)."""
-    if lam < 0:
-        raise ConfigurationError(f"negative Poisson rate {lam}")
-    if lam == 0:
-        return 0
-    limit = math.exp(-lam)
-    count = 0
-    product = rng.random()
-    while product > limit:
-        count += 1
-        product *= rng.random()
-    return count
+__all__ = ["MediaErrorMap", "poisson_draw"]
 
 
 class MediaErrorMap:

@@ -42,6 +42,7 @@ from repro.runner.spec import (
     ExperimentSpec,
     LifecycleSpec,
     NemesisTrialSpec,
+    OpenLoopSpec,
     Table1Spec,
     mode_name,
     spec_from_dict,
@@ -55,6 +56,7 @@ __all__ = [
     "ExperimentSpec",
     "LifecycleSpec",
     "NemesisTrialSpec",
+    "OpenLoopSpec",
     "ParallelRunner",
     "ResultCache",
     "RunCheckpoint",

@@ -33,7 +33,14 @@ from typing import List, Optional
 from repro.errors import RunnerError
 
 #: Bench kinds with committed baselines (BENCH_<kind>.json at the root).
-KNOWN_BENCHES = ("campaign", "crash", "hotpath", "lifecycle", "nemesis")
+KNOWN_BENCHES = (
+    "campaign",
+    "crash",
+    "hotpath",
+    "lifecycle",
+    "nemesis",
+    "traffic",
+)
 
 #: Fractional slowdown tolerated for wall-clock rates before the gate
 #: trips (CI machines vary; the simulated quantities carry the gate).
@@ -149,12 +156,46 @@ def _check_lifecycle(report: dict, problems: List[str]) -> None:
         problems.append("no lifecycle runs recorded")
 
 
+def _check_traffic(report: dict, problems: List[str]) -> None:
+    summary = report["summary"]
+    trials = report["trials"]
+    if summary["trials"] != len(trials):
+        problems.append(
+            f"summary says {summary['trials']} trials but"
+            f" {len(trials)} are recorded"
+        )
+    overloaded = sum(1 for t in trials if t["overloaded"])
+    if overloaded != summary["overloaded_trials"]:
+        problems.append(
+            f"summary says {summary['overloaded_trials']} overloaded"
+            f" trial(s) but the trials show {overloaded}"
+        )
+    for trial in trials:
+        label = f"{trial['layout']}/{trial['phase']}@{trial['rate_per_s']}"
+        if trial["completed"] + trial["shed"] != trial["offered"]:
+            problems.append(
+                f"{label}: completed {trial['completed']} + shed"
+                f" {trial['shed']} != offered {trial['offered']}"
+            )
+        tail = trial["tail"]
+        if tail["count"]:
+            ordered = (
+                tail["p50_ms"]
+                <= tail["p99_ms"]
+                <= tail["p999_ms"]
+                <= tail["max_ms"] * 1.05  # bucketed p999 vs exact max
+            )
+            if not ordered:
+                problems.append(f"{label}: tail percentiles out of order")
+
+
 _CHECKERS = {
     "campaign": _check_campaign,
     "crash": _check_crash,
     "nemesis": _check_nemesis,
     "hotpath": _check_hotpath,
     "lifecycle": _check_lifecycle,
+    "traffic": _check_traffic,
 }
 
 
@@ -274,7 +315,7 @@ def compare_reports(baseline: dict, candidate: dict) -> List[str]:
             "configs differ — these reports measured different sweeps"
         )
         return regressions
-    if kind in ("campaign", "crash", "nemesis"):
+    if kind in ("campaign", "crash", "nemesis", "traffic"):
         _summary_shifts(baseline, candidate, regressions)
         if baseline["trials"] != candidate["trials"]:
             diffs = diff_reports(

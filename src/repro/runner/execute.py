@@ -20,6 +20,7 @@ from repro.runner.spec import (
     ExperimentSpec,
     LifecycleSpec,
     NemesisTrialSpec,
+    OpenLoopSpec,
     Spec,
     Table1Spec,
     spec_hash,
@@ -217,6 +218,41 @@ def _execute_nemesis_trial(spec: NemesisTrialSpec) -> dict:
     }
 
 
+def _execute_openloop(spec: OpenLoopSpec) -> dict:
+    from repro.experiments.openloop import run_openloop_trial
+
+    return {
+        "openloop": run_openloop_trial(
+            spec.layout,
+            spec.rate_per_s,
+            arrival=spec.arrival,
+            phase=spec.phase,
+            arrivals=spec.arrivals,
+            seed=spec.seed,
+            size_kb=spec.size_kb,
+            is_write=spec.is_write,
+            disks=spec.disks,
+            width=spec.width,
+            burst_ratio=spec.burst_ratio,
+            burst_fraction=spec.burst_fraction,
+            burst_dwell_ms=spec.burst_dwell_ms,
+            trace_period_ms=spec.trace_period_ms,
+            failed_disk=spec.failed_disk,
+            degraded_dwell_ms=spec.degraded_dwell_ms,
+            rebuild_parallel=spec.rebuild_parallel,
+            rebuild_throttle_ms=spec.rebuild_throttle_ms,
+            queue_depth=spec.queue_depth,
+            service_slots=spec.service_slots,
+            slo_p99_ms=spec.slo_p99_ms,
+            slo_p999_ms=spec.slo_p999_ms,
+            window_ms=spec.window_ms,
+            overload_windows=spec.overload_windows,
+            horizon_ms=spec.horizon_ms,
+            record_timelines=spec.timelines,
+        )
+    }
+
+
 _EXECUTORS = {
     ExperimentSpec.kind: _execute_response,
     Table1Spec.kind: _execute_table1,
@@ -224,6 +260,7 @@ _EXECUTORS = {
     CampaignTrialSpec.kind: _execute_campaign_trial,
     CrashTrialSpec.kind: _execute_crash_trial,
     NemesisTrialSpec.kind: _execute_nemesis_trial,
+    OpenLoopSpec.kind: _execute_openloop,
 }
 
 

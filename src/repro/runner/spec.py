@@ -419,6 +419,96 @@ class NemesisTrialSpec:
         )
 
 
+@dataclass(frozen=True)
+class OpenLoopSpec:
+    """One open-loop traffic trial (``repro traffic``).
+
+    Seeded arrivals (Poisson / bursty MMPP / diurnal trace) are offered
+    to the array through a bounded admission queue; the trial measures
+    the offer-to-completion tail (p99/p999/max), SLO time-in-violation,
+    shed counts, and the overload detector's verdict.  ``phase`` picks
+    the array state the traffic sees: fault-free, degraded (rebuild not
+    started), or mid-rebuild.  Whole-new kind, so no
+    ``_V1_SPEC_OPTIONAL`` entry is needed: there are no pre-existing
+    hashes to preserve.
+
+    >>> spec = OpenLoopSpec(layout="pddl", rate_per_s=400.0)
+    >>> spec_hash(spec) == spec_hash(OpenLoopSpec(layout="pddl",
+    ...                                           rate_per_s=400.0))
+    True
+    """
+
+    kind: ClassVar[str] = "openloop"
+
+    layout: str
+    rate_per_s: float = 300.0
+    arrival: str = "poisson"
+    phase: str = "ff"
+    arrivals: int = 300
+    seed: int = 0
+    disks: int = 13
+    width: Optional[int] = None
+    size_kb: int = 8
+    is_write: bool = False
+    # Arrival-model shape knobs (MMPP / trace only).
+    burst_ratio: float = 6.0
+    burst_fraction: float = 0.15
+    burst_dwell_ms: float = 120.0
+    trace_period_ms: float = 600.0
+    # Fault machinery (non-``ff`` phases).
+    failed_disk: int = 0
+    degraded_dwell_ms: float = 40.0
+    rebuild_parallel: int = 1
+    rebuild_throttle_ms: float = 4.0
+    # Admission and SLO accounting.
+    queue_depth: int = 64
+    service_slots: int = 12
+    slo_p99_ms: float = 120.0
+    slo_p999_ms: float = 250.0
+    window_ms: float = 100.0
+    overload_windows: int = 3
+    horizon_ms: float = 30000.0
+    timelines: bool = False
+
+    def __post_init__(self):
+        # Phase / arrival-model / queue / SLO validation lives with the
+        # traffic machinery; exercise the constructors now so bad specs
+        # fail at construction, not mid-sweep in a worker.
+        from repro.experiments.openloop import ARRIVALS, PHASES
+        from repro.traffic.sla import SloPolicy
+
+        if self.phase not in PHASES:
+            raise ConfigurationError(
+                f"phase must be one of {PHASES}, got {self.phase!r}"
+            )
+        if self.arrival not in ARRIVALS:
+            raise ConfigurationError(
+                f"arrival model must be one of {ARRIVALS},"
+                f" got {self.arrival!r}"
+            )
+        if self.rate_per_s <= 0:
+            raise ConfigurationError(
+                f"arrival rate must be positive, got {self.rate_per_s}"
+            )
+        if self.arrivals < 1:
+            raise ConfigurationError(
+                f"need >= 1 arrival, got {self.arrivals}"
+            )
+        if self.queue_depth < 1 or self.service_slots < 1:
+            raise ConfigurationError("need positive queue geometry")
+        if self.window_ms <= 0 or self.overload_windows < 1:
+            raise ConfigurationError("need positive detection windows")
+        if self.horizon_ms <= 0:
+            raise ConfigurationError(
+                f"horizon must be positive, got {self.horizon_ms}"
+            )
+        if not 0 <= self.failed_disk < self.disks:
+            raise ConfigurationError(
+                f"bad failed disk {self.failed_disk}"
+            )
+        SloPolicy(p99_ms=self.slo_p99_ms, p999_ms=self.slo_p999_ms)
+
+
 Spec = Union[
     ExperimentSpec,
     Table1Spec,
@@ -426,6 +516,7 @@ Spec = Union[
     CampaignTrialSpec,
     CrashTrialSpec,
     NemesisTrialSpec,
+    OpenLoopSpec,
 ]
 
 _SPEC_TYPES = {
@@ -437,6 +528,7 @@ _SPEC_TYPES = {
         CampaignTrialSpec,
         CrashTrialSpec,
         NemesisTrialSpec,
+        OpenLoopSpec,
     )
 }
 

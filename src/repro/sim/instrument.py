@@ -73,6 +73,37 @@ class ProgressTimeline:
         return len(self.points)
 
 
+class DepthTimeline:
+    """``(time_ms, depth)`` samples of a queue, recorded on change only.
+
+    The open-loop admission queue feeds one of these; consecutive
+    samples at the same depth collapse into the first, so a saturated
+    queue does not grow the record linearly with arrivals.  Entries are
+    plain two-element lists (same contract as
+    :class:`ProgressTimeline`), so the timeline drops into result
+    records byte-identically.
+
+    >>> t = DepthTimeline()
+    >>> t.record(1.0, 0); t.record(2.0, 1); t.record(3.0, 1)
+    >>> t.points
+    [[1.0, 0], [2.0, 1]]
+    """
+
+    def __init__(self):
+        self.points: List[list] = []
+        self.high_water = 0
+
+    def record(self, time_ms: float, depth: int) -> None:
+        if depth > self.high_water:
+            self.high_water = depth
+        if self.points and self.points[-1][1] == depth:
+            return
+        self.points.append([time_ms, depth])
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
 def engine_snapshot(engine: SimulationEngine) -> Dict[str, float]:
     """The engine-level counters as a JSON-able record."""
     return {

@@ -43,6 +43,9 @@ class LatencyHistogram:
         self._counts: List[int] = [0] * (int(decades * self._scale) + 2)
         self.count = 0
         self.total_ms = 0.0
+        #: Exact largest sample seen — the one tail statistic buckets
+        #: cannot answer within the 5% error bound.
+        self.max_sample_ms = 0.0
 
     def _bucket(self, value_ms: float) -> int:
         clamped = min(max(value_ms, self.min_ms), self.max_ms)
@@ -57,6 +60,8 @@ class LatencyHistogram:
         self._counts[self._bucket(value_ms)] += 1
         self.count += 1
         self.total_ms += value_ms
+        if value_ms > self.max_sample_ms:
+            self.max_sample_ms = value_ms
 
     @property
     def mean(self) -> float:
@@ -83,6 +88,39 @@ class LatencyHistogram:
     ) -> List[Tuple[float, float]]:
         return [(p, self.percentile(p)) for p in ps]
 
+    def describe(self) -> dict:
+        """Tail-complete summary: count/mean, p50-p999, exact max.
+
+        p999 comes from the log buckets (<= 5% relative error like every
+        percentile query); ``max_ms`` is the exact largest sample, since
+        a bucket bound is the wrong answer for "how bad did it get".
+
+        >>> h = LatencyHistogram()
+        >>> for ms in (1.0, 2.0, 400.0):
+        ...     h.record(ms)
+        >>> h.describe()["max_ms"]
+        400.0
+        """
+        if self.count == 0:
+            return {
+                "count": 0,
+                "mean_ms": None,
+                "p50_ms": None,
+                "p95_ms": None,
+                "p99_ms": None,
+                "p999_ms": None,
+                "max_ms": None,
+            }
+        return {
+            "count": self.count,
+            "mean_ms": self.mean,
+            "p50_ms": self.percentile(50),
+            "p95_ms": self.percentile(95),
+            "p99_ms": self.percentile(99),
+            "p999_ms": self.percentile(99.9),
+            "max_ms": self.max_sample_ms,
+        }
+
     def to_dict(self) -> dict:
         """JSON-able form (sparse buckets); exact round-trip.
 
@@ -97,6 +135,7 @@ class LatencyHistogram:
             "buckets_per_decade": self._scale,
             "count": self.count,
             "total_ms": self.total_ms,
+            "max_sample_ms": self.max_sample_ms,
             "counts": {
                 str(i): c for i, c in enumerate(self._counts) if c
             },
@@ -113,6 +152,12 @@ class LatencyHistogram:
             hist._counts[int(index)] = count
         hist.count = data["count"]
         hist.total_ms = data["total_ms"]
+        # Dicts serialized before the exact max existed fall back to the
+        # highest occupied bucket's upper bound (<= 5% high, never low).
+        hist.max_sample_ms = data.get(
+            "max_sample_ms",
+            hist.percentile(100) if hist.count else 0.0,
+        )
         return hist
 
     def merge(self, other: "LatencyHistogram") -> None:
@@ -126,12 +171,17 @@ class LatencyHistogram:
             self._counts[i] += c
         self.count += other.count
         self.total_ms += other.total_ms
+        if other.max_sample_ms > self.max_sample_ms:
+            self.max_sample_ms = other.max_sample_ms
 
     def summary_row(self) -> str:
         if self.count == 0:
             return "empty"
-        p50, p95, p99 = (self.percentile(p) for p in (50, 95, 99))
+        p50, p95, p99, p999 = (
+            self.percentile(p) for p in (50, 95, 99, 99.9)
+        )
         return (
             f"n={self.count} mean={self.mean:.2f}ms"
             f" p50={p50:.2f} p95={p95:.2f} p99={p99:.2f}"
+            f" p999={p999:.2f} max={self.max_sample_ms:.2f}"
         )

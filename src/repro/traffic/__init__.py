@@ -1,0 +1,31 @@
+"""Open-loop traffic: arrival processes, admission control, SLOs.
+
+The closed-loop clients (:mod:`repro.workload.client`) model Table 2's
+"N clients, think time" workload, which caps offered load at N
+outstanding accesses and structurally cannot exhibit queueing collapse.
+This package replaces "client blocks until completion" with seeded
+arrival processes (:mod:`repro.traffic.arrivals`) feeding a bounded
+admission queue in front of the array controller
+(:mod:`repro.traffic.admission`), with tail-latency SLO accounting
+(:mod:`repro.traffic.sla`).  See EXPERIMENTS.md "Open-loop traffic".
+"""
+
+from repro.traffic.admission import AdmissionQueue, OverloadDetector
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    MMPPArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.traffic.sla import SloPolicy, SlaTracker
+
+__all__ = [
+    "AdmissionQueue",
+    "ArrivalProcess",
+    "MMPPArrivals",
+    "OverloadDetector",
+    "PoissonArrivals",
+    "SlaTracker",
+    "SloPolicy",
+    "TraceArrivals",
+]

@@ -1,0 +1,94 @@
+"""Tail-latency SLOs: percentile targets and time-in-violation.
+
+An SLO here is a pair of declared latency ceilings — "p99 under X ms,
+p999 under Y ms".  The tracker owns a log-bucketed latency histogram
+(p50/p99/p999 within 5%, exact max) plus a windowed violation timeline:
+completions are bucketed into fixed windows, and a window counts as *in
+violation* when more than 1% of its responses exceeded the p99 ceiling
+— i.e. the window, taken alone, was breaking the p99 promise.  Summing
+the violating windows gives the time-in-violation figure operators
+actually get paged on, which a whole-run percentile hides (a 2-second
+collapse inside a 60-second run barely moves the global p99).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.stats.histogram import LatencyHistogram
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Declared latency ceilings, in ms."""
+
+    p99_ms: float
+    p999_ms: float
+
+    def __post_init__(self):
+        if self.p99_ms <= 0:
+            raise ConfigurationError(
+                f"p99 ceiling must be positive, got {self.p99_ms}"
+            )
+        if self.p999_ms < self.p99_ms:
+            raise ConfigurationError(
+                f"p999 ceiling {self.p999_ms} below p99 ceiling"
+                f" {self.p99_ms}"
+            )
+
+
+class SlaTracker:
+    """Latency samples against an :class:`SloPolicy`.
+
+    ``record(completion_ms, response_ms)`` files the response into the
+    histogram and its completion-time window; :meth:`report` reduces to
+    the JSON block trial records embed.
+    """
+
+    def __init__(self, policy: SloPolicy, window_ms: float = 100.0):
+        if window_ms <= 0:
+            raise ConfigurationError(
+                f"SLA window must be positive, got {window_ms}"
+            )
+        self.policy = policy
+        self.window_ms = window_ms
+        self.histogram = LatencyHistogram()
+        #: window index -> [responses, responses over the p99 ceiling]
+        self._windows: Dict[int, List[int]] = {}
+
+    def record(self, completion_ms: float, response_ms: float) -> None:
+        self.histogram.record(response_ms)
+        window = self._windows.setdefault(
+            int(completion_ms // self.window_ms), [0, 0]
+        )
+        window[0] += 1
+        if response_ms > self.policy.p99_ms:
+            window[1] += 1
+
+    def report(self) -> dict:
+        tail = self.histogram.describe()
+        violating = sum(
+            1
+            for n, over in self._windows.values()
+            if over > 0.01 * n
+        )
+        return {
+            "policy": {
+                "p99_ms": self.policy.p99_ms,
+                "p999_ms": self.policy.p999_ms,
+            },
+            "tail": tail,
+            "p99_violated": (
+                tail["p99_ms"] is not None
+                and tail["p99_ms"] > self.policy.p99_ms
+            ),
+            "p999_violated": (
+                tail["p999_ms"] is not None
+                and tail["p999_ms"] > self.policy.p999_ms
+            ),
+            "windows": len(self._windows),
+            "violation_windows": violating,
+            "time_in_violation_ms": violating * self.window_ms,
+        }

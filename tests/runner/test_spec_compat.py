@@ -12,6 +12,7 @@ from repro.runner.spec import (
     CrashTrialSpec,
     LifecycleSpec,
     NemesisTrialSpec,
+    OpenLoopSpec,
     spec_from_dict,
     spec_hash,
     spec_to_dict,
@@ -30,6 +31,9 @@ PINNED_CRASH = (
 )
 PINNED_NEMESIS = (
     "670adbb36eff6cf34da78061abd130225e497ddb5b84ad19c38cec2114c01e0f"
+)
+PINNED_OPENLOOP = (
+    "75165b82d6671348fd321254280bfb7de1e00f55b559f71c4afbdd379fed60af"
 )
 
 
@@ -86,6 +90,18 @@ class TestInactiveDefaultsKeepV1Hashes:
         the schema version and per-kind payloads are independent."""
         assert spec_hash(lifecycle()) == PINNED_LIFECYCLE
         assert spec_hash(campaign()) == PINNED_CAMPAIGN
+
+    def test_openloop_pin(self):
+        """The openloop kind hashes stably (it keys BENCH_traffic.json's
+        result-cache entries) and leaves every other pin alone."""
+        assert (
+            spec_hash(OpenLoopSpec(layout="pddl", rate_per_s=450.0))
+            == PINNED_OPENLOOP
+        )
+        assert spec_hash(lifecycle()) == PINNED_LIFECYCLE
+        assert (
+            spec_hash(NemesisTrialSpec(layout="pddl")) == PINNED_NEMESIS
+        )
 
 
 class TestActiveFeaturesChangeTheHash:
@@ -152,6 +168,13 @@ class TestRoundTrip:
             CrashTrialSpec(layout="prime", crash_boundary=60, clients=8),
             NemesisTrialSpec(
                 layout="prime", trial=9, lse_per_gb=2000.0, max_storms=2
+            ),
+            OpenLoopSpec(
+                layout="prime",
+                rate_per_s=550.0,
+                arrival="mmpp",
+                phase="rebuild",
+                timelines=True,
             ),
         ):
             clone = spec_from_dict(spec_to_dict(spec))

@@ -105,8 +105,74 @@ class TestMerge:
         with pytest.raises(ConfigurationError):
             a.merge(b)
 
+    def test_merge_takes_elementwise_max(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(10.0)
+        b.record(250.0)
+        a.merge(b)
+        assert a.max_sample_ms == 250.0
+        assert a.describe()["max_ms"] == 250.0
+
     def test_summary_row(self):
         h = LatencyHistogram()
         assert h.summary_row() == "empty"
         h.record(5.0)
-        assert "p95" in h.summary_row()
+        row = h.summary_row()
+        assert "p95" in row
+        assert "p999" in row
+        assert "max" in row
+
+
+class TestDescribe:
+    def test_empty_describe_is_all_none(self):
+        desc = LatencyHistogram().describe()
+        assert desc["count"] == 0
+        for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms", "p999_ms",
+                    "max_ms"):
+            assert desc[key] is None
+
+    def test_describe_percentiles_and_exact_max(self):
+        h = LatencyHistogram()
+        for i in range(1, 2001):
+            h.record(i / 2.0)
+        desc = h.describe()
+        assert desc["count"] == 2000
+        assert desc["p50_ms"] == pytest.approx(500.0, rel=0.06)
+        assert desc["p99_ms"] == pytest.approx(990.0, rel=0.06)
+        assert desc["p999_ms"] == pytest.approx(999.0, rel=0.06)
+        assert desc["max_ms"] == 1000.0  # exact sample, not a bucket edge
+        assert desc["p50_ms"] <= desc["p99_ms"] <= desc["p999_ms"]
+
+    def test_p999_separates_a_thin_tail(self):
+        """A 2-in-1000 tail moves p999/max but not p99."""
+        h = LatencyHistogram()
+        for _ in range(4990):
+            h.record(10.0)
+        for _ in range(10):
+            h.record(5000.0)
+        desc = h.describe()
+        assert desc["p99_ms"] < 20.0
+        assert desc["p999_ms"] > 1000.0
+        assert desc["max_ms"] == 5000.0
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_max(self):
+        h = LatencyHistogram()
+        for v in (3.0, 77.7, 912.5):
+            h.record(v)
+        clone = LatencyHistogram.from_dict(h.to_dict())
+        assert clone.count == h.count
+        assert clone.max_sample_ms == 912.5
+        assert clone.describe() == h.describe()
+
+    def test_tolerates_pre_max_dicts(self):
+        """Cached records written before max_sample_ms existed must
+        still load; the exact max degrades to the p100 bucket bound."""
+        h = LatencyHistogram()
+        h.record(42.0)
+        data = h.to_dict()
+        del data["max_sample_ms"]
+        clone = LatencyHistogram.from_dict(data)
+        assert clone.count == 1
+        assert clone.max_sample_ms >= 42.0

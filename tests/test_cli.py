@@ -10,7 +10,8 @@ from repro.cli import build_parser, main
 #: is added without joining this list.
 ALL_COMMANDS = [
     "goals", "figure3", "response", "seeks", "table1", "table3", "plan",
-    "bench", "lifecycle", "campaign", "crash", "nemesis", "profile",
+    "bench", "lifecycle", "campaign", "crash", "nemesis", "traffic",
+    "profile",
 ]
 
 
@@ -53,8 +54,9 @@ class TestUnwritableOut:
             ["campaign", "--quick", "--no-cache", "--workers", "1"],
             ["crash", "--quick", "--no-cache", "--workers", "1"],
             ["nemesis", "--trial", "0", "--no-cache", "--workers", "1"],
+            ["traffic", "--quick", "--no-cache", "--workers", "1"],
         ],
-        ids=["lifecycle", "campaign", "crash", "nemesis"],
+        ids=["lifecycle", "campaign", "crash", "nemesis", "traffic"],
     )
     def test_out_through_regular_file(self, args, tmp_path, capsys):
         blocker = tmp_path / "blocker"
@@ -317,6 +319,52 @@ class TestNemesis:
         assert payload["config"]["start"] == 5
         assert payload["summary"]["trials"] == 1
         assert payload["trials"][0]["trial"] == 5
+
+
+class TestTrafficCommand:
+    def test_quick_run_then_cache_replay(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_traffic.json"
+        args = [
+            "traffic", "--quick", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out_file),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "8 trials: 8 simulated" in out
+        assert "knee[raid5]" in out
+
+        payload = json.loads(out_file.read_text())
+        assert payload["bench"] == "traffic"
+        assert payload["summary"]["trials"] == 8
+        assert len(payload["trials"]) == 8
+        assert "source_version" in payload["provenance"]
+        for trial in payload["trials"]:
+            assert trial["completed"] + trial["shed"] == trial["offered"]
+            assert trial["phase"] in ("ff", "rebuild")
+        # The quick sweep already shows the headline divergence: a
+        # mid-rebuild raid5 overloads where the fault-free array holds.
+        assert any(
+            d["layout"] == "raid5" for d in payload["summary"]["divergence"]
+        )
+
+        # Replay: every trial from cache, byte-identical.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "8 trials: 0 simulated, 8 from cache" in out
+        assert json.loads(out_file.read_text()) == payload
+
+    def test_report_passes_the_compare_gate(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_traffic.json"
+        assert main(
+            ["traffic", "--quick", "--no-cache", "--workers", "1",
+             "--out", str(out_file)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["bench", "--compare", "--baseline", str(out_file)]
+        ) == 0
+        assert "OK" in capsys.readouterr().out
 
 
 class TestBenchCompare:

@@ -1,0 +1,66 @@
+"""SLO policies and time-in-violation accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.sla import SlaTracker, SloPolicy
+
+
+class TestSloPolicy:
+    def test_rejects_bad_ceilings(self):
+        with pytest.raises(ConfigurationError):
+            SloPolicy(p99_ms=0.0, p999_ms=10.0)
+        with pytest.raises(ConfigurationError):
+            SloPolicy(p99_ms=100.0, p999_ms=50.0)
+
+
+class TestSlaTracker:
+    def test_empty_report(self):
+        tracker = SlaTracker(SloPolicy(p99_ms=50.0, p999_ms=100.0))
+        report = tracker.report()
+        assert report["tail"]["count"] == 0
+        assert report["tail"]["p999_ms"] is None
+        assert report["p99_violated"] is False
+        assert report["p999_violated"] is False
+        assert report["time_in_violation_ms"] == 0.0
+
+    def test_tail_percentiles_and_max(self):
+        tracker = SlaTracker(SloPolicy(p99_ms=500.0, p999_ms=900.0))
+        for i in range(1, 1001):
+            tracker.record(float(i), float(i))
+        tail = tracker.report()["tail"]
+        assert tail["count"] == 1000
+        assert tail["p50_ms"] == pytest.approx(500.0, rel=0.06)
+        assert tail["p99_ms"] == pytest.approx(990.0, rel=0.06)
+        assert tail["p999_ms"] == pytest.approx(999.0, rel=0.06)
+        assert tail["max_ms"] == 1000.0  # exact, not bucketed
+
+    def test_violation_flags(self):
+        tracker = SlaTracker(SloPolicy(p99_ms=10.0, p999_ms=2000.0))
+        for i in range(1, 101):
+            tracker.record(float(i), float(i))
+        report = tracker.report()
+        assert report["p99_violated"] is True  # p99 ~ 99 >> 10
+        assert report["p999_violated"] is False  # max 100 << 2000
+
+    def test_time_in_violation_counts_bad_windows_only(self):
+        tracker = SlaTracker(
+            SloPolicy(p99_ms=50.0, p999_ms=100.0), window_ms=100.0
+        )
+        # Window 0: 10 fast responses — healthy.
+        for i in range(10):
+            tracker.record(5.0 + i, 10.0)
+        # Window 1: 10 responses, 3 over the ceiling — violating.
+        for i in range(10):
+            tracker.record(105.0 + i, 80.0 if i < 3 else 10.0)
+        # Window 2: exactly 1% over (1 of 100) — NOT violating (> 1%).
+        for i in range(100):
+            tracker.record(205.0 + i / 200.0, 80.0 if i == 0 else 10.0)
+        report = tracker.report()
+        assert report["windows"] == 3
+        assert report["violation_windows"] == 1
+        assert report["time_in_violation_ms"] == 100.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            SlaTracker(SloPolicy(p99_ms=1.0, p999_ms=1.0), window_ms=0.0)
