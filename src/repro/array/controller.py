@@ -23,7 +23,7 @@ from repro.array.raidops import (
 from repro.disk.drive import DiskDrive, DiskRequest, TransientErrorModel
 from repro.disk.hp2247 import make_hp2247
 from repro.disk.scheduler import Scheduler, make_scheduler
-from repro.disk.stats import DiskStats, classify_operation
+from repro.disk.stats import DiskOpClass, DiskStats
 from repro.errors import ConfigurationError, SimulationError
 from repro.layouts.address import Role
 from repro.layouts.base import Layout
@@ -117,6 +117,14 @@ class _InFlight:
     stripes: Optional[List[int]] = None
 
 
+#: Shared single-phase plan stub for the fused fault-free read path in
+#: :meth:`ArrayController.submit`.  Such accesses dispatch their disk
+#: requests directly (no per-access plan object is built); the stub only
+#: exists so ``_advance`` sees a completed one-phase plan.  Never passed
+#: to ``_launch_phase``.
+_FUSED_READ_PLAN = AccessPlan(phases=[[]])
+
+
 class DiskServer:
     """One drive + queue + busy state, attached to the engine.
 
@@ -153,6 +161,20 @@ class DiskServer:
         )
         self.trace: Optional[TraceRecorder] = None
         self._on_done = on_done
+        # The request in service (one at a time: `busy` gates the next
+        # pop until its completion fires).  Stashing it here lets the
+        # completion event be the *bound method itself* instead of a
+        # fresh ``partial`` per operation.
+        self._in_service: Optional[DiskRequest] = None
+        self._in_service_failed = False
+        # Engine.schedule never changes identity for the server's
+        # lifetime; one bound-method stash saves two attribute hops per
+        # scheduled completion.  Same for the scheduler's deque (created
+        # once, mutated in place) and its lone-pop policy flag, both
+        # read on every submission.
+        self._schedule = engine.schedule
+        self._squeue = scheduler._queue
+        self._direct_service = scheduler.pops_lone_item_fifo
 
     def _note_depth(self, delta: int) -> None:
         self.queue_depth += delta
@@ -164,43 +186,84 @@ class DiskServer:
     def submit(self, request: DiskRequest) -> None:
         if self.failed:
             raise SimulationError("request routed to a failed disk")
-        self.scheduler.push(request)
-        self._note_depth(+1)
-        if not self.busy:
+        depth = self.queue_depth + 1
+        self.queue_depth = depth
+        if depth > self.queue_high_water:
+            self.queue_high_water = depth
+        if self.queue_timeline is not None:
+            self.queue_timeline.append((self.engine.now, depth))
+        if self.busy:
+            self.scheduler.push(request)
+            return
+        # Idle server, empty queue: every policy (bar LOOK, which keeps
+        # sweep state) would pop this exact request straight back out —
+        # skip the scheduler round trip and service it directly.  The
+        # dominant case at moderate load.
+        if self._squeue or not self._direct_service:
+            self.scheduler.push(request)
             self._start_next()
+            return
+        self.busy = True
+        self._service(request)
 
     def _start_next(self) -> None:
-        drive = self.drive
-        request = self.scheduler.pop(drive.cylinder)
+        # Empty-queue check here, not in pop(): every policy returns
+        # None on an empty queue without touching its state, and most
+        # completions find nothing queued.
+        if not self._squeue:
+            self.busy = False
+            return
+        request = self.scheduler.pop(self.drive.cylinder)
         if request is None:
             self.busy = False
             return
         self.busy = True
+        self._service(request)
+
+    def _service(self, request: DiskRequest) -> None:
+        drive = self.drive
         now = self.engine.now
         record = drive.service(request, now)
         if self.trace is not None:
             self.trace.record(self.disk_id, now, request, record)
+        # Inlined stats.record + classify_operation: one physical op
+        # runs through here per service, and the call overhead alone is
+        # measurable at hot-path event rates.  The record is a tuple —
+        # unpacking beats six descriptor lookups.
+        seek_ms, latency_ms, transfer_ms, cyl_changed, head_changed, failed = (
+            record
+        )
         stats = self.stats
         access_id = request.access_id
         local = stats.last_access_id == access_id
         stats.last_access_id = access_id
-        stats.record(
-            classify_operation(
-                local, record.cylinder_changed, record.head_changed
-            ),
-            record.seek_ms,
-            record.latency_ms,
-            record.transfer_ms,
-        )
+        if not local:
+            op_class = DiskOpClass.NON_LOCAL_SEEK
+        elif cyl_changed:
+            op_class = DiskOpClass.CYLINDER_SWITCH
+        elif head_changed:
+            op_class = DiskOpClass.TRACK_SWITCH
+        else:
+            op_class = DiskOpClass.NO_SWITCH
+        total_ms = seek_ms + latency_ms + transfer_ms
+        stats.operations += 1
+        stats.by_class[op_class] += 1
+        stats.seek_ms += seek_ms
+        stats.latency_ms += latency_ms
+        stats.transfer_ms += transfer_ms
+        stats.busy_ms += total_ms
         if self.busy_timeline is not None:
             self.busy_timeline.append((now, stats.busy_ms))
-        self.engine.schedule(
-            record.total_ms, partial(self._complete, request, record.failed)
-        )
+        self._in_service = request
+        self._in_service_failed = failed
+        self._schedule(total_ms, self._complete)
 
-    def _complete(self, request: DiskRequest, failed: bool) -> None:
-        self._note_depth(-1)
-        self._on_done(self.disk_id, request, failed)
+    def _complete(self) -> None:
+        request = self._in_service
+        self.queue_depth -= 1
+        if self.queue_timeline is not None:
+            self.queue_timeline.append((self.engine.now, self.queue_depth))
+        self._on_done(self.disk_id, request, self._in_service_failed)
         self._start_next()
 
     def crash_reset(self) -> int:
@@ -603,6 +666,129 @@ class ArrayController:
                 )
                 + "; no further accesses can be submitted"
             )
+        if (
+            not access.is_write
+            and self.mode is ArrayMode.FAULT_FREE
+            and self.retry_policy is None
+        ):
+            # Fused fault-free read (the dominant hot path): one phase,
+            # straight translation, no recovery bookkeeping.  Build the
+            # per-disk requests directly from the flat cell table,
+            # skipping the plan/UnitOp/phase machinery.  Byte-identical
+            # to the general path: the planner's fault-free branch emits
+            # exactly one op per unit in cell order, and the coalescer
+            # groups ops by disk in first-occurrence order, sorts each
+            # group's offsets, and merges physically contiguous runs —
+            # which is exactly what this loop does (reads only, so the
+            # (disk, is_write) group key degenerates to the disk).
+            cells = self._plan_layout.data_unit_cells(
+                access.first_unit, access.unit_count
+            )
+            unit_sectors = self.stripe_unit_sectors
+            access_id = access.access_id
+            requests = []
+            append = requests.append
+            if len(cells) == 1:
+                # Single-unit access (the small-request workloads):
+                # grouping and merging are identity operations.
+                disk, offset = cells[0]
+                append(
+                    (
+                        disk,
+                        DiskRequest(
+                            offset * unit_sectors,
+                            unit_sectors,
+                            False,
+                            access_id,
+                            0,
+                        ),
+                    )
+                )
+            elif not self.coalesce:
+                for disk, offset in cells:
+                    append(
+                        (
+                            disk,
+                            DiskRequest(
+                                offset * unit_sectors,
+                                unit_sectors,
+                                False,
+                                access_id,
+                                0,
+                            ),
+                        )
+                    )
+            else:
+                by_disk: Dict[int, List[int]] = {}
+                get = by_disk.get
+                for disk, offset in cells:
+                    offsets = get(disk)
+                    if offsets is None:
+                        by_disk[disk] = [offset]
+                    else:
+                        offsets.append(offset)
+                for disk, offsets in by_disk.items():
+                    if len(offsets) == 1:
+                        append(
+                            (
+                                disk,
+                                DiskRequest(
+                                    offsets[0] * unit_sectors,
+                                    unit_sectors,
+                                    False,
+                                    access_id,
+                                    0,
+                                ),
+                            )
+                        )
+                        continue
+                    offsets.sort()
+                    run_start = offsets[0]
+                    previous = offsets[0]
+                    for i in range(1, len(offsets)):
+                        offset = offsets[i]
+                        if offset == previous + 1:
+                            previous = offset
+                            continue
+                        append(
+                            (
+                                disk,
+                                DiskRequest(
+                                    run_start * unit_sectors,
+                                    (previous - run_start + 1)
+                                    * unit_sectors,
+                                    False,
+                                    access_id,
+                                    0,
+                                ),
+                            )
+                        )
+                        run_start = offset
+                        previous = offset
+                    append(
+                        (
+                            disk,
+                            DiskRequest(
+                                run_start * unit_sectors,
+                                (previous - run_start + 1) * unit_sectors,
+                                False,
+                                access_id,
+                                0,
+                            ),
+                        )
+                    )
+            state = _InFlight(
+                access=access,
+                plan=_FUSED_READ_PLAN,
+                submitted_ms=self.engine.now,
+                on_complete=on_complete,
+            )
+            state.outstanding = len(requests)
+            self._in_flight[access_id] = state
+            servers = self.servers
+            for disk, request in requests:
+                servers[disk].submit(request)
+            return
         plan = plan_access(
             self._plan_layout,
             access.first_unit,
@@ -703,27 +889,59 @@ class ArrayController:
         """Build per-disk requests, merging physically contiguous
         stripe-unit operations of the same type (RAIDframe-style
         coalescing) when enabled."""
+        unit_sectors = self.stripe_unit_sectors
+        access_id = state.access.access_id
+        tag = state.phase
         if not self.coalesce:
             return [
                 (
-                    op.disk,
+                    op[0],
                     DiskRequest(
-                        lba=op.offset * self.stripe_unit_sectors,
-                        sectors=self.stripe_unit_sectors,
-                        is_write=op.is_write,
-                        access_id=state.access.access_id,
-                        tag=state.phase,
+                        op[1] * unit_sectors,
+                        unit_sectors,
+                        op[2],
+                        access_id,
+                        tag,
                     ),
                 )
                 for op in phase
             ]
+        # Fast path: when no (disk, is_write) pair repeats there is
+        # nothing to merge — emit one request per op in phase order,
+        # which is exactly what the grouping below would produce (each
+        # group has one member, and dict insertion order == phase
+        # order).  Declustered layouts land almost every phase here.
+        # Built in a single pass; the partial list is discarded on the
+        # first repeated pair.
+        seen = set()
+        add = seen.add
+        requests = []
+        append = requests.append
+        distinct = True
+        for disk, offset, is_write in phase:
+            pair = (disk, is_write)
+            if pair in seen:
+                distinct = False
+                break
+            add(pair)
+            append(
+                (
+                    disk,
+                    DiskRequest(
+                        offset * unit_sectors,
+                        unit_sectors,
+                        is_write,
+                        access_id,
+                        tag,
+                    ),
+                )
+            )
+        if distinct:
+            return requests
         by_disk: Dict[tuple, List[int]] = {}
         for op in phase:
             by_disk.setdefault((op.disk, op.is_write), []).append(op.offset)
         requests = []
-        unit_sectors = self.stripe_unit_sectors
-        access_id = state.access.access_id
-        tag = state.phase
         for (disk, is_write), offsets in by_disk.items():
             if len(offsets) == 1:
                 # Declustered layouts land almost every op on its own
@@ -732,11 +950,11 @@ class ArrayController:
                     (
                         disk,
                         DiskRequest(
-                            lba=offsets[0] * unit_sectors,
-                            sectors=unit_sectors,
-                            is_write=is_write,
-                            access_id=access_id,
-                            tag=tag,
+                            offsets[0] * unit_sectors,
+                            unit_sectors,
+                            is_write,
+                            access_id,
+                            tag,
                         ),
                     )
                 )
@@ -753,11 +971,11 @@ class ArrayController:
                     (
                         disk,
                         DiskRequest(
-                            lba=run_start * unit_sectors,
-                            sectors=length * unit_sectors,
-                            is_write=is_write,
-                            access_id=access_id,
-                            tag=tag,
+                            run_start * unit_sectors,
+                            length * unit_sectors,
+                            is_write,
+                            access_id,
+                            tag,
                         ),
                     )
                 )

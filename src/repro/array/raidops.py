@@ -134,6 +134,14 @@ def plan_access(
         )
 
     units = range(first_unit, first_unit + unit_count)
+    if not is_write and mode is ArrayMode.FAULT_FREE:
+        # Hot path (the vast majority of Figure 5/6 traffic): straight
+        # translation.  The data-unit mapping is injective — distinct
+        # units land in distinct cells — so dedupe has nothing to do.
+        cells = layout.data_unit_cells(first_unit, unit_count)
+        return AccessPlan(
+            phases=[[UnitOp(d, o, False) for d, o in cells]]
+        )
     if is_write:
         plan = _plan_write(layout, units, mode, failed_disk, rebuilt)
     else:
@@ -153,13 +161,6 @@ def _plan_read(
     failed_disk: Optional[int],
     rebuilt: Optional[RebuiltPredicate],
 ) -> AccessPlan:
-    if mode is ArrayMode.FAULT_FREE:
-        # Hot path (the vast majority of Figure 5/6 traffic): straight
-        # translation, no failure cases to consider.
-        cell = layout.data_unit_cell
-        return AccessPlan(
-            phases=[[UnitOp(d, o, False) for d, o in map(cell, units)]]
-        )
     ops: List[UnitOp] = []
     for unit in units:
         addr = layout.data_unit_address(unit)

@@ -31,10 +31,11 @@ provenance version stamp (see RUNNER.md "The bench-regression gate").
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.runner.spec import MODES as _MODES
 
 DEFAULT_LAYOUTS = ["datum", "parity-declustering", "raid5", "pddl", "prime"]
@@ -995,7 +996,7 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.runner.spec import ExperimentSpec, LifecycleSpec
-    from repro.sim.profile import profile_spec
+    from repro.sim.profile import diff_profiles, profile_spec
 
     if args.lifecycle:
         spec = LifecycleSpec(
@@ -1021,6 +1022,24 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             max_samples=args.samples,
         )
     report = profile_spec(spec, top=args.top, sort=args.sort)
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read profile baseline {args.baseline!r}: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"profile baseline {args.baseline!r} is not JSON: {exc}"
+            ) from exc
+        diff = diff_profiles(baseline, report.to_dict())
+        print(diff.render())
+        if args.out:
+            print()
+            _write_report(args.out, diff.to_dict(), indent=1)
+        return 0
     print(report.render())
     if args.out:
         print()
@@ -1536,6 +1555,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     prof.add_argument(
         "--out", default=None, help="write the JSON profile report"
+    )
+    prof.add_argument(
+        "--baseline", default=None,
+        help="previous profile report (--out JSON) to diff against:"
+        " prints per-function cumulative-time deltas and new/vanished"
+        " hot functions instead of the raw table",
     )
     prof.set_defaults(func=_cmd_profile)
 

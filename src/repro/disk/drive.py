@@ -13,12 +13,16 @@ makes SSTF matter.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import NamedTuple, Optional
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.disk.geometry import DiskGeometry
 from repro.disk.seek import SeekModel
 from repro.errors import ConfigurationError
+
+try:  # numpy accelerates table precomputation; the scalar fallback is exact
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
 
 
 class DiskRequest(NamedTuple):
@@ -36,8 +40,7 @@ class DiskRequest(NamedTuple):
     tag: object = None
 
 
-@dataclass(frozen=True)
-class ServiceRecord:
+class ServiceRecord(NamedTuple):
     """Timing decomposition of one serviced request.
 
     ``failed`` marks a *transient* I/O error: the drive spent the full
@@ -45,6 +48,10 @@ class ServiceRecord:
     not succeed — a retry of the same sector usually will.  Distinct from
     the persistent :class:`~repro.faults.media.MediaErrorMap` errors,
     which never heal without a rewrite.
+
+    (A named tuple, not a dataclass: one is built per physical
+    operation, and tuple construction is several times cheaper than a
+    frozen dataclass ``__init__`` — measurable on the hot path.)
     """
 
     seek_ms: float
@@ -86,6 +93,153 @@ class TransientErrorModel:
             self.injected += 1
             return True
         return False
+
+
+class ServiceTables:
+    """Precomputed service arithmetic, shared per drive *model*.
+
+    The mechanical constants (geometry, seek curve, spin rate, switch
+    times) are per-model, not per-spindle, so every table here is built
+    once and shared by all drives of an array — and across arrays, and
+    across Monte-Carlo trials in one process:
+
+    - ``seek_by_distance``: the seek curve flattened to one list indexed
+      by cylinder distance, evaluated in a single numpy vector sweep
+      (``single + alpha*sqrt(d-1) + beta*(d-1)`` elementwise, which is
+      IEEE-identical to the scalar evaluation — a test pins every
+      entry against :meth:`SeekModel.seek_time`);
+    - ``angle_by_spt``: per zone density, the rotation angle of each
+      sector start (``(sector / spt) * rev``) as one numpy sweep;
+    - ``transfer``: ``(lba, sectors) -> (start_cyl, start_head,
+      target_angle, transfer_ms, end_cyl, end_head)``.  Transfer time
+      and final arm position depend only on the start address and
+      length — never on the clock or previous arm state — so the
+      track-crossing walk runs once per distinct request shape and is
+      a dict hit forever after.
+
+    Nothing here depends on drive *state*; :class:`DiskDrive.service`
+    combines a table entry with the arm position and clock.
+    """
+
+    _shared: Dict[tuple, "ServiceTables"] = {}
+
+    def __init__(
+        self,
+        geometry: DiskGeometry,
+        seek_model: SeekModel,
+        revolution_ms: float,
+        head_switch_ms: float,
+        cylinder_switch_ms: float,
+    ):
+        self.geometry = geometry
+        self.revolution_ms = revolution_ms
+        self.head_switch_ms = head_switch_ms
+        self.cylinder_switch_ms = cylinder_switch_ms
+        self.seek_by_distance = self._seek_table(seek_model)
+        self.angle_by_spt: Dict[int, List[float]] = {
+            zone.sectors_per_track: self._angle_table(zone.sectors_per_track)
+            for zone in geometry.zones
+        }
+        self.transfer: Dict[
+            Tuple[int, int], Tuple[int, int, float, float, int, int]
+        ] = {}
+
+    @classmethod
+    def shared(
+        cls,
+        geometry: DiskGeometry,
+        seek_model: SeekModel,
+        revolution_ms: float,
+        head_switch_ms: float,
+        cylinder_switch_ms: float,
+    ) -> "ServiceTables":
+        """The one table set for this drive model (keyed by identity of
+        the immutable geometry/seek objects plus the scalar constants)."""
+        key = (
+            id(geometry),
+            id(seek_model),
+            revolution_ms,
+            head_switch_ms,
+            cylinder_switch_ms,
+        )
+        tables = cls._shared.get(key)
+        if tables is None:
+            tables = cls(
+                geometry,
+                seek_model,
+                revolution_ms,
+                head_switch_ms,
+                cylinder_switch_ms,
+            )
+            # The instance holds strong refs to geometry/seek_model, so
+            # the ids in the key stay pinned while the entry lives.
+            cls._shared[key] = tables
+        return tables
+
+    def _seek_table(self, seek_model: SeekModel) -> List[float]:
+        cylinders = seek_model.cylinders
+        if _np is not None:
+            d_minus_1 = _np.arange(-1.0, cylinders - 1.0)
+            d_minus_1[0] = 0.0  # distance 0: placeholder, overwritten below
+            curve = (
+                seek_model.single_ms
+                + seek_model.alpha * _np.sqrt(d_minus_1)
+                + seek_model.beta * d_minus_1
+            )
+            table = curve.tolist()
+        else:
+            table = [seek_model.seek_time(d) for d in range(cylinders)]
+        table[0] = 0.0  # no arm motion, no seek
+        return table
+
+    def _angle_table(self, spt: int) -> List[float]:
+        rev = self.revolution_ms
+        if _np is not None:
+            return ((_np.arange(float(spt)) / spt) * rev).tolist()
+        return [(sector / spt) * rev for sector in range(spt)]
+
+    def entry(
+        self, lba: int, sectors: int
+    ) -> Tuple[int, int, float, float, int, int]:
+        """The transfer-table entry for ``(lba, sectors)``, computing and
+        caching it on first use (the exact reference walk)."""
+        geometry = self.geometry
+        cylinder, head, sector = geometry.lba_to_chs(lba)
+        spt_of = geometry.sectors_per_track
+        spt = spt_of(cylinder)
+        target_angle = self.angle_by_spt[spt][sector]
+        rev = self.revolution_ms
+        transfer_ms = 0.0
+        remaining = sectors
+        heads = geometry.heads
+        end_cylinder, end_head = cylinder, head
+        while remaining > 0:
+            chunk = spt - sector
+            if remaining < chunk:
+                chunk = remaining
+            transfer_ms += chunk * rev / spt
+            remaining -= chunk
+            sector += chunk
+            if remaining > 0:
+                sector = 0
+                end_head += 1
+                if end_head == heads:
+                    end_head = 0
+                    end_cylinder += 1
+                    transfer_ms += self.cylinder_switch_ms
+                    spt = spt_of(end_cylinder)
+                else:
+                    transfer_ms += self.head_switch_ms
+        entry = (
+            cylinder,
+            head,
+            target_angle,
+            transfer_ms,
+            end_cylinder,
+            end_head,
+        )
+        self.transfer[(lba, sectors)] = entry
+        return entry
 
 
 class DiskDrive:
@@ -132,6 +286,14 @@ class DiskDrive:
         #: Optional transient-failure injection; None (the default) draws
         #: nothing and keeps service byte-identical to an error-free drive.
         self.transient_errors: Optional[TransientErrorModel] = None
+        #: Precomputed per-model service tables, shared across spindles.
+        self.tables = ServiceTables.shared(
+            geometry,
+            seek_model,
+            self.revolution_ms,
+            head_switch_ms,
+            cylinder_switch_ms,
+        )
 
     def reset(self) -> None:
         self.cylinder = 0
@@ -154,6 +316,64 @@ class DiskDrive:
         Returns the timing decomposition and leaves the arm at the final
         track.  The caller (simulation engine) owns queueing; this method
         assumes the drive is idle.
+
+        Table-backed hot path: the request's state-independent arithmetic
+        (start/end position, rotation target angle, transfer walk) comes
+        from the shared :class:`ServiceTables`; only the seek distance
+        and the rotational wait — the parts coupled to arm position and
+        absolute time — are computed here.  Bit-identical to
+        :meth:`service_reference`, which remains the authority (and
+        serves the track-buffer configuration, whose hit test needs the
+        per-request CHS walk anyway).
+        """
+        if self.track_buffer:
+            return self.service_reference(request, now_ms)
+        sectors = request.sectors
+        if sectors < 1:
+            raise ConfigurationError(f"empty transfer: {request}")
+        tables = self.tables
+        key = (request.lba, sectors)
+        entry = tables.transfer.get(key)
+        if entry is None:
+            entry = tables.entry(request.lba, sectors)
+        cylinder, head, target_angle, transfer_ms, end_cyl, end_head = entry
+        arm = self.cylinder
+        head_changed = head != self.head
+        if cylinder != arm:
+            cylinder_changed = True
+            distance = cylinder - arm if cylinder > arm else arm - cylinder
+            seek_ms = tables.seek_by_distance[distance]
+        else:
+            cylinder_changed = False
+            seek_ms = self.head_switch_ms if head_changed else 0.0
+        rev = self.revolution_ms
+        latency_ms = (target_angle - (now_ms + seek_ms) % rev) % rev
+        self.cylinder = end_cyl
+        self.head = end_head
+        failed = (
+            self.transient_errors.draw()
+            if self.transient_errors is not None
+            else False
+        )
+        self.ops_serviced += 1
+        self.busy_ms += seek_ms + latency_ms + transfer_ms
+        return ServiceRecord(
+            seek_ms,
+            latency_ms,
+            transfer_ms,
+            cylinder_changed,
+            head_changed,
+            failed,
+        )
+
+    def service_reference(
+        self, request: DiskRequest, now_ms: float
+    ) -> ServiceRecord:
+        """The scalar reference walk (and the track-buffer path).
+
+        Recomputes everything from the geometry per call; the
+        equivalence tests pin :meth:`service` against it request by
+        request.
         """
         sectors = request.sectors
         if sectors < 1:

@@ -91,6 +91,11 @@ class DiskGeometry:
         # path.  Safe to share across drives: entries are value-equal
         # for equal LBAs by construction.
         self._chs_cache: Dict[int, Chs] = {}
+        # LBA -> cylinder alone: the head schedulers only need the
+        # cylinder per queued request, and a dedicated int-valued memo
+        # (shared across every scheduler on this geometry) skips the
+        # Chs attribute hop per push.
+        self._cylinder_cache: Dict[int, int] = {}
 
     @property
     def capacity_bytes(self) -> int:

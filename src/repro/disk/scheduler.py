@@ -29,13 +29,28 @@ class Scheduler(abc.ABC):
 
     name: str = "abstract"
 
+    #: True when popping a lone queued request is equivalent to FIFO pop
+    #: *and* leaves no policy state behind.  Lets the disk server skip
+    #: the push/pop round trip for a request arriving at an idle, empty
+    #: server.  LOOK must opt out: even a single-item pop can flip its
+    #: sweep direction.
+    pops_lone_item_fifo: bool = True
+
     def __init__(self, geometry: DiskGeometry):
         self.geometry = geometry
         # (cylinder, request), oldest first.
         self._queue: Deque[Tuple[int, DiskRequest]] = deque()
+        # Shared per-geometry LBA -> cylinder memo (one dict hit per
+        # push instead of the full CHS translation + attribute hop).
+        self._cylinder_cache = geometry._cylinder_cache
 
     def push(self, request: DiskRequest) -> None:
-        cylinder = self.geometry.lba_to_chs(request.lba).cylinder
+        lba = request.lba
+        cache = self._cylinder_cache
+        cylinder = cache.get(lba)
+        if cylinder is None:
+            cylinder = self.geometry.lba_to_chs(lba).cylinder
+            cache[lba] = cylinder
         self._queue.append((cylinder, request))
 
     def __len__(self) -> int:
@@ -87,6 +102,9 @@ class SstfScheduler(Scheduler):
         queue = self._queue
         if not queue:
             return None
+        if len(queue) == 1:
+            # Depth-one queues dominate moderate loads: nothing to rank.
+            return queue.popleft()[1]
         # Manual windowed argmin — no slice copy, no per-call key lambda.
         # Strict < keeps the oldest request on distance ties, matching
         # the original ``min(..., key=(distance, index))``.
@@ -115,6 +133,8 @@ class LookScheduler(Scheduler):
     """Elevator (LOOK): sweep in one direction, reverse at the last request."""
 
     name = "look"
+
+    pops_lone_item_fifo = False  # a lone pop may flip the sweep direction
 
     def __init__(self, geometry: DiskGeometry):
         super().__init__(geometry)

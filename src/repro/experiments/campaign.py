@@ -43,7 +43,7 @@ from repro.faults.media import MediaErrorMap
 from repro.faults.scenario import FaultScenario
 from repro.faults.scrubber import Scrubber
 from repro.reliability.mttdl import MS_PER_HOUR, predict_campaign_loss
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import make_engine
 from repro.stats.confidence import wilson_interval
 from repro.workload.client import ClosedLoopClient
 from repro.workload.generators import UniformGenerator
@@ -61,6 +61,8 @@ def run_campaign_trial(
     disks: Optional[int] = None,
     width: Optional[int] = None,
     oracle: bool = False,
+    layout=None,
+    instrument_out: Optional[dict] = None,
 ) -> dict:
     """One seeded array lifetime, to completion or data loss.
 
@@ -78,11 +80,19 @@ def run_campaign_trial(
     acceptable campaign outcome.  A scenario with ``transient_io_rate``
     set additionally injects per-operation I/O errors recovered by the
     controller's retry/escalation machinery (``"io_recovery"`` block).
+
+    ``layout`` lets a batch executor pass a pre-built (shared) layout
+    matching ``layout_name``/``disks``/``width``; layouts are immutable
+    mappings (controllers wrap rather than mutate them), so sharing
+    cannot change the record.  ``instrument_out``, when given a dict,
+    receives out-of-band engine counters (``events_processed``) — kept
+    off the record so campaign bytes stay pinned.
     """
     if clients < 0:
         raise ConfigurationError(f"negative client count {clients}")
-    engine = SimulationEngine()
-    layout = layout_for(layout_name, disks=disks, width=width)
+    engine = make_engine()
+    if layout is None:
+        layout = layout_for(layout_name, disks=disks, width=width)
     controller = ArrayController(
         engine,
         layout,
@@ -176,6 +186,8 @@ def run_campaign_trial(
             ).start()
 
     engine.run()
+    if instrument_out is not None:
+        instrument_out["events_processed"] = engine.events_processed
 
     if done["classification"] is None:
         # Drained with faults still pending is impossible (they are

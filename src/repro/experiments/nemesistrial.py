@@ -55,7 +55,7 @@ from repro.faults.nemesis import ActiveFaultTracker, NemesisSchedule
 from repro.faults.oracle import IntegrityOracle
 from repro.faults.scenario import FaultScenario
 from repro.faults.scrubber import SCRUB_ID_BASE, Scrubber
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import make_engine
 from repro.workload.client import ClosedLoopClient
 from repro.workload.generators import UniformGenerator
 from repro.workload.spec import AccessSpec
@@ -86,12 +86,15 @@ def run_nemesis_trial(
     max_samples: int = 240,
     transient_io_rate: float = 0.0,
     lse_per_gb: float = 0.0,
+    layout=None,
 ) -> dict:
     """One composed-fault lifetime (see module docstring).
 
     Pure function of its arguments: the schedule is already drawn, every
     RNG here is a named stream, and the event loop is deterministic —
-    trials plug into the runner's byte-determinism contract.
+    trials plug into the runner's byte-determinism contract.  ``layout``
+    accepts a pre-built shared layout from a batch executor (layouts are
+    immutable mappings, so sharing cannot change the record).
     """
     if clients < 0:
         raise ConfigurationError(f"negative client count {clients}")
@@ -99,8 +102,9 @@ def run_nemesis_trial(
         raise ConfigurationError(
             f"negative restart delay {restart_delay_ms}"
         )
-    engine = SimulationEngine()
-    layout = layout_for(layout_name, disks=disks, width=width)
+    engine = make_engine()
+    if layout is None:
+        layout = layout_for(layout_name, disks=disks, width=width)
     schedule.validate(layout.n, rows)
     controller = ArrayController(
         engine,

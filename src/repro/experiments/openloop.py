@@ -37,7 +37,7 @@ from repro.experiments.config import (
 )
 from repro.faults.lifecycle import ArrayLifecycle
 from repro.faults.scenario import FaultScenario
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import make_engine
 from repro.sim.instrument import DepthTimeline, ProgressTimeline
 from repro.traffic.admission import AdmissionQueue, OverloadDetector
 from repro.traffic.arrivals import (
@@ -113,12 +113,18 @@ def run_openloop_trial(
     overload_windows: int = 3,
     horizon_ms: float = 30000.0,
     record_timelines: bool = False,
+    layout=None,
 ) -> dict:
     """One open-loop trial; returns a JSON-able record.
 
     The run ends when every offered arrival is resolved (completed or
     shed) or at ``horizon_ms``, whichever comes first; a horizon stop
     marks the record ``truncated``.
+
+    ``layout`` lets a batch executor pass a pre-built (shared) layout
+    matching ``layout_name``/``disks``/``width``; layouts are immutable
+    mappings (controllers wrap rather than mutate them), so sharing
+    cannot change the record.
     """
     if phase not in PHASES:
         raise ConfigurationError(
@@ -130,8 +136,9 @@ def run_openloop_trial(
         raise ConfigurationError(
             f"horizon must be positive, got {horizon_ms}"
         )
-    engine = SimulationEngine()
-    layout = layout_for(layout_name, disks=disks, width=width)
+    engine = make_engine()
+    if layout is None:
+        layout = layout_for(layout_name, disks=disks, width=width)
     controller = ArrayController(
         engine,
         layout,
@@ -227,6 +234,12 @@ def run_openloop_trial(
         trace_period_ms,
         random.Random(f"{seed}/arrivals"),
     )
+
+    # Every trial offers at most ``arrivals`` delays; drawing them as
+    # one block up front amortizes per-draw overhead and is
+    # byte-identical to drawing lazily (the buffered prefetch consumes
+    # the same stream in the same order).
+    process.prefetch(arrivals)
 
     state = {"offered": 0}
 

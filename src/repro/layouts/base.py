@@ -69,6 +69,10 @@ class Layout(abc.ABC):
         # reads them once.  Layout geometry is immutable after
         # construction, which is what makes the snapshot sound.
         self._consts: Optional[Tuple[int, int, int]] = None
+        # has_sparing memo: sits on degraded/rebuild planning hot paths
+        # (every stripe decision consults it) and the spare list it is
+        # derived from is fixed at construction.
+        self._sparing: Optional[bool] = None
         # Small LRU of *shifted* (cycle > 0) StripeUnits: closed-loop
         # workloads revisit the same global stripes, so repeated
         # multi-period accesses reuse the materialised address lists.
@@ -116,7 +120,10 @@ class Layout(abc.ABC):
 
     @property
     def has_sparing(self) -> bool:
-        return bool(self.spare_addresses_in_period())
+        cached = self._sparing
+        if cached is None:
+            cached = self._sparing = bool(self.spare_addresses_in_period())
+        return cached
 
     @property
     def parity_overhead(self) -> float:
@@ -196,6 +203,35 @@ class Layout(abc.ABC):
         cycle, index = divmod(stripe, stripes_per_period)
         disk, row = cells[index * per_stripe + position]
         return disk, row + cycle * period
+
+    def data_unit_cells(
+        self, first_unit: int, count: int
+    ) -> List[Tuple[int, int]]:
+        """Cells of ``count`` consecutive data units starting at
+        ``first_unit`` — :meth:`data_unit_cell` batched, with the bounds
+        check and table lookups hoisted out of the per-unit loop and the
+        two divmods replaced by an incrementing flat-table index (a unit
+        step moves one slot through the period's flat cell array,
+        wrapping into the next cycle)."""
+        if first_unit < 0:
+            raise MappingError(f"negative data unit {first_unit}")
+        cells = self._data_cells
+        if cells is None:
+            cells = self._build_flat_tables()[1]
+        period, stripes_per_period, per_stripe = self._layout_consts()
+        units_per_cycle = stripes_per_period * per_stripe
+        cycle, slot = divmod(first_unit, units_per_cycle)
+        shift = cycle * period
+        out = []
+        append = out.append
+        for _ in range(count):
+            if slot == units_per_cycle:
+                slot = 0
+                shift += period
+            disk, row = cells[slot]
+            append((disk, row + shift))
+            slot += 1
+        return out
 
     def data_unit_address(self, unit: int) -> PhysicalAddress:
         """Physical cell of a client data unit."""

@@ -145,10 +145,52 @@ def _check_nemesis(report: dict, problems: List[str]) -> None:
 
 
 def _check_hotpath(report: dict, problems: List[str]) -> None:
-    if report["total"]["events"] <= 0:
+    specs = report["specs"]
+    if not specs:
+        problems.append("no hotpath specs recorded")
+    for entry in specs:
+        label = entry["label"]
+        if entry["events"] <= 0:
+            problems.append(f"{label}: no engine events recorded")
+        if entry["wall_s"] <= 0:
+            problems.append(f"{label}: non-positive wall clock")
+            continue
+        implied = entry["events"] / entry["wall_s"]
+        reported = entry["events_per_s"]
+        if reported <= 0 or abs(implied - reported) > max(1.0, implied * 0.01):
+            problems.append(
+                f"{label}: events_per_s {reported} inconsistent with"
+                f" events/wall_s {implied:.1f}"
+            )
+    total = report["total"]
+    if total["events"] != sum(e["events"] for e in specs):
+        problems.append("total.events is not the sum of per-spec events")
+    if total["events"] <= 0:
         problems.append("no engine events recorded")
-    if report["speedup"]["total"] <= 0:
-        problems.append(f"non-positive speedup {report['speedup']['total']}")
+    # Optional sections: a bare run (no --baseline) carries no speedup
+    # block, and pre-batching reports carry no campaign_batch block.
+    speedup = report.get("speedup")
+    if speedup is not None:
+        if speedup["total"] <= 0:
+            problems.append(f"non-positive speedup {speedup['total']}")
+        for label, ratio in speedup.get("per_spec", {}).items():
+            if ratio <= 0:
+                problems.append(f"{label}: non-positive speedup {ratio}")
+    campaign = report.get("campaign_batch")
+    if campaign is not None:
+        if campaign["trials"] <= 0:
+            problems.append("campaign_batch ran no trials")
+        if campaign["events"] <= 0:
+            problems.append("campaign_batch recorded no events")
+        if campaign["batch_speedup"] <= 0:
+            problems.append(
+                f"non-positive batch speedup {campaign['batch_speedup']}"
+            )
+    provenance = report.get("provenance")
+    if provenance is None:
+        problems.append("hotpath report lacks a provenance block")
+    elif "sweep_hash" not in provenance:
+        problems.append("provenance block lacks sweep_hash")
 
 
 def _check_lifecycle(report: dict, problems: List[str]) -> None:

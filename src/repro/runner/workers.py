@@ -41,7 +41,7 @@ from multiprocessing.connection import wait as connection_wait
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError, RunnerError
-from repro.runner.execute import execute_spec
+from repro.runner.execute import BatchedTrialExecutor
 from repro.runner.spec import Spec
 
 #: Path of a marker file; the first worker task to claim it exits hard
@@ -85,6 +85,10 @@ def _worker_main(conn) -> None:
     environmental and worth a retry.  Whatever kills the process
     outright (crash hook, OOM, signal) surfaces as EOF on the pipe.
     """
+    # One batch executor per worker process: layout setup amortizes
+    # across every task this worker picks up, and the executor's
+    # byte-identity contract keeps task placement irrelevant.
+    executor = BatchedTrialExecutor()
     while True:
         try:
             message = conn.recv()
@@ -95,7 +99,7 @@ def _worker_main(conn) -> None:
         index, spec = message
         _maybe_fault_hooks()
         try:
-            record = execute_spec(spec)
+            record = executor.execute(spec)
         except Exception as exc:  # noqa: BLE001 - classified by parent
             conn.send(
                 (

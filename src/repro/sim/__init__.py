@@ -1,11 +1,26 @@
 """Discrete-event simulation kernel.
 
-A small deterministic event engine (binary-heap scheduler with FIFO
-tie-breaking) in the RAIDframe tradition: components schedule callbacks, the
-engine advances virtual time in milliseconds.
+A small deterministic event engine in the RAIDframe tradition:
+components schedule callbacks, the engine advances virtual time in
+milliseconds.  Two interchangeable schedulers (binary heap and calendar
+queue) share one contract — FIFO tie-breaking at equal times — and
+:func:`make_engine` picks between them (``REPRO_ENGINE``).
 """
 
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import (
+    CalendarEngine,
+    HeapEngine,
+    SimulationEngine,
+    engine_kind,
+    make_engine,
+)
 from repro.sim.random import RandomStreams
 
-__all__ = ["SimulationEngine", "RandomStreams"]
+__all__ = [
+    "CalendarEngine",
+    "HeapEngine",
+    "SimulationEngine",
+    "RandomStreams",
+    "engine_kind",
+    "make_engine",
+]

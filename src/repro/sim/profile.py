@@ -126,6 +126,133 @@ def _hot_functions(
     return rows[:top]
 
 
+@dataclass(frozen=True)
+class ProfileDiff:
+    """Per-function deltas between two profile reports.
+
+    Built by :func:`diff_profiles` from the JSON forms (``to_dict`` or
+    a report loaded back from ``--out``), so a profile archived last
+    month diffs against a fresh run without re-profiling anything.
+    """
+
+    baseline_wall_ms: float
+    candidate_wall_ms: float
+    baseline_events_per_second: float
+    candidate_events_per_second: float
+    changed: List[dict]   # both sides; sorted by |cumulative delta|
+    appeared: List[dict]  # hot in candidate only
+    vanished: List[dict]  # hot in baseline only
+
+    def to_dict(self) -> dict:
+        return {
+            "baseline_wall_ms": self.baseline_wall_ms,
+            "candidate_wall_ms": self.candidate_wall_ms,
+            "baseline_events_per_second": self.baseline_events_per_second,
+            "candidate_events_per_second": self.candidate_events_per_second,
+            "changed": self.changed,
+            "appeared": self.appeared,
+            "vanished": self.vanished,
+        }
+
+    def render(self) -> str:
+        """Aligned text table for terminal output."""
+        wall_delta = self.candidate_wall_ms - self.baseline_wall_ms
+        lines = [
+            f"wall: {self.baseline_wall_ms:.1f} ms ->"
+            f" {self.candidate_wall_ms:.1f} ms ({wall_delta:+.1f} ms)",
+            f"ev/s: {self.baseline_events_per_second:.0f} ->"
+            f" {self.candidate_events_per_second:.0f} (under profiler)",
+        ]
+        if self.changed:
+            lines += [
+                "",
+                f"{'cum delta':>10}  {'cum base':>9}  {'cum cand':>9}"
+                "  function",
+            ]
+            for row in self.changed:
+                lines.append(
+                    f"{row['cumulative_delta_ms']:>+9.1f}m"
+                    f"  {row['baseline_cumulative_ms']:>8.1f}m"
+                    f"  {row['candidate_cumulative_ms']:>8.1f}m"
+                    f"  {row['function']}"
+                )
+        for title, rows in (
+            ("new hot functions:", self.appeared),
+            ("no longer hot:", self.vanished),
+        ):
+            if rows:
+                lines += ["", title]
+                for row in rows:
+                    lines.append(
+                        f"  {row['cumulative_ms']:>8.1f}m  {row['function']}"
+                    )
+        return "\n".join(lines)
+
+
+def diff_profiles(baseline: dict, candidate: dict) -> ProfileDiff:
+    """Diff two profile reports (JSON dict form, as written by ``--out``).
+
+    Functions present in both reports land in ``changed`` with their
+    cumulative/tottime deltas; functions hot in only one side land in
+    ``appeared``/``vanished``.  Both reports should profile the same
+    spec for the deltas to mean anything, but that is not enforced —
+    cross-spec diffs are occasionally useful and obviously so.
+    """
+    for name, report in (("baseline", baseline), ("candidate", candidate)):
+        if "hot_functions" not in report:
+            raise ConfigurationError(
+                f"{name} is not a profile report (no hot_functions)"
+            )
+    base_by_fn = {
+        row["function"]: row for row in baseline["hot_functions"]
+    }
+    cand_by_fn = {
+        row["function"]: row for row in candidate["hot_functions"]
+    }
+    changed = []
+    for function, cand in cand_by_fn.items():
+        base = base_by_fn.get(function)
+        if base is None:
+            continue
+        changed.append(
+            {
+                "function": function,
+                "baseline_cumulative_ms": base["cumulative_ms"],
+                "candidate_cumulative_ms": cand["cumulative_ms"],
+                "cumulative_delta_ms": round(
+                    cand["cumulative_ms"] - base["cumulative_ms"], 3
+                ),
+                "baseline_total_ms": base["total_ms"],
+                "candidate_total_ms": cand["total_ms"],
+                "total_delta_ms": round(
+                    cand["total_ms"] - base["total_ms"], 3
+                ),
+                "baseline_calls": base["calls"],
+                "candidate_calls": cand["calls"],
+            }
+        )
+    changed.sort(
+        key=lambda row: abs(row["cumulative_delta_ms"]), reverse=True
+    )
+    appeared = [
+        row for fn, row in cand_by_fn.items() if fn not in base_by_fn
+    ]
+    vanished = [
+        row for fn, row in base_by_fn.items() if fn not in cand_by_fn
+    ]
+    appeared.sort(key=lambda row: row["cumulative_ms"], reverse=True)
+    vanished.sort(key=lambda row: row["cumulative_ms"], reverse=True)
+    return ProfileDiff(
+        baseline_wall_ms=baseline.get("wall_ms", 0.0),
+        candidate_wall_ms=candidate.get("wall_ms", 0.0),
+        baseline_events_per_second=baseline.get("events_per_second", 0.0),
+        candidate_events_per_second=candidate.get("events_per_second", 0.0),
+        changed=changed,
+        appeared=appeared,
+        vanished=vanished,
+    )
+
+
 def profile_spec(
     spec: Spec, top: int = 15, sort: str = "cumulative"
 ) -> ProfileReport:

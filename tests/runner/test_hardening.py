@@ -107,17 +107,17 @@ class TestDeterministicFailure:
         monkeypatch_code = (
             "import os\n"
             "from repro.runner import workers as _wk\n"
-            "_orig = _wk.execute_spec\n"
-            "def _flaky(spec):\n"
+            "_orig = _wk.BatchedTrialExecutor.execute\n"
+            "def _flaky(self, spec):\n"
             f"    path = {str(flaky)!r}\n"
             "    try:\n"
             "        fd = os.open(path, os.O_CREAT | os.O_EXCL |"
             " os.O_WRONLY)\n"
             "    except OSError:\n"
-            "        return _orig(spec)\n"
+            "        return _orig(self, spec)\n"
             "    os.close(fd)\n"
             "    raise MemoryError('transient pressure')\n"
-            "_wk.execute_spec = _flaky\n"
+            "_wk.BatchedTrialExecutor.execute = _flaky\n"
         )
         site_dir = tmp_path / "site"
         site_dir.mkdir()

@@ -239,6 +239,9 @@ class TestCampaign:
         args = [
             "campaign", "--quick", "--no-cache", "--workers", "1",
             "--checkpoint", str(checkpoint),
+            # Explicit --out: the default would clobber the committed
+            # BENCH_campaign.json at the repo root mid-test-run.
+            "--out", str(tmp_path / "BENCH_campaign.json"),
         ]
         assert main(args) == 0
         capsys.readouterr()
