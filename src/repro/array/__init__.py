@@ -10,20 +10,25 @@ executes plans on the event engine against mechanical drives;
 
 from repro.array.controller import (
     ArrayController,
+    HedgePolicy,
     IoRecoveryStats,
     LogicalAccess,
     RetryPolicy,
+    SlowDiskDetector,
 )
 from repro.array.journal import StripeJournal
 from repro.array.raidops import AccessPlan, ArrayMode, UnitOp, plan_access
-from repro.array.reconstructor import Reconstructor
+from repro.array.reconstructor import AdaptiveThrottle, Reconstructor
 from repro.array.resync import Resynchronizer, classify_stripe
 
 __all__ = [
     "AccessPlan",
+    "AdaptiveThrottle",
     "ArrayController",
     "ArrayMode",
+    "HedgePolicy",
     "IoRecoveryStats",
+    "SlowDiskDetector",
     "LogicalAccess",
     "Reconstructor",
     "Resynchronizer",

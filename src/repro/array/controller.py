@@ -10,7 +10,7 @@ access, to the moment the array completes the access".
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -20,6 +20,7 @@ from repro.array.raidops import (
     RebuiltPredicate,
     plan_access,
 )
+from repro.backoff import capped_exponential
 from repro.disk.drive import DiskDrive, DiskRequest, TransientErrorModel
 from repro.disk.hp2247 import make_hp2247
 from repro.disk.scheduler import Scheduler, make_scheduler
@@ -35,6 +36,10 @@ from repro.sim.instrument import TraceRecorder, engine_snapshot
 #: exhausted); distinct from rebuild (``1 << 40``) and resync
 #: (``1 << 41``) ids.
 ESCALATION_ID_BASE = 1 << 42
+
+#: Access ids at or above this value are hedge traffic: speculative
+#: stripe-peer reads racing a slow primary operation (tail tolerance).
+HEDGE_ID_BASE = 1 << 43
 
 
 @dataclass(frozen=True)
@@ -77,9 +82,152 @@ class RetryPolicy:
             )
 
 
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Tail-tolerance knobs: slow-disk detection plus hedged reads.
+
+    A client read that has not completed ``deferral_ms`` after issue is
+    *hedged*: the controller launches the on-the-fly reconstruction path
+    (reads of the other stripe members) and delivers whichever side
+    finishes first, with cancel-the-loser accounting in
+    :class:`IoRecoveryStats`.  Reads aimed at a quarantined disk skip
+    the deferral and hedge immediately.
+
+    The detector half: each completed operation updates its disk's
+    latency EWMA (``ewma_alpha``); once a disk has ``min_samples``
+    observations, its EWMA is compared to the array-median EWMA.
+    ``hysteresis`` consecutive observations above
+    ``quarantine_factor`` x median quarantine the disk; ``hysteresis``
+    consecutive observations back at or below ``unquarantine_factor`` x
+    median release it.
+    """
+
+    deferral_ms: float = 30.0
+    ewma_alpha: float = 0.2
+    quarantine_factor: float = 3.0
+    unquarantine_factor: float = 1.5
+    min_samples: int = 8
+    hysteresis: int = 4
+
+    def __post_init__(self):
+        if self.deferral_ms <= 0:
+            raise ConfigurationError(
+                f"hedge deferral must be positive, got {self.deferral_ms}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError(
+                f"EWMA alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.quarantine_factor <= 1.0:
+            raise ConfigurationError(
+                "quarantine factor must exceed 1.0, got"
+                f" {self.quarantine_factor}"
+            )
+        if not 0.0 < self.unquarantine_factor <= self.quarantine_factor:
+            raise ConfigurationError(
+                "unquarantine factor must be in (0, quarantine_factor],"
+                f" got {self.unquarantine_factor}"
+            )
+        if self.min_samples < 1 or self.hysteresis < 1:
+            raise ConfigurationError(
+                "min_samples and hysteresis must be >= 1"
+            )
+
+
+class SlowDiskDetector:
+    """Per-disk latency EWMA vs. the array median, with hysteresis.
+
+    Pure bookkeeping — it never touches the engine or reorders events,
+    so attaching it cannot change simulation timing; only the hedging
+    machinery *reads* its quarantine verdicts.
+    """
+
+    def __init__(self, n_disks: int, policy: HedgePolicy):
+        self.policy = policy
+        self.ewma: List[Optional[float]] = [None] * n_disks
+        self.samples = [0] * n_disks
+        self.quarantined = [False] * n_disks
+        self._streak = [0] * n_disks
+        self.quarantines = 0
+        self.unquarantines = 0
+
+    def observe(self, disk: int, latency_ms: float) -> None:
+        """Fold one completed operation's issue-to-completion latency."""
+        previous = self.ewma[disk]
+        if previous is None:
+            self.ewma[disk] = latency_ms
+        else:
+            self.ewma[disk] = previous + self.policy.ewma_alpha * (
+                latency_ms - previous
+            )
+        self.samples[disk] += 1
+        self._evaluate(disk)
+
+    def _median_ewma(self) -> Optional[float]:
+        values = sorted(
+            ewma
+            for disk, ewma in enumerate(self.ewma)
+            if ewma is not None
+            and self.samples[disk] >= self.policy.min_samples
+        )
+        if not values:
+            return None
+        mid = len(values) // 2
+        if len(values) % 2:
+            return values[mid]
+        return 0.5 * (values[mid - 1] + values[mid])
+
+    def _evaluate(self, disk: int) -> None:
+        if self.samples[disk] < self.policy.min_samples:
+            return
+        median = self._median_ewma()
+        if median is None or median <= 0.0:
+            return
+        ratio = self.ewma[disk] / median
+        policy = self.policy
+        if not self.quarantined[disk]:
+            if ratio > policy.quarantine_factor:
+                self._streak[disk] += 1
+                if self._streak[disk] >= policy.hysteresis:
+                    self.quarantined[disk] = True
+                    self._streak[disk] = 0
+                    self.quarantines += 1
+            else:
+                self._streak[disk] = 0
+        else:
+            if ratio <= policy.unquarantine_factor:
+                self._streak[disk] += 1
+                if self._streak[disk] >= policy.hysteresis:
+                    self.quarantined[disk] = False
+                    self._streak[disk] = 0
+                    self.unquarantines += 1
+            else:
+                self._streak[disk] = 0
+
+    def is_quarantined(self, disk: int) -> bool:
+        return self.quarantined[disk]
+
+    def report(self) -> dict:
+        return {
+            "quarantined": [
+                disk
+                for disk, flagged in enumerate(self.quarantined)
+                if flagged
+            ],
+            "quarantines": self.quarantines,
+            "unquarantines": self.unquarantines,
+            "samples": list(self.samples),
+        }
+
+
 @dataclass
 class IoRecoveryStats:
-    """Counters for the transient-error recovery machinery."""
+    """Counters for the transient-error recovery machinery.
+
+    The hedge counters ride along but are emitted only on request
+    (``include_hedges``): the base eight keys are pinned in committed
+    bench baselines that predate hedging.
+    """
 
     transient_failures: int = 0
     timeouts: int = 0
@@ -89,9 +237,28 @@ class IoRecoveryStats:
     repaired_sectors: int = 0
     escalation_failures: int = 0
     raw_give_ups: int = 0
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    hedges_lost: int = 0
+    hedge_aborts: int = 0
 
-    def to_dict(self) -> dict:
-        return asdict(self)
+    def to_dict(self, include_hedges: bool = False) -> dict:
+        data = {
+            "transient_failures": self.transient_failures,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "remapped_writes": self.remapped_writes,
+            "escalated_reads": self.escalated_reads,
+            "repaired_sectors": self.repaired_sectors,
+            "escalation_failures": self.escalation_failures,
+            "raw_give_ups": self.raw_give_ups,
+        }
+        if include_hedges:
+            data["hedges_launched"] = self.hedges_launched
+            data["hedges_won"] = self.hedges_won
+            data["hedges_lost"] = self.hedges_lost
+            data["hedge_aborts"] = self.hedge_aborts
+        return data
 
 
 @dataclass(frozen=True)
@@ -375,6 +542,14 @@ class ArrayController:
         self._escalations = 0
         self.crashes = 0
         self.torn_writes = 0
+        #: Tail-tolerance attachments (default-off like the journal):
+        #: per-op submit times are tracked when either deadlines or
+        #: hedging need them.
+        self.hedge_policy: Optional[HedgePolicy] = None
+        self.slow_disk_detector: Optional[SlowDiskDetector] = None
+        self._track_ops = False
+        self._hedges: Dict[Tuple[int, DiskRequest], dict] = {}
+        self._hedge_counter = 0
 
     # ------------------------------------------------------------------
     # Failure control.
@@ -554,6 +729,24 @@ class ArrayController:
         self._track_deadlines = (
             policy is not None and policy.op_timeout_ms is not None
         )
+        self._track_ops = (
+            self._track_deadlines or self.hedge_policy is not None
+        )
+
+    def set_hedge_policy(self, policy: Optional[HedgePolicy]) -> None:
+        """Install (or remove) tail-tolerant hedged reads.
+
+        Installing a policy attaches a :class:`SlowDiskDetector` and
+        disables the fused fault-free read path (hedges need the
+        per-op completion bookkeeping that path skips).
+        """
+        self.hedge_policy = policy
+        self.slow_disk_detector = (
+            SlowDiskDetector(self.layout.n, policy)
+            if policy is not None
+            else None
+        )
+        self._track_ops = self._track_deadlines or policy is not None
 
     def enable_transient_errors(
         self,
@@ -628,6 +821,7 @@ class ArrayController:
         self._raw_callbacks.clear()
         self._op_attempts.clear()
         self._op_submitted.clear()
+        self._hedges.clear()
         dropped_ops = 0
         for server in self.servers:
             dropped_ops += server.crash_reset()
@@ -670,6 +864,7 @@ class ArrayController:
             not access.is_write
             and self.mode is ArrayMode.FAULT_FREE
             and self.retry_policy is None
+            and self.hedge_policy is None
         ):
             # Fused fault-free read (the dominant hot path): one phase,
             # straight translation, no recovery bookkeeping.  Build the
@@ -878,12 +1073,16 @@ class ArrayController:
         if not live:
             self._advance(state)
             return
-        if self._track_deadlines:
+        if self._track_ops:
             now = self.engine.now
             for disk, request in live:
                 self._op_submitted[(disk, request)] = now
         for disk, request in live:
             self.servers[disk].submit(request)
+        if self.hedge_policy is not None:
+            for disk, request in live:
+                if not request.is_write:
+                    self._arm_hedge(disk, request)
 
     def _phase_requests(self, state: _InFlight, phase):
         """Build per-disk requests, merging physically contiguous
@@ -1008,9 +1207,116 @@ class ArrayController:
             access_id=access_id,
             tag=("raw", token, tag),
         )
-        if self._track_deadlines:
+        if self._track_ops:
             self._op_submitted[(disk, request)] = self.engine.now
         self.servers[disk].submit(request)
+
+    # ------------------------------------------------------------------
+    # Hedged reads (tail tolerance).
+    # ------------------------------------------------------------------
+
+    def _arm_hedge(self, disk: int, request: DiskRequest) -> None:
+        """Watch one client read op: hedge it if it outlives the
+        deferral timeout (immediately when the disk is quarantined)."""
+        entry = {"state": "armed"}
+        self._hedges[(disk, request)] = entry
+        detector = self.slow_disk_detector
+        if detector is not None and detector.is_quarantined(disk):
+            self._launch_hedge(disk, request, entry)
+            return
+        self.engine.schedule(
+            self.hedge_policy.deferral_ms,
+            partial(self._maybe_hedge, disk, request, entry),
+        )
+
+    def _maybe_hedge(
+        self, disk: int, request: DiskRequest, entry: dict
+    ) -> None:
+        if entry["state"] != "armed":
+            return  # the primary already completed (or a crash cleared it)
+        if self._hedges.get((disk, request)) is not entry:
+            return
+        self._launch_hedge(disk, request, entry)
+
+    def _stripe_peers(self, disk: int, offset: int):
+        """The other members of ``(disk, offset)``'s stripe, or None
+        when the stripe has no redundancy left to reconstruct from
+        (a member is failed, or sits on a replacement disk's
+        not-yet-rebuilt region, or the cell is spare space)."""
+        layout = self._plan_layout
+        info = layout.locate(disk, offset)
+        if info.role is Role.SPARE:
+            return None
+        failed_disk = self.failed_disk
+        rebuilt = self._rebuilt
+        members = []
+        for a in layout.stripe_units(info.stripe).all_units():
+            if a.disk == disk and a.offset == offset:
+                continue
+            if self.servers[a.disk].failed:
+                return None
+            if (
+                a.disk == failed_disk
+                and rebuilt is not None
+                and not rebuilt(a.offset)
+            ):
+                # Replacement spindle installed, but this cell has not
+                # been reached by the rebuild frontier yet.
+                return None
+            members.append(a)
+        return members
+
+    def _launch_hedge(
+        self, disk: int, request: DiskRequest, entry: dict
+    ) -> None:
+        """Race the slow primary: read every other member of each unit's
+        stripe and deliver the original op if reconstruction wins."""
+        unit_sectors = self.stripe_unit_sectors
+        first = request.lba // unit_sectors
+        count = max(1, request.sectors // unit_sectors)
+        plans = []
+        for offset in range(first, first + count):
+            members = self._stripe_peers(disk, offset)
+            if not members:
+                # No redundancy for some unit: the hedge cannot serve
+                # this op, so the primary stays the only copy.
+                self.io_stats.hedge_aborts += 1
+                entry["state"] = "unhedgeable"
+                return
+            plans.append(members)
+        entry["state"] = "hedged"
+        self.io_stats.hedges_launched += 1
+        self._hedge_counter += 1
+        access_id = HEDGE_ID_BASE + self._hedge_counter
+        pending = {"reads": sum(len(m) for m in plans)}
+
+        def read_done() -> None:
+            pending["reads"] -= 1
+            if pending["reads"] == 0 and entry["state"] == "hedged":
+                entry["state"] = "hedge-won"
+                self.io_stats.hedges_won += 1
+                self._deliver_hedged(request)
+
+        for members in plans:
+            for addr in members:
+                self.submit_raw(
+                    addr.disk,
+                    addr.offset,
+                    False,
+                    access_id,
+                    read_done,
+                    tag="hedge-read",
+                )
+
+    def _deliver_hedged(self, request: DiskRequest) -> None:
+        """The reconstruction side finished first: deliver the original
+        op's completion (the primary's later arrival is swallowed)."""
+        state = self._in_flight.get(request.access_id)
+        if state is None:
+            return  # the access crashed away mid-hedge
+        state.outstanding -= 1
+        if state.outstanding == 0:
+            self._advance(state)
 
     # ------------------------------------------------------------------
     # Completion path (and transient-error recovery).
@@ -1019,25 +1325,47 @@ class ArrayController:
     def _request_done(
         self, disk: int, request: DiskRequest, failed: bool
     ) -> None:
+        if self._track_ops:
+            submitted = self._op_submitted.pop((disk, request), None)
+        else:
+            submitted = None
         policy = self.retry_policy
         if policy is not None:
-            if self._track_deadlines:
-                submitted = self._op_submitted.pop((disk, request), None)
-                if (
-                    not failed
-                    and submitted is not None
-                    and self.engine.now - submitted > policy.op_timeout_ms
-                ):
-                    # The drive did finish, but past the deadline: the
-                    # controller already gave up on this attempt.
-                    self.io_stats.timeouts += 1
-                    failed = True
+            if (
+                self._track_deadlines
+                and not failed
+                and submitted is not None
+                and self.engine.now - submitted > policy.op_timeout_ms
+            ):
+                # The drive did finish, but past the deadline: the
+                # controller already gave up on this attempt.
+                self.io_stats.timeouts += 1
+                failed = True
             if failed:
                 self.io_stats.transient_failures += 1
                 if self._handle_failed_op(policy, disk, request):
                     return  # a retry or escalation owns the op now
             elif self._op_attempts:
                 self._op_attempts.pop((disk, request), None)
+        if (
+            self.slow_disk_detector is not None
+            and not failed
+            and submitted is not None
+        ):
+            self.slow_disk_detector.observe(
+                disk, self.engine.now - submitted
+            )
+        if self._hedges:
+            entry = self._hedges.pop((disk, request), None)
+            if entry is not None:
+                hedge_state = entry["state"]
+                if hedge_state == "hedge-won":
+                    return  # cancel the loser: the hedge already delivered
+                if hedge_state == "hedged":
+                    entry["state"] = "primary-won"
+                    self.io_stats.hedges_lost += 1
+                else:
+                    entry["state"] = "done"
         tag = request.tag
         if isinstance(tag, tuple) and tag[0] == "raw":
             callback = self._raw_callbacks.pop(tag[1], None)
@@ -1066,9 +1394,8 @@ class ArrayController:
         if attempt <= policy.retries:
             self._op_attempts[key] = attempt
             self.io_stats.retries += 1
-            delay = min(
-                policy.backoff_base_ms * (2 ** (attempt - 1)),
-                policy.backoff_cap_ms,
+            delay = capped_exponential(
+                attempt, policy.backoff_base_ms, policy.backoff_cap_ms
             )
             self.engine.schedule(
                 delay, partial(self._resubmit, disk, request)
@@ -1098,7 +1425,7 @@ class ArrayController:
             self._op_attempts.pop((disk, request), None)
             self._request_done(disk, request, False)
             return
-        if self._track_deadlines:
+        if self._track_ops:
             self._op_submitted[(disk, request)] = self.engine.now
         server.submit(request)
 
@@ -1249,8 +1576,12 @@ class ArrayController:
         # inactive-default runs stay byte-identical with existing caches.
         if self.journal is not None:
             record["journal"] = self.journal.to_dict()
-        if self.retry_policy is not None:
-            record["io_recovery"] = self.io_stats.to_dict()
+        if self.retry_policy is not None or self.hedge_policy is not None:
+            record["io_recovery"] = self.io_stats.to_dict(
+                include_hedges=self.hedge_policy is not None
+            )
+        if self.slow_disk_detector is not None:
+            record["slow_disks"] = self.slow_disk_detector.report()
         if self.crashes:
             record["crashes"] = {
                 "count": self.crashes,

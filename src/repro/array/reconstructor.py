@@ -35,6 +35,106 @@ from repro.layouts.address import PhysicalAddress, Role
 RECONSTRUCTION_ID_BASE = 1 << 40
 
 
+class AdaptiveThrottle:
+    """AIMD rebuild-rate control from a foreground-latency signal.
+
+    Replaces a static ``throttle_ms`` with SLO feedback: once per SLA
+    window the controller asks the tracker what fraction of recent
+    foreground responses broke the p99 ceiling.  Over
+    ``violation_fraction`` means client traffic is hurting — back off
+    multiplicatively (the idle gap between rebuild steps doubles, i.e.
+    the rebuild *rate* halves).  A healthy or idle window recovers
+    additively (``recover_step_ms`` shaved off the gap), sprinting the
+    rebuild when the foreground can absorb it.
+
+    ``tracker`` is duck-typed to :class:`repro.traffic.sla.SlaTracker`:
+    it needs ``window_ms`` and ``recent_over_fraction(now_ms, windows)``.
+    """
+
+    def __init__(
+        self,
+        tracker,
+        initial_ms: float = 2.0,
+        *,
+        min_ms: float = 0.0,
+        max_ms: float = 32.0,
+        backoff_factor: float = 2.0,
+        recover_step_ms: float = 0.25,
+        growth_floor_ms: float = 0.5,
+        violation_fraction: float = 0.01,
+        windows: int = 1,
+    ):
+        if initial_ms < 0 or min_ms < 0:
+            raise SimulationError("throttle values cannot be negative")
+        if not min_ms <= initial_ms <= max_ms:
+            raise SimulationError(
+                f"need min <= initial <= max throttle, got"
+                f" {min_ms}/{initial_ms}/{max_ms}"
+            )
+        if backoff_factor <= 1.0:
+            raise SimulationError(
+                f"backoff factor must exceed 1.0, got {backoff_factor}"
+            )
+        if recover_step_ms <= 0 or growth_floor_ms <= 0:
+            raise SimulationError(
+                "recover step and growth floor must be positive"
+            )
+        if not 0.0 <= violation_fraction < 1.0:
+            raise SimulationError(
+                f"violation fraction must be in [0, 1), got"
+                f" {violation_fraction}"
+            )
+        self.tracker = tracker
+        self.throttle_ms = initial_ms
+        self.min_ms = min_ms
+        self.max_ms = max_ms
+        self.backoff_factor = backoff_factor
+        self.recover_step_ms = recover_step_ms
+        self.growth_floor_ms = growth_floor_ms
+        self.violation_fraction = violation_fraction
+        self.windows = windows
+        self.backoffs = 0
+        self.sprints = 0
+        self.peak_ms = initial_ms
+        self._last_window: Optional[int] = None
+
+    def current_ms(self, now_ms: float) -> float:
+        """The inter-step gap to use right now (re-decided per window)."""
+        window = int(now_ms // self.tracker.window_ms)
+        if window != self._last_window:
+            self._last_window = window
+            self._decide(now_ms)
+        return self.throttle_ms
+
+    def _decide(self, now_ms: float) -> None:
+        over = self.tracker.recent_over_fraction(
+            now_ms, windows=self.windows
+        )
+        if over is not None and over > self.violation_fraction:
+            # Foreground p99 locally broken: halve the rebuild rate.
+            grown = max(
+                self.throttle_ms * self.backoff_factor,
+                self.growth_floor_ms,
+            )
+            self.throttle_ms = min(grown, self.max_ms)
+            self.peak_ms = max(self.peak_ms, self.throttle_ms)
+            self.backoffs += 1
+        elif self.throttle_ms > self.min_ms:
+            # Healthy (or idle) foreground: sprint a little.
+            self.throttle_ms = max(
+                self.throttle_ms - self.recover_step_ms, self.min_ms
+            )
+            self.sprints += 1
+
+    def report(self) -> dict:
+        return {
+            "throttle_ms": self.throttle_ms,
+            "peak_ms": self.peak_ms,
+            "backoffs": self.backoffs,
+            "sprints": self.sprints,
+        }
+
+
 class Reconstructor:
     """Background rebuild of one failed disk.
 
@@ -65,6 +165,7 @@ class Reconstructor:
             Callable[["Reconstructor", RebuildStep, PhysicalAddress], None]
         ] = None,
         already_rebuilt: Optional[Iterable[int]] = None,
+        adaptive_throttle: Optional[AdaptiveThrottle] = None,
     ):
         if parallel_steps < 1:
             raise SimulationError("need at least one rebuild slot")
@@ -85,6 +186,10 @@ class Reconstructor:
         self.controller = controller
         self.parallel_steps = parallel_steps
         self.throttle_ms = throttle_ms
+        #: When set, overrides the static ``throttle_ms`` with the AIMD
+        #: controller's per-window decision; None keeps the hot path
+        #: byte-identical to the pre-adaptive behavior.
+        self.adaptive_throttle = adaptive_throttle
         self.on_finished = on_finished
         self.on_step = on_step
         self.media = media
@@ -242,11 +347,15 @@ class Reconstructor:
         if self._exhausted:
             self._maybe_finish()
             return
-        if self.throttle_ms > 0:
-            self._pending_issues += 1
-            self.controller.engine.schedule(
-                self.throttle_ms, self._delayed_issue
+        if self.adaptive_throttle is not None:
+            delay = self.adaptive_throttle.current_ms(
+                self.controller.engine.now
             )
+        else:
+            delay = self.throttle_ms
+        if delay > 0:
+            self._pending_issues += 1
+            self.controller.engine.schedule(delay, self._delayed_issue)
         else:
             self._issue_next()
             self._maybe_finish()

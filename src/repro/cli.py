@@ -66,6 +66,29 @@ def _write_report(path: str, payload: dict, indent: int = 2) -> None:
     print(f"wrote {path}")
 
 
+def _print_io_recovery(summary: dict) -> None:
+    """One line of aggregate transient-recovery counters.
+
+    Sweeps that never installed a retry or hedge policy have no
+    ``io_recovery`` block and print nothing.
+    """
+    stats = summary.get("io_recovery")
+    if not stats:
+        return
+    line = (
+        f"  io-recovery: {stats.get('retries', 0)} retried,"
+        f" {stats.get('escalated_reads', 0)} escalated,"
+        f" {stats.get('repaired_sectors', 0)} sector(s) repaired"
+        f" ({stats['trials_reporting']} trial(s) reporting)"
+    )
+    if "hedges_launched" in stats:
+        line += (
+            f"; hedges {stats.get('hedges_won', 0)}"
+            f"/{stats['hedges_launched']} won"
+        )
+    print(line)
+
+
 def _cmd_goals(args: argparse.Namespace) -> int:
     from repro.experiments.report import render_table
     from repro.layouts import make_layout
@@ -499,6 +522,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"  oracle: {corruption} silent corruption event(s)"
             f" across {summary['trials']} shadow-verified trials"
         )
+    _print_io_recovery(summary)
     print(
         f"{len(specs)} trials: {report.executed} simulated,"
         f" {report.cache_hits} from cache,"
@@ -781,6 +805,7 @@ def _cmd_nemesis(args: argparse.Namespace) -> int:
             f" {summary['mean_resync_ms']:.1f} ms,"
             f" {summary['write_hole_stripes']} write-hole stripe(s)"
         )
+    _print_io_recovery(summary)
     print(
         f"{len(specs)} trials: {report.executed} simulated,"
         f" {report.cache_hits} from cache,"
@@ -933,6 +958,7 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
             f" (ff {entry['ff_p999_ms']:.1f} ms,"
             f" {entry['rebuild_shed']} shed)"
         )
+    _print_io_recovery(summary)
     print(
         f"{len(specs)} trials: {report.executed} simulated,"
         f" {report.cache_hits} from cache,"
@@ -986,6 +1012,169 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
                     "mean_wait_ms": t["queue"]["mean_wait_ms"],
                     "overload": t["overload"],
                     "modes": t["modes"],
+                }
+                for t in trial_records
+            ],
+        }
+        _write_report(args.out, payload)
+    return 0
+
+
+def _cmd_failslow(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.failslow import (
+        failslow_specs,
+        summarize_failslow,
+    )
+    from repro.runner import (
+        ParallelRunner,
+        ResultCache,
+        RunCheckpoint,
+        default_cache_dir,
+        sweep_provenance,
+    )
+
+    layouts = args.layouts
+    arrivals = args.arrivals
+    rebuild_rows = args.rebuild_rows
+    if args.quick:
+        layouts = ["raid5", "pddl"]
+        arrivals = 150
+        rebuild_rows = 60
+    specs = failslow_specs(
+        layouts,
+        defenses=args.defenses,
+        rate_per_s=args.rate,
+        arrivals=arrivals,
+        seed=args.seed,
+        disks=args.disks,
+        slow_disk=args.slow_disk,
+        slow_multiplier=args.slow_multiplier,
+        rebuild_rows=rebuild_rows,
+        hedge_deferral_ms=args.hedge_deferral,
+        adaptive_max_ms=args.adaptive_max,
+        slo_p99_ms=args.slo_p99,
+        slo_p999_ms=args.slo_p999,
+        horizon_ms=args.horizon,
+    )
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    checkpoint = (
+        RunCheckpoint(args.checkpoint) if args.checkpoint else None
+    )
+    runner = ParallelRunner(
+        workers=args.workers,
+        cache=cache,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        checkpoint=checkpoint,
+    )
+    started = time.perf_counter()
+    report = runner.run(specs)
+    elapsed = time.perf_counter() - started
+
+    trial_records = [r["failslow"] for r in report.records]
+    summary = summarize_failslow(trial_records)
+
+    print(
+        f"failslow: {len(layouts)} layout(s) x"
+        f" {len(args.defenses)} defense(s),"
+        f" {arrivals} arrivals/trial @ {args.rate:g}/s,"
+        f" {args.slow_multiplier:g}x fail-slow disk"
+    )
+    print(
+        f"  SLO-violating {summary['slo_violated_trials']}"
+        f"/{summary['trials']} trial(s),"
+        f" truncated {summary['truncated_trials']}"
+    )
+    for layout in sorted(summary["hedging"]):
+        h = summary["hedging"][layout]
+        win = "-" if h["win_rate"] is None else f"{h['win_rate']:.0%}"
+        both = (
+            ""
+            if h["both_p999_ms"] is None
+            else f" (both: {h['both_p999_ms']:.1f})"
+        )
+        print(
+            f"  hedge[{layout}]  p999 {h['none_p999_ms']:.1f} ->"
+            f" {h['hedge_p999_ms']:.1f} ms{both},"
+            f" {h['won']}/{h['launched']} won ({win}),"
+            f" {h['quarantines']} quarantine(s)"
+        )
+    for layout in sorted(summary["adaptive"]):
+        a = summary["adaptive"][layout]
+        inflation = (
+            "-"
+            if a["rebuild_inflation"] is None
+            else f"{a['rebuild_inflation']:.2f}x"
+        )
+        print(
+            f"  aimd[{layout}]   p99 violated"
+            f" {a['none_p99_violated']} -> {a['adaptive_p99_violated']},"
+            f" rebuild {inflation},"
+            f" {a['backoffs']} backoff(s) / {a['sprints']} sprint(s)"
+        )
+    _print_io_recovery(summary)
+    print(
+        f"{len(specs)} trials: {report.executed} simulated,"
+        f" {report.cache_hits} from cache,"
+        f" {report.checkpoint_hits} from checkpoint"
+        f" ({runner.workers} workers, {elapsed:.2f}s)"
+    )
+    if cache is not None:
+        print(f"cache dir: {cache.root}")
+
+    if args.out:
+        # Deterministic payload modulo the provenance version stamp —
+        # CI compares a fresh run against the committed baseline with
+        # bench --compare --exact.  Trials are summarized (tails and
+        # defense counters, no raw instrumentation) to keep the
+        # committed file small.
+        payload = {
+            "bench": "failslow",
+            "provenance": sweep_provenance(specs),
+            "config": {
+                "layouts": list(layouts),
+                "defenses": list(args.defenses),
+                "rate_per_s": args.rate,
+                "arrivals": arrivals,
+                "seed": args.seed,
+                "disks": args.disks,
+                "slow_disk": args.slow_disk,
+                "slow_multiplier": args.slow_multiplier,
+                "rebuild_rows": rebuild_rows,
+                "hedge_deferral_ms": args.hedge_deferral,
+                "adaptive_max_ms": args.adaptive_max,
+                "slo_p99_ms": args.slo_p99,
+                "slo_p999_ms": args.slo_p999,
+                "horizon_ms": args.horizon,
+            },
+            "summary": summary,
+            "trials": [
+                {
+                    "layout": t["layout"],
+                    "defense": t["defense"],
+                    "rate_per_s": t["rate_per_s"],
+                    "offered": t["offered"],
+                    "completed": t["completed"],
+                    "shed": t["shed"],
+                    "truncated": t["truncated"],
+                    "slo_violated": t["slo_violated"],
+                    "tail": t["tail"],
+                    "time_in_violation_ms": t["slo"][
+                        "time_in_violation_ms"
+                    ],
+                    "violation_windows": t["slo"]["violation_windows"],
+                    "rebuild": {
+                        "finished": t["rebuild"]["finished"],
+                        "steps": t["rebuild"]["steps"],
+                        "duration_ms": t["rebuild"]["duration_ms"],
+                    },
+                    "failslow": t["failslow"],
+                    "hedging": t.get("hedging"),
+                    "adaptive": t.get("adaptive"),
                 }
                 for t in trial_records
             ],
@@ -1517,6 +1706,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path (deterministic content; '' to skip)",
     )
     traffic.set_defaults(func=_cmd_traffic)
+
+    fslow = sub.add_parser(
+        "failslow",
+        help="tail-tolerance defenses under a fail-slow disk mid-rebuild",
+    )
+    fslow.add_argument(
+        "--quick", action="store_true",
+        help="small canned comparison (raid5+pddl, short rebuild)",
+    )
+    fslow.add_argument(
+        "--layouts", nargs="+", default=["raid5", "pddl"],
+        help="layouts to compare (the bench contrasts raid5 vs pddl)",
+    )
+    fslow.add_argument(
+        "--defenses", nargs="+",
+        default=["none", "hedge", "adaptive", "both"],
+        choices=["none", "hedge", "adaptive", "both"],
+        help="tail-tolerance configurations to run",
+    )
+    fslow.add_argument(
+        "--rate", type=float, default=40.0,
+        help="offered load in arrivals/second",
+    )
+    fslow.add_argument(
+        "--arrivals", type=int, default=1000,
+        help="arrivals offered per trial",
+    )
+    fslow.add_argument("--seed", type=int, default=2)
+    fslow.add_argument("--disks", "-n", type=int, default=13)
+    fslow.add_argument(
+        "--slow-disk", type=int, default=1,
+        help="the gray-failure disk (must differ from the failed disk 0)",
+    )
+    fslow.add_argument(
+        "--slow-multiplier", type=float, default=5.0,
+        help="service-time multiplier of the fail-slow disk",
+    )
+    fslow.add_argument(
+        "--rebuild-rows", type=int, default=300,
+        help="stripe rows swept by the rebuild",
+    )
+    fslow.add_argument(
+        "--hedge-deferral", type=float, default=30.0,
+        help="ms a degraded read waits before hedging",
+    )
+    fslow.add_argument(
+        "--adaptive-max", type=float, default=512.0,
+        help="AIMD rebuild-throttle ceiling, ms",
+    )
+    fslow.add_argument(
+        "--slo-p99", type=float, default=250.0,
+        help="declared p99 latency ceiling, ms",
+    )
+    fslow.add_argument(
+        "--slo-p999", type=float, default=1500.0,
+        help="declared p999 latency ceiling, ms",
+    )
+    fslow.add_argument(
+        "--horizon", type=float, default=120000.0,
+        help="per-trial simulation-time safety stop, ms",
+    )
+    fslow.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: $REPRO_BENCH_WORKERS or 1)",
+    )
+    fslow.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-trial deadline in seconds (enables the hardened pool)",
+    )
+    fslow.add_argument(
+        "--retries", type=int, default=0,
+        help="crash/timeout retries per trial (capped exponential backoff)",
+    )
+    fslow.add_argument(
+        "--checkpoint", default=None,
+        help="JSONL checkpoint file; a killed run resumes from it",
+    )
+    fslow.add_argument(
+        "--cache-dir", default=None,
+        help="result cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    fslow.add_argument("--no-cache", action="store_true")
+    fslow.add_argument(
+        "--out", default="BENCH_failslow.json",
+        help="JSON report path (deterministic content; '' to skip)",
+    )
+    fslow.set_defaults(func=_cmd_failslow)
 
     prof = sub.add_parser(
         "profile",

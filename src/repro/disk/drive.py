@@ -286,6 +286,10 @@ class DiskDrive:
         #: Optional transient-failure injection; None (the default) draws
         #: nothing and keeps service byte-identical to an error-free drive.
         self.transient_errors: Optional[TransientErrorModel] = None
+        #: Optional fail-slow (gray failure) inflation, duck-typed to
+        #: :class:`repro.faults.failslow.FailSlowModel`; None (the
+        #: default) leaves every service computation untouched.
+        self.fail_slow = None
         #: Precomputed per-model service tables, shared across spindles.
         self.tables = ServiceTables.shared(
             geometry,
@@ -348,6 +352,12 @@ class DiskDrive:
             seek_ms = self.head_switch_ms if head_changed else 0.0
         rev = self.revolution_ms
         latency_ms = (target_angle - (now_ms + seek_ms) % rev) % rev
+        if self.fail_slow is not None:
+            m = self.fail_slow.scale(now_ms)
+            if m != 1.0:
+                seek_ms *= m
+                latency_ms *= m
+                transfer_ms *= m
         self.cylinder = end_cyl
         self.head = end_head
         failed = (
@@ -443,6 +453,14 @@ class DiskDrive:
                 else:
                     transfer_ms += self.head_switch_ms
 
+        # Fail-slow inflation covers mechanical service only — a track
+        # buffer hit is electronic and returned above.
+        if self.fail_slow is not None:
+            m = self.fail_slow.scale(now_ms)
+            if m != 1.0:
+                seek_ms *= m
+                latency_ms *= m
+                transfer_ms *= m
         self.cylinder = cylinder
         self.head = head
         # Transient failure draw covers mechanical transfers only — a

@@ -38,6 +38,7 @@ from repro.experiments.config import (
     PAPER_STRIPE_UNIT_KB,
     layout_for,
 )
+from repro.experiments.iorecovery import aggregate_io_recovery
 from repro.faults.lifecycle import ArrayLifecycle
 from repro.faults.media import MediaErrorMap
 from repro.faults.scenario import FaultScenario
@@ -377,4 +378,7 @@ def summarize_campaign(records: List[dict], confidence: float = 0.95) -> dict:
                 (mean_cycle_ms / MS_PER_HOUR) / q if q > 0 else None
             ),
         }
+    io_recovery = aggregate_io_recovery(records)
+    if io_recovery is not None:
+        summary["io_recovery"] = io_recovery
     return summary

@@ -1,0 +1,398 @@
+"""Fail-slow trials: tail-tolerance defenses under a gray failure.
+
+One trial offers open-loop Poisson arrivals to an array that is
+rebuilding one failed disk while *another* disk fail-slows (a seeded
+service-time multiplier — the gray failure the fault model in
+:mod:`repro.faults.failslow` scripts).  The ``defense`` axis switches
+the two tail-tolerance mechanisms on and off independently:
+
+- ``none``      — no defense: unthrottled rebuild, no hedging;
+- ``hedge``     — hedged degraded-reads (deferral-timeout reconstruction
+  races, quarantine via the slow-disk detector);
+- ``adaptive``  — SLO-feedback AIMD rebuild throttling;
+- ``both``      — hedging and adaptive rebuild together.
+
+The measurands are the foreground latency tail (p99/p999/max), SLO
+time-in-violation, the rebuild duration, and the hedge/quarantine
+counters — the committed ``BENCH_failslow.json`` compares all four
+defenses for PDDL and RAID-5.  The layout story: mid-rebuild, *every*
+RAID-5 stripe contains the failed disk, so a hedge has no redundancy to
+read from; PDDL's declustered width leaves most stripes fully redundant
+and hedging keeps working.
+
+Every draw comes from named seeded streams, so trials are pure
+functions of their specs and plug into the runner's byte-determinism
+contract.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.array.controller import (
+    ArrayController,
+    HedgePolicy,
+    LogicalAccess,
+)
+from repro.array.reconstructor import AdaptiveThrottle
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    PAPER_SCHEDULER,
+    PAPER_SCHEDULER_WINDOW,
+    PAPER_STRIPE_UNIT_KB,
+    layout_for,
+)
+from repro.experiments.iorecovery import aggregate_io_recovery
+from repro.faults.failslow import FailSlowModel
+from repro.faults.lifecycle import ArrayLifecycle
+from repro.faults.scenario import FaultScenario
+from repro.sim.engine import make_engine
+from repro.traffic.admission import AdmissionQueue
+from repro.traffic.arrivals import PoissonArrivals
+from repro.traffic.sla import SlaTracker, SloPolicy
+from repro.workload.generators import UniformGenerator
+from repro.workload.spec import AccessSpec
+
+#: Defense configurations (see module docstring).
+DEFENSES = ("none", "hedge", "adaptive", "both")
+
+#: The disk fails this early, before any traffic.
+_FAULT_AT_MS = 1.0
+
+#: Gap between the rebuild start and the first arrival draw.
+_SETTLE_MS = 9.0
+
+
+def run_failslow_trial(
+    layout_name: str,
+    rate_per_s: float = 40.0,
+    defense: str = "none",
+    arrivals: int = 1000,
+    seed: int = 2,
+    size_kb: int = 8,
+    disks: Optional[int] = None,
+    width: Optional[int] = None,
+    failed_disk: int = 0,
+    slow_disk: int = 1,
+    slow_multiplier: float = 5.0,
+    degraded_dwell_ms: float = 40.0,
+    rebuild_rows: Optional[int] = 300,
+    rebuild_parallel: int = 4,
+    rebuild_throttle_ms: float = 16.0,
+    hedge_deferral_ms: float = 30.0,
+    adaptive_max_ms: float = 512.0,
+    queue_depth: int = 64,
+    service_slots: int = 12,
+    slo_p99_ms: float = 250.0,
+    slo_p999_ms: float = 1500.0,
+    window_ms: float = 100.0,
+    horizon_ms: float = 120000.0,
+    layout=None,
+) -> dict:
+    """One fail-slow trial; returns a JSON-able record.
+
+    The trial always runs the mid-rebuild phase: ``failed_disk`` dies at
+    1ms, the rebuild starts after the dwell, and ``slow_disk`` serves
+    every operation ``slow_multiplier`` x slower from the start.  The
+    run ends when every arrival is resolved *and* the rebuild finished,
+    or at ``horizon_ms`` (marking the record ``truncated``).
+
+    ``layout`` lets a batch executor pass a pre-built shared layout.
+    """
+    if defense not in DEFENSES:
+        raise ConfigurationError(
+            f"defense must be one of {DEFENSES}, got {defense!r}"
+        )
+    if arrivals < 1:
+        raise ConfigurationError(f"need >= 1 arrival, got {arrivals}")
+    if slow_disk == failed_disk:
+        raise ConfigurationError(
+            f"the fail-slow disk must differ from the failed disk,"
+            f" both are {slow_disk}"
+        )
+    if slow_multiplier <= 1.0:
+        raise ConfigurationError(
+            f"fail-slow multiplier must exceed 1.0, got {slow_multiplier}"
+        )
+    if horizon_ms <= 0:
+        raise ConfigurationError(
+            f"horizon must be positive, got {horizon_ms}"
+        )
+    engine = make_engine()
+    if layout is None:
+        layout = layout_for(layout_name, disks=disks, width=width)
+    if not 0 <= failed_disk < layout.n or not 0 <= slow_disk < layout.n:
+        raise ConfigurationError(
+            f"disk indices {failed_disk}/{slow_disk} out of range"
+        )
+    controller = ArrayController(
+        engine,
+        layout,
+        scheduler_name=PAPER_SCHEDULER,
+        scheduler_window=PAPER_SCHEDULER_WINDOW,
+        stripe_unit_kb=PAPER_STRIPE_UNIT_KB,
+    )
+
+    hedging = defense in ("hedge", "both")
+    adapting = defense in ("adaptive", "both")
+    if hedging:
+        controller.set_hedge_policy(
+            HedgePolicy(deferral_ms=hedge_deferral_ms)
+        )
+
+    tracker = SlaTracker(
+        SloPolicy(p99_ms=slo_p99_ms, p999_ms=slo_p999_ms),
+        window_ms=window_ms,
+    )
+    adaptive = (
+        AdaptiveThrottle(
+            tracker,
+            # Slow-start: open at the ceiling and sprint down while the
+            # foreground stays healthy.  Opening fast would let the
+            # rebuild outrun its own violation signal — the completions
+            # proving the tail blew out only arrive after the slow
+            # disk's queue drains, well after the damage is done.
+            initial_ms=adaptive_max_ms,
+            max_ms=adaptive_max_ms,
+            recover_step_ms=2.0,
+            # At tens of arrivals per second a single 100ms window holds
+            # too few completions for a stable violation fraction; a
+            # 500ms lookback keeps the AIMD signal from flapping.
+            windows=5,
+        )
+        if adapting
+        else None
+    )
+
+    # The gray failure: active from time zero, constant multiplier.
+    controller.servers[slow_disk].drive.fail_slow = FailSlowModel(
+        slow_multiplier, onset_ms=0.0
+    )
+
+    scenario = FaultScenario(
+        failed_disk=failed_disk,
+        fault_time_ms=_FAULT_AT_MS,
+        degraded_dwell_ms=degraded_dwell_ms,
+        rebuild_rows=rebuild_rows,
+        rebuild_parallel=rebuild_parallel,
+        # The undefended baseline pays this static idle gap per rebuild
+        # step; the adaptive defense replaces it with the AIMD decision.
+        rebuild_throttle_ms=rebuild_throttle_ms,
+    )
+    lifecycle = ArrayLifecycle(
+        controller,
+        scenario,
+        # The rebuild finishing is a stop condition too (transitions are
+        # recorded before the callback fires, so ``complete`` is fresh).
+        on_transition=lambda mode, now: check_stop(),
+        adaptive_throttle=adaptive,
+    )
+    lifecycle.arm()
+    traffic_start_ms = _FAULT_AT_MS + _SETTLE_MS + degraded_dwell_ms
+
+    totals = {"resolved": 0}
+
+    def check_stop() -> None:
+        if totals["resolved"] >= arrivals and (
+            lifecycle.complete or lifecycle.data_loss
+        ):
+            engine.stop()
+
+    def resolve() -> None:
+        totals["resolved"] += 1
+        check_stop()
+
+    def on_response(
+        access: LogicalAccess, total_ms: float, wait_ms: float
+    ) -> None:
+        tracker.record(engine.now, total_ms)
+        resolve()
+
+    queue = AdmissionQueue(
+        controller,
+        on_response,
+        depth=queue_depth,
+        service_slots=service_slots,
+    )
+
+    units = AccessSpec(size_kb, False).units(PAPER_STRIPE_UNIT_KB)
+    location = UniformGenerator(
+        controller.addressable_data_units,
+        units,
+        random.Random(f"{seed}/failslow-loc"),
+    )
+    process = PoissonArrivals(rate_per_s, random.Random(f"{seed}/arrivals"))
+    process.prefetch(arrivals)
+
+    state = {"offered": 0}
+
+    def arrive() -> None:
+        access = LogicalAccess(
+            access_id=state["offered"],
+            first_unit=location.next_start(),
+            unit_count=units,
+            is_write=False,
+        )
+        state["offered"] += 1
+        if not queue.offer(access):
+            resolve()
+        if state["offered"] < arrivals:
+            engine.schedule(process.next_delay_ms(), arrive)
+
+    engine.schedule_at(
+        traffic_start_ms + process.next_delay_ms(), arrive
+    )
+    engine.schedule_at(horizon_ms, engine.stop)
+    engine.run()
+
+    recon = lifecycle.reconstructor
+    slo = tracker.report()
+    stats = queue.stats()
+    truncated = totals["resolved"] < arrivals or not lifecycle.complete
+    record = {
+        "layout": layout_name,
+        "defense": defense,
+        "rate_per_s": rate_per_s,
+        "slow_disk": slow_disk,
+        "slow_multiplier": slow_multiplier,
+        "offered": state["offered"],
+        "completed": stats["completed"],
+        "shed": stats["shed"],
+        "truncated": truncated,
+        "slo_violated": bool(
+            slo["p99_violated"] or slo["p999_violated"]
+        ),
+        "tail": slo["tail"],
+        "slo": slo,
+        "queue": stats,
+        "failslow": controller.servers[slow_disk].drive.fail_slow.report(),
+        "rebuild": {
+            "transitions": [list(t) for t in lifecycle.transitions],
+            "finished": lifecycle.complete,
+            "steps": 0 if recon is None else recon.steps_completed,
+            "duration_ms": (
+                recon.duration_ms
+                if recon is not None and recon.finished_ms is not None
+                else None
+            ),
+        },
+        "instrumentation": controller.instrumentation_record(),
+    }
+    if hedging:
+        io = controller.io_stats
+        record["hedging"] = {
+            "launched": io.hedges_launched,
+            "won": io.hedges_won,
+            "lost": io.hedges_lost,
+            "aborts": io.hedge_aborts,
+            "detector": controller.slow_disk_detector.report(),
+        }
+    if adaptive is not None:
+        record["adaptive"] = adaptive.report()
+    return record
+
+
+def failslow_specs(
+    layouts: List[str],
+    defenses: List[str] = DEFENSES,
+    rate_per_s: float = 40.0,
+    arrivals: int = 1000,
+    seed: int = 2,
+    disks: Optional[int] = None,
+    **overrides,
+) -> list:
+    """The defense-comparison sweep as runner specs (layout x defense)."""
+    # Local import: repro.runner imports the experiment drivers' specs.
+    from repro.runner.spec import FailSlowTrialSpec
+
+    specs = []
+    for layout in layouts:
+        for defense in defenses:
+            kwargs = dict(overrides)
+            if disks is not None:
+                kwargs["disks"] = disks
+            specs.append(
+                FailSlowTrialSpec(
+                    layout=layout,
+                    defense=defense,
+                    rate_per_s=rate_per_s,
+                    arrivals=arrivals,
+                    seed=seed,
+                    **kwargs,
+                )
+            )
+    return specs
+
+
+def summarize_failslow(records: List[dict]) -> dict:
+    """Reduce trial records to the defense-comparison summary.
+
+    Per layout: the tail cut hedging buys over no-defense (the
+    acceptance headline), the hedge win rate, and the rebuild-time
+    inflation the adaptive throttle pays to keep the foreground p99
+    within its SLO.
+    """
+    by_config = {(r["layout"], r["defense"]): r for r in records}
+    layouts = sorted({r["layout"] for r in records})
+    hedging: dict = {}
+    adaptive: dict = {}
+    for layout in layouts:
+        none = by_config.get((layout, "none"))
+        hedge = by_config.get((layout, "hedge"))
+        adapt = by_config.get((layout, "adaptive"))
+        both = by_config.get((layout, "both"))
+        if none is not None and hedge is not None:
+            launched = hedge["hedging"]["launched"]
+            won = hedge["hedging"]["won"]
+            hedging[layout] = {
+                "none_p999_ms": none["tail"]["p999_ms"],
+                "hedge_p999_ms": hedge["tail"]["p999_ms"],
+                # Hedging composed with the adaptive rebuild: the AIMD
+                # backoff shortens the slow-disk queue the hedges race,
+                # so the combined tail cut is deeper than either alone.
+                "both_p999_ms": (
+                    both["tail"]["p999_ms"] if both is not None else None
+                ),
+                "none_max_ms": none["tail"]["max_ms"],
+                "hedge_max_ms": hedge["tail"]["max_ms"],
+                "launched": launched,
+                "won": won,
+                "win_rate": won / launched if launched else None,
+                "quarantines": hedge["hedging"]["detector"][
+                    "quarantines"
+                ],
+            }
+        if none is not None and adapt is not None:
+            base_ms = none["rebuild"]["duration_ms"]
+            adapt_ms = adapt["rebuild"]["duration_ms"]
+            adaptive[layout] = {
+                "none_rebuild_ms": base_ms,
+                "adaptive_rebuild_ms": adapt_ms,
+                "rebuild_inflation": (
+                    adapt_ms / base_ms
+                    if base_ms and adapt_ms is not None
+                    else None
+                ),
+                "none_p99_violated": none["slo"]["p99_violated"],
+                "adaptive_p99_violated": adapt["slo"]["p99_violated"],
+                "none_violation_ms": none["slo"]["time_in_violation_ms"],
+                "adaptive_violation_ms": adapt["slo"][
+                    "time_in_violation_ms"
+                ],
+                "backoffs": adapt["adaptive"]["backoffs"],
+                "sprints": adapt["adaptive"]["sprints"],
+            }
+    summary = {
+        "trials": len(records),
+        "truncated_trials": sum(1 for r in records if r["truncated"]),
+        "slo_violated_trials": sum(
+            1 for r in records if r["slo_violated"]
+        ),
+        "hedging": hedging,
+        "adaptive": adaptive,
+    }
+    io_recovery = aggregate_io_recovery(records)
+    if io_recovery is not None:
+        summary["io_recovery"] = io_recovery
+    return summary

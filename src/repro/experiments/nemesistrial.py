@@ -49,6 +49,8 @@ from repro.experiments.config import (
     PAPER_STRIPE_UNIT_KB,
     layout_for,
 )
+from repro.experiments.iorecovery import aggregate_io_recovery
+from repro.faults.failslow import FailSlowModel
 from repro.faults.lifecycle import ArrayLifecycle
 from repro.faults.media import MediaErrorMap
 from repro.faults.nemesis import ActiveFaultTracker, NemesisSchedule
@@ -158,6 +160,7 @@ def run_nemesis_trial(
     state: dict = {
         "cohort": 0,
         "storms": 0,
+        "failslow": 0,
         "crashes": [],
         "resyncs": [],
         "failure_tokens": [],
@@ -466,12 +469,43 @@ def run_nemesis_trial(
 
         engine.schedule(restart_delay_ms, restart)
 
+    def apply_failslow(event) -> None:
+        if controller.mode is ArrayMode.DATA_LOSS:
+            log_skipped(event, "data-loss")
+            return
+        if controller.servers[event.disk].failed:
+            log_skipped(event, "disk-failed")
+            return
+        drive = controller.servers[event.disk].drive
+        if drive.fail_slow is not None:
+            log_skipped(event, "failslow-active")
+            return
+        log_applied(event)
+        state["failslow"] += 1
+        # Constant profile from now; the heal timer detaches the model
+        # (and survives a crash's clear_pending via the registry).
+        drive.fail_slow = FailSlowModel(
+            event.multiplier, onset_ms=engine.now
+        )
+        token = tracker.begin(
+            "failslow",
+            engine.now,
+            detail=f"disk {event.disk} x{event.multiplier:g}",
+        )
+
+        def heal_failslow() -> None:
+            drive.fail_slow = None
+            tracker.heal(token, engine.now)
+
+        schedule_heal(event.time_ms + event.duration_ms, heal_failslow)
+
     _APPLIERS = {
         "disk-failure": apply_disk_failure,
         "crash": apply_crash,
         "lse-burst": apply_lse_burst,
         "transient-storm": apply_storm,
         "scrub-off": apply_scrub_off,
+        "failslow": apply_failslow,
     }
 
     # ------------------------------------------------------------------
@@ -561,6 +595,8 @@ def run_nemesis_trial(
     }
     if transient_io_rate > 0 or state["storms"] > 0:
         record["io_recovery"] = controller.io_stats.to_dict()
+    if state["failslow"] > 0:
+        record["failslow_windows"] = state["failslow"]
     return record
 
 
@@ -592,6 +628,8 @@ def nemesis_specs(
     max_samples: int = 240,
     transient_io_rate: float = 0.0,
     lse_per_gb: float = 0.0,
+    max_failslow: int = 0,
+    failslow_multiplier: float = 5.0,
 ):
     """One :class:`~repro.runner.spec.NemesisTrialSpec` per trial.
 
@@ -633,6 +671,8 @@ def nemesis_specs(
             max_samples=max_samples,
             transient_io_rate=transient_io_rate,
             lse_per_gb=lse_per_gb,
+            max_failslow=max_failslow,
+            failslow_multiplier=failslow_multiplier,
         )
         for trial in range(start, start + trials)
     ]
@@ -664,7 +704,7 @@ def summarize_nemesis(records: List[dict]) -> dict:
         for resync in record["resyncs"]:
             if resync["duration_ms"] is not None:
                 resync_times.append(resync["duration_ms"])
-    return {
+    summary = {
         "trials": len(records),
         "survived": outcomes["survived"],
         "data_loss": outcomes["data_loss"],
@@ -693,3 +733,7 @@ def summarize_nemesis(records: List[dict]) -> dict:
         "lost_units_total": sum(r["lost_units"] for r in records),
         "samples_total": sum(r["samples"] for r in records),
     }
+    io_recovery = aggregate_io_recovery(records)
+    if io_recovery is not None:
+        summary["io_recovery"] = io_recovery
+    return summary

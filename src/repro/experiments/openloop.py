@@ -35,6 +35,7 @@ from repro.experiments.config import (
     PAPER_STRIPE_UNIT_KB,
     layout_for,
 )
+from repro.experiments.iorecovery import aggregate_io_recovery
 from repro.faults.lifecycle import ArrayLifecycle
 from repro.faults.scenario import FaultScenario
 from repro.sim.engine import make_engine
@@ -390,7 +391,7 @@ def summarize_openloop(records: List[dict]) -> dict:
                         "rebuild_slo_violated": rebuild["slo_violated"],
                     }
                 )
-    return {
+    summary = {
         "trials": len(records),
         "overloaded_trials": sum(1 for r in records if r["overloaded"]),
         "slo_violated_trials": sum(
@@ -401,3 +402,7 @@ def summarize_openloop(records: List[dict]) -> dict:
         "knees": knees,
         "divergence": divergence,
     }
+    io_recovery = aggregate_io_recovery(records)
+    if io_recovery is not None:
+        summary["io_recovery"] = io_recovery
+    return summary

@@ -23,6 +23,7 @@ rebuild.
 """
 
 from repro.faults.crash import CrashInjector
+from repro.faults.failslow import FailSlowModel
 from repro.faults.injector import FaultInjector
 from repro.faults.lifecycle import ArrayLifecycle
 from repro.faults.media import MediaErrorMap
@@ -46,6 +47,7 @@ __all__ = [
     "ArrayLifecycle",
     "CrashInjector",
     "FAULT_SCENARIO_VERSION",
+    "FailSlowModel",
     "FaultInjector",
     "FaultScenario",
     "IntegrityOracle",

@@ -74,6 +74,7 @@ class ArrayLifecycle:
         on_rebuild_step: Optional[Callable[[Reconstructor], None]] = None,
         media: Optional[MediaErrorMap] = None,
         on_data_loss: Optional[Callable[[str, float], None]] = None,
+        adaptive_throttle=None,
     ):
         if controller.mode is not ArrayMode.FAULT_FREE:
             raise SimulationError(
@@ -86,6 +87,10 @@ class ArrayLifecycle:
         self.on_rebuild_step = on_rebuild_step
         self.media = media
         self.on_data_loss = on_data_loss
+        #: Optional :class:`~repro.array.reconstructor.AdaptiveThrottle`
+        #: threaded into every rebuild sweep this lifecycle starts; None
+        #: keeps the scenario's static ``rebuild_throttle_ms``.
+        self.adaptive_throttle = adaptive_throttle
         self.injector: Optional[FaultInjector] = None
         self.reconstructor: Optional[Reconstructor] = None
         self.transitions: List[Transition] = [
@@ -192,6 +197,7 @@ class ArrayLifecycle:
             media=self.media,
             on_unreadable=self._on_unreadable,
             already_rebuilt=frontier,
+            adaptive_throttle=self.adaptive_throttle,
         )
         self.reconstructor = recon
         if carried:
@@ -325,6 +331,7 @@ class ArrayLifecycle:
             allow_replacement=True,
             media=self.media,
             on_unreadable=self._on_unreadable,
+            adaptive_throttle=self.adaptive_throttle,
         )
         self.reconstructor = recon
         if self._pending_steps:

@@ -44,11 +44,12 @@ EVENT_KINDS = (
     "lse-burst",
     "transient-storm",
     "scrub-off",
+    "failslow",
 )
 
 #: Kinds that occupy a window (carry ``duration_ms``); the rest are
 #: instantaneous (a crash *begins* a fault that heals at resync time).
-_WINDOW_KINDS = ("transient-storm", "scrub-off")
+_WINDOW_KINDS = ("transient-storm", "scrub-off", "failslow")
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,9 @@ class NemesisEvent:
     - ``lse-burst``: ``cells`` — ``((disk, offset), ...)``
     - ``transient-storm``: ``rate`` and ``duration_ms``
     - ``scrub-off``: ``duration_ms``
+    - ``failslow``: ``disk``, ``multiplier`` and ``duration_ms`` (a
+      gray failure: the disk serves every request at ``multiplier``
+      times its healthy service time for the window, then heals)
     """
 
     time_ms: float
@@ -70,6 +74,7 @@ class NemesisEvent:
     cells: Optional[Tuple[Tuple[int, int], ...]] = None
     rate: Optional[float] = None
     duration_ms: Optional[float] = None
+    multiplier: Optional[float] = None
 
     def to_dict(self) -> dict:
         data: dict = {"time_ms": self.time_ms, "kind": self.kind}
@@ -81,6 +86,8 @@ class NemesisEvent:
             data["rate"] = self.rate
         if self.duration_ms is not None:
             data["duration_ms"] = self.duration_ms
+        if self.multiplier is not None:
+            data["multiplier"] = self.multiplier
         return data
 
     @classmethod
@@ -97,6 +104,7 @@ class NemesisEvent:
             ),
             rate=data.get("rate"),
             duration_ms=data.get("duration_ms"),
+            multiplier=data.get("multiplier"),
         )
 
 
@@ -133,14 +141,19 @@ class NemesisSchedule:
         max_scrub_windows: int = 1,
         storm_rate: float = 0.02,
         min_crash_gap_ms: float = 500.0,
+        max_failslow: int = 0,
+        failslow_multiplier: float = 5.0,
     ) -> "NemesisSchedule":
         """Draw a legal schedule from a named stream of ``seed``.
 
         Always includes at least one disk failure (a nemesis trial with
         no failure tests nothing); every other fault class draws a count
         from zero up to its cap.  Draw order is fixed — failures,
-        crashes, bursts, storms, scrub windows — so a seed replays the
-        identical schedule regardless of caller.
+        crashes, bursts, storms, scrub windows, fail-slow windows — so a
+        seed replays the identical schedule regardless of caller.  The
+        fail-slow draw block is skipped entirely at the default
+        ``max_failslow=0`` (not even a zero-count draw), so schedules
+        drawn before the kind existed replay byte-identically.
         """
         if n_disks < 2 or rows < 1:
             raise ConfigurationError("need >= 2 disks and >= 1 row")
@@ -225,6 +238,29 @@ class NemesisSchedule:
                     )
                 )
 
+        if max_failslow > 0:
+            if failslow_multiplier <= 1.0:
+                raise ConfigurationError(
+                    f"fail-slow multiplier {failslow_multiplier} must"
+                    f" exceed 1.0"
+                )
+            # One window per drawn disk: a spindle degrades once per
+            # trial, which keeps per-disk overlap impossible by
+            # construction.
+            n_slow = rng.randint(0, min(max_failslow, n_disks))
+            for disk in rng.sample(range(n_disks), n_slow):
+                start = rng.uniform(0.05, 0.5) * horizon_ms
+                duration = rng.uniform(0.2, 0.4) * horizon_ms
+                events.append(
+                    NemesisEvent(
+                        time_ms=start,
+                        kind="failslow",
+                        disk=disk,
+                        duration_ms=duration,
+                        multiplier=failslow_multiplier,
+                    )
+                )
+
         schedule = cls(
             events=tuple(
                 sorted(events, key=lambda e: (e.time_ms, e.kind))
@@ -263,6 +299,7 @@ class NemesisSchedule:
         last_crash: Optional[float] = None
         storm_end = -1.0
         scrub_end = -1.0
+        failslow_end: Dict[int, float] = {}
         last_time = 0.0
         for event in self.events:
             if event.kind not in EVENT_KINDS:
@@ -331,6 +368,25 @@ class NemesisSchedule:
                         "overlapping scrub-off windows"
                     )
                 scrub_end = event.time_ms + event.duration_ms
+            elif event.kind == "failslow":
+                if event.disk is None or not 0 <= event.disk < n_disks:
+                    raise ConfigurationError(
+                        f"fail-slow disk {event.disk} outside"
+                        f" [0, {n_disks})"
+                    )
+                if event.multiplier is None or event.multiplier <= 1.0:
+                    raise ConfigurationError(
+                        f"fail-slow multiplier {event.multiplier} must"
+                        f" exceed 1.0"
+                    )
+                if event.time_ms < failslow_end.get(event.disk, -1.0):
+                    raise ConfigurationError(
+                        f"overlapping fail-slow windows on disk"
+                        f" {event.disk}"
+                    )
+                failslow_end[event.disk] = (
+                    event.time_ms + event.duration_ms
+                )
 
     def to_dict(self) -> dict:
         data: dict = {

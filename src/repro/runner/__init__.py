@@ -40,6 +40,7 @@ from repro.runner.parallel import ParallelRunner, RunReport, default_workers
 from repro.runner.spec import (
     CampaignTrialSpec,
     ExperimentSpec,
+    FailSlowTrialSpec,
     LifecycleSpec,
     NemesisTrialSpec,
     OpenLoopSpec,
@@ -54,6 +55,7 @@ from repro.runner.workers import run_hardened
 __all__ = [
     "CampaignTrialSpec",
     "ExperimentSpec",
+    "FailSlowTrialSpec",
     "LifecycleSpec",
     "NemesisTrialSpec",
     "OpenLoopSpec",

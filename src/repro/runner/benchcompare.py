@@ -36,6 +36,7 @@ from repro.errors import RunnerError
 KNOWN_BENCHES = (
     "campaign",
     "crash",
+    "failslow",
     "hotpath",
     "lifecycle",
     "nemesis",
@@ -231,6 +232,64 @@ def _check_traffic(report: dict, problems: List[str]) -> None:
                 problems.append(f"{label}: tail percentiles out of order")
 
 
+def _check_failslow(report: dict, problems: List[str]) -> None:
+    provenance = report.get("provenance")
+    if provenance is None:
+        problems.append("failslow report lacks a provenance block")
+    elif "sweep_hash" not in provenance:
+        problems.append("provenance block lacks sweep_hash")
+    summary = report["summary"]
+    trials = report["trials"]
+    if summary["trials"] != len(trials):
+        problems.append(
+            f"summary says {summary['trials']} trials but"
+            f" {len(trials)} are recorded"
+        )
+    for trial in trials:
+        label = f"{trial['layout']}/{trial['defense']}"
+        if trial["completed"] + trial["shed"] != trial["offered"]:
+            problems.append(
+                f"{label}: completed {trial['completed']} + shed"
+                f" {trial['shed']} != offered {trial['offered']}"
+            )
+        tail = trial["tail"]
+        if tail["count"]:
+            ordered = (
+                tail["p50_ms"]
+                <= tail["p99_ms"]
+                <= tail["p999_ms"]
+                <= tail["max_ms"] * 1.05  # bucketed p999 vs exact max
+            )
+            if not ordered:
+                problems.append(f"{label}: tail percentiles out of order")
+        hedging = trial.get("hedging")
+        if trial["defense"] in ("hedge", "both"):
+            if hedging is None:
+                problems.append(f"{label}: hedging defense lacks counters")
+            elif hedging["won"] + hedging["lost"] > hedging["launched"]:
+                problems.append(
+                    f"{label}: hedge wins {hedging['won']} + losses"
+                    f" {hedging['lost']} exceed launches"
+                    f" {hedging['launched']}"
+                )
+        elif hedging is not None:
+            problems.append(
+                f"{label}: hedge counters on a non-hedging defense"
+            )
+    for layout, entry in summary.get("hedging", {}).items():
+        launched, won = entry["launched"], entry["won"]
+        if won > launched:
+            problems.append(
+                f"summary.hedging.{layout}: {won} wins from"
+                f" {launched} launches"
+            )
+        rate = entry["win_rate"]
+        if launched and (rate is None or not 0.0 <= rate <= 1.0):
+            problems.append(
+                f"summary.hedging.{layout}: win rate {rate} outside [0, 1]"
+            )
+
+
 _CHECKERS = {
     "campaign": _check_campaign,
     "crash": _check_crash,
@@ -238,6 +297,7 @@ _CHECKERS = {
     "hotpath": _check_hotpath,
     "lifecycle": _check_lifecycle,
     "traffic": _check_traffic,
+    "failslow": _check_failslow,
 }
 
 
@@ -357,7 +417,7 @@ def compare_reports(baseline: dict, candidate: dict) -> List[str]:
             "configs differ — these reports measured different sweeps"
         )
         return regressions
-    if kind in ("campaign", "crash", "nemesis", "traffic"):
+    if kind in ("campaign", "crash", "nemesis", "traffic", "failslow"):
         _summary_shifts(baseline, candidate, regressions)
         if baseline["trials"] != candidate["trials"]:
             diffs = diff_reports(

@@ -18,6 +18,7 @@ from repro.runner.spec import (
     CampaignTrialSpec,
     CrashTrialSpec,
     ExperimentSpec,
+    FailSlowTrialSpec,
     LifecycleSpec,
     NemesisTrialSpec,
     OpenLoopSpec,
@@ -260,6 +261,39 @@ def _execute_openloop(spec: OpenLoopSpec, layout=None) -> dict:
     }
 
 
+def _execute_failslow(spec: FailSlowTrialSpec, layout=None) -> dict:
+    from repro.experiments.failslow import run_failslow_trial
+
+    return {
+        "failslow": run_failslow_trial(
+            spec.layout,
+            spec.rate_per_s,
+            layout=layout,
+            defense=spec.defense,
+            arrivals=spec.arrivals,
+            seed=spec.seed,
+            size_kb=spec.size_kb,
+            disks=spec.disks,
+            width=spec.width,
+            failed_disk=spec.failed_disk,
+            slow_disk=spec.slow_disk,
+            slow_multiplier=spec.slow_multiplier,
+            degraded_dwell_ms=spec.degraded_dwell_ms,
+            rebuild_rows=spec.rebuild_rows,
+            rebuild_parallel=spec.rebuild_parallel,
+            rebuild_throttle_ms=spec.rebuild_throttle_ms,
+            hedge_deferral_ms=spec.hedge_deferral_ms,
+            adaptive_max_ms=spec.adaptive_max_ms,
+            queue_depth=spec.queue_depth,
+            service_slots=spec.service_slots,
+            slo_p99_ms=spec.slo_p99_ms,
+            slo_p999_ms=spec.slo_p999_ms,
+            window_ms=spec.window_ms,
+            horizon_ms=spec.horizon_ms,
+        )
+    }
+
+
 _EXECUTORS = {
     ExperimentSpec.kind: _execute_response,
     Table1Spec.kind: _execute_table1,
@@ -268,6 +302,7 @@ _EXECUTORS = {
     CrashTrialSpec.kind: _execute_crash_trial,
     NemesisTrialSpec.kind: _execute_nemesis_trial,
     OpenLoopSpec.kind: _execute_openloop,
+    FailSlowTrialSpec.kind: _execute_failslow,
 }
 
 
@@ -316,6 +351,7 @@ class BatchedTrialExecutor:
             CrashTrialSpec.kind,
             NemesisTrialSpec.kind,
             OpenLoopSpec.kind,
+            FailSlowTrialSpec.kind,
         }
     )
 
@@ -353,8 +389,10 @@ class BatchedTrialExecutor:
             record = _execute_crash_trial(spec, layout=layout)
         elif kind == NemesisTrialSpec.kind:
             record = _execute_nemesis_trial(spec, layout=layout)
-        else:
+        elif kind == OpenLoopSpec.kind:
             record = _execute_openloop(spec, layout=layout)
+        else:
+            record = _execute_failslow(spec, layout=layout)
         self.trials_executed += 1
         return _finalize(record, spec)
 

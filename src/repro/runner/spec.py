@@ -29,7 +29,12 @@ SPEC_SCHEMA_VERSION = 1
 _V1_SPEC_OPTIONAL = {
     "lifecycle": {"oracle": False},
     "campaign-trial": {"oracle": False, "transient_io_rate": 0.0},
-    "nemesis-trial": {"transient_io_rate": 0.0, "lse_per_gb": 0.0},
+    "nemesis-trial": {
+        "transient_io_rate": 0.0,
+        "lse_per_gb": 0.0,
+        "max_failslow": 0,
+        "failslow_multiplier": 5.0,
+    },
 }
 
 #: Canonical short names for the array modes (CLI and spec encoding).
@@ -378,9 +383,12 @@ class NemesisTrialSpec:
     restart_delay_ms: float = 10.0
     max_samples: int = 240
     # Post-v1 (hash-omitted at defaults, see _V1_SPEC_OPTIONAL):
-    # ambient transient errors and up-front seeded latent sector errors.
+    # ambient transient errors, up-front seeded latent sector errors,
+    # and fail-slow (gray failure) windows in the drawn schedule.
     transient_io_rate: float = 0.0
     lse_per_gb: float = 0.0
+    max_failslow: int = 0
+    failslow_multiplier: float = 5.0
 
     def __post_init__(self):
         if self.trial < 0:
@@ -416,6 +424,8 @@ class NemesisTrialSpec:
             max_storms=self.max_storms,
             max_scrub_windows=self.max_scrub_windows,
             storm_rate=self.storm_rate,
+            max_failslow=self.max_failslow,
+            failslow_multiplier=self.failslow_multiplier,
         )
 
 
@@ -509,6 +519,111 @@ class OpenLoopSpec:
         SloPolicy(p99_ms=self.slo_p99_ms, p999_ms=self.slo_p999_ms)
 
 
+@dataclass(frozen=True)
+class FailSlowTrialSpec:
+    """One fail-slow defense trial (``repro failslow``).
+
+    Open-loop Poisson traffic hits an array that is rebuilding one
+    failed disk while a *different* disk serves every operation
+    ``slow_multiplier`` x slower (the gray failure).  ``defense``
+    switches the tail-tolerance mechanisms: ``none``, ``hedge`` (hedged
+    degraded-reads plus the slow-disk detector), ``adaptive``
+    (SLO-feedback AIMD rebuild throttling), or ``both``.  Whole-new
+    kind, so no ``_V1_SPEC_OPTIONAL`` entry is needed: there are no
+    pre-existing hashes to preserve.
+
+    >>> spec = FailSlowTrialSpec(layout="pddl", defense="hedge")
+    >>> spec_hash(spec) == spec_hash(FailSlowTrialSpec(layout="pddl",
+    ...                                                defense="hedge"))
+    True
+    """
+
+    kind: ClassVar[str] = "failslow"
+
+    layout: str
+    defense: str = "none"
+    rate_per_s: float = 40.0
+    arrivals: int = 1000
+    seed: int = 2
+    disks: int = 13
+    width: Optional[int] = None
+    size_kb: int = 8
+    # The gray failure and the scripted fault.
+    failed_disk: int = 0
+    slow_disk: int = 1
+    slow_multiplier: float = 5.0
+    degraded_dwell_ms: float = 40.0
+    # Rebuild pacing (the static baseline the AIMD throttle replaces).
+    rebuild_rows: Optional[int] = 300
+    rebuild_parallel: int = 4
+    rebuild_throttle_ms: float = 16.0
+    # Defense knobs.
+    hedge_deferral_ms: float = 30.0
+    adaptive_max_ms: float = 512.0
+    # Admission and SLO accounting.
+    queue_depth: int = 64
+    service_slots: int = 12
+    slo_p99_ms: float = 250.0
+    slo_p999_ms: float = 1500.0
+    window_ms: float = 100.0
+    horizon_ms: float = 120000.0
+
+    def __post_init__(self):
+        # Exercise the defense/policy constructors now so bad specs
+        # fail at construction, not mid-sweep in a worker.
+        from repro.array.controller import HedgePolicy
+        from repro.experiments.failslow import DEFENSES
+        from repro.traffic.sla import SloPolicy
+
+        if self.defense not in DEFENSES:
+            raise ConfigurationError(
+                f"defense must be one of {DEFENSES},"
+                f" got {self.defense!r}"
+            )
+        if self.rate_per_s <= 0:
+            raise ConfigurationError(
+                f"arrival rate must be positive, got {self.rate_per_s}"
+            )
+        if self.arrivals < 1:
+            raise ConfigurationError(
+                f"need >= 1 arrival, got {self.arrivals}"
+            )
+        if not 0 <= self.failed_disk < self.disks:
+            raise ConfigurationError(
+                f"bad failed disk {self.failed_disk}"
+            )
+        if not 0 <= self.slow_disk < self.disks:
+            raise ConfigurationError(f"bad slow disk {self.slow_disk}")
+        if self.slow_disk == self.failed_disk:
+            raise ConfigurationError(
+                "the fail-slow disk must differ from the failed disk,"
+                f" both are {self.slow_disk}"
+            )
+        if self.slow_multiplier <= 1.0:
+            raise ConfigurationError(
+                f"fail-slow multiplier must exceed 1.0,"
+                f" got {self.slow_multiplier}"
+            )
+        if self.rebuild_parallel < 1:
+            raise ConfigurationError(
+                f"need >= 1 rebuild slot, got {self.rebuild_parallel}"
+            )
+        if self.rebuild_throttle_ms < 0 or self.adaptive_max_ms < 0:
+            raise ConfigurationError("throttle gaps must be >= 0")
+        if self.queue_depth < 1 or self.service_slots < 1:
+            raise ConfigurationError("need positive queue geometry")
+        if self.window_ms <= 0:
+            raise ConfigurationError(
+                f"window must be positive, got {self.window_ms}"
+            )
+        if self.horizon_ms <= 0:
+            raise ConfigurationError(
+                f"horizon must be positive, got {self.horizon_ms}"
+            )
+        SloPolicy(p99_ms=self.slo_p99_ms, p999_ms=self.slo_p999_ms)
+        HedgePolicy(deferral_ms=self.hedge_deferral_ms)
+
+
 Spec = Union[
     ExperimentSpec,
     Table1Spec,
@@ -517,6 +632,7 @@ Spec = Union[
     CrashTrialSpec,
     NemesisTrialSpec,
     OpenLoopSpec,
+    FailSlowTrialSpec,
 ]
 
 _SPEC_TYPES = {
@@ -529,6 +645,7 @@ _SPEC_TYPES = {
         CrashTrialSpec,
         NemesisTrialSpec,
         OpenLoopSpec,
+        FailSlowTrialSpec,
     )
 }
 

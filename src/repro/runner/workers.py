@@ -40,6 +40,7 @@ import time
 from multiprocessing.connection import wait as connection_wait
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.backoff import capped_exponential
 from repro.errors import ReproError, RunnerError
 from repro.runner.execute import BatchedTrialExecutor
 from repro.runner.spec import Spec
@@ -196,7 +197,7 @@ def run_hardened(
                 f"spec {index} ({specs[index]!r}) failed {attempt}x,"
                 f" retry budget {retries} exhausted; last failure: {why}"
             )
-        delay = min(backoff_base_s * (2 ** (attempt - 1)), backoff_cap_s)
+        delay = capped_exponential(attempt, backoff_base_s, backoff_cap_s)
         heapq.heappush(retry_heap, (time.monotonic() + delay, index))
 
     try:

@@ -67,6 +67,33 @@ class SlaTracker:
         if response_ms > self.policy.p99_ms:
             window[1] += 1
 
+    def recent_over_fraction(
+        self, now_ms: float, windows: int = 1
+    ) -> "float | None":
+        """Fraction of responses over the p99 ceiling in the last
+        ``windows`` *closed* windows before ``now_ms``.
+
+        The feedback signal for adaptive rebuild throttling: ``None``
+        when those windows saw no completions (idle foreground), else
+        ``over / total`` — compare against 0.01 to ask "was the p99
+        promise locally broken?".
+        """
+        if windows < 1:
+            raise ConfigurationError(
+                f"need at least one window, got {windows}"
+            )
+        current = int(now_ms // self.window_ms)
+        total = 0
+        over = 0
+        for index in range(current - windows, current):
+            entry = self._windows.get(index)
+            if entry is not None:
+                total += entry[0]
+                over += entry[1]
+        if total == 0:
+            return None
+        return over / total
+
     def report(self) -> dict:
         tail = self.histogram.describe()
         violating = sum(

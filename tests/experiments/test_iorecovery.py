@@ -1,0 +1,56 @@
+"""Aggregation of per-trial I/O-recovery counters."""
+
+from repro.experiments.iorecovery import (
+    aggregate_io_recovery,
+    trial_io_recovery,
+)
+
+
+class TestTrialLookup:
+    def test_top_level_block_wins(self):
+        record = {"io_recovery": {"retries": 3}}
+        assert trial_io_recovery(record) == {"retries": 3}
+
+    def test_instrumentation_fallback(self):
+        record = {"instrumentation": {"io_recovery": {"retries": 1}}}
+        assert trial_io_recovery(record) == {"retries": 1}
+
+    def test_absent(self):
+        assert trial_io_recovery({}) is None
+        assert trial_io_recovery({"instrumentation": {}}) is None
+
+
+class TestAggregate:
+    def test_no_reporting_trials_yield_none(self):
+        # Summaries must omit the block entirely, not zero-fill it:
+        # committed baselines predating the machinery stay byte-stable.
+        assert aggregate_io_recovery([{}, {"instrumentation": {}}]) is None
+
+    def test_sums_across_trials_and_counts_reporters(self):
+        records = [
+            {"io_recovery": {"retries": 2, "escalated_reads": 1}},
+            {},
+            {
+                "instrumentation": {
+                    "io_recovery": {
+                        "retries": 3,
+                        "hedges_launched": 5,
+                        "hedges_won": 4,
+                    }
+                }
+            },
+        ]
+        totals = aggregate_io_recovery(records)
+        assert totals == {
+            "trials_reporting": 2,
+            "escalated_reads": 1,
+            "hedges_launched": 5,
+            "hedges_won": 4,
+            "retries": 5,
+        }
+
+    def test_key_union_keeps_hedge_counters_optional(self):
+        totals = aggregate_io_recovery(
+            [{"io_recovery": {"retries": 1}}]
+        )
+        assert "hedges_launched" not in totals

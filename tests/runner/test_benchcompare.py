@@ -290,6 +290,127 @@ class TestRunCompare:
         assert any("classification" in p for p in problems)
 
 
+def failslow_report():
+    tail = {
+        "count": 100,
+        "p50_ms": 10.0,
+        "p99_ms": 50.0,
+        "p999_ms": 80.0,
+        "max_ms": 90.0,
+    }
+    return {
+        "bench": "failslow",
+        "provenance": {
+            "source_version": "abc1234",
+            "spec_schema": 1,
+            "spec_count": 2,
+            "sweep_hash": "f" * 64,
+        },
+        "config": {"layouts": ["pddl"], "seed": 0},
+        "summary": {
+            "trials": 2,
+            "truncated_trials": 0,
+            "slo_violated_trials": 1,
+            "hedging": {
+                "pddl": {
+                    "none_p999_ms": 80.0,
+                    "hedge_p999_ms": 40.0,
+                    "launched": 10,
+                    "won": 6,
+                    "win_rate": 0.6,
+                    "quarantines": 1,
+                }
+            },
+            "adaptive": {},
+        },
+        "trials": [
+            {
+                "layout": "pddl",
+                "defense": "none",
+                "offered": 100,
+                "completed": 100,
+                "shed": 0,
+                "tail": dict(tail),
+            },
+            {
+                "layout": "pddl",
+                "defense": "hedge",
+                "offered": 100,
+                "completed": 98,
+                "shed": 2,
+                "tail": dict(tail),
+                "hedging": {"launched": 10, "won": 6, "lost": 4,
+                            "aborts": 1},
+            },
+        ],
+    }
+
+
+class TestFailslowInvariants:
+    def test_healthy_report_passes(self):
+        assert check_invariants(failslow_report()) == []
+
+    def test_missing_provenance_flagged(self):
+        report = failslow_report()
+        del report["provenance"]
+        assert any(
+            "provenance" in p for p in check_invariants(report)
+        )
+
+    def test_missing_provenance_names_the_file(self, tmp_path):
+        report = failslow_report()
+        del report["provenance"]
+        path = tmp_path / "BENCH_failslow.json"
+        path.write_text(json.dumps(report))
+        problems = run_compare([str(path)])
+        assert problems
+        assert all(str(path) in p for p in problems)
+
+    def test_hedge_wins_cannot_exceed_launches(self):
+        report = failslow_report()
+        report["trials"][1]["hedging"]["won"] = 20
+        problems = check_invariants(report)
+        assert any("exceed launches" in p for p in problems)
+        assert any("wins" in p for p in problems)
+
+    def test_hedging_defense_requires_counters(self):
+        report = failslow_report()
+        del report["trials"][1]["hedging"]
+        assert any(
+            "lacks counters" in p for p in check_invariants(report)
+        )
+
+    def test_counters_on_undefended_trial_flagged(self):
+        report = failslow_report()
+        report["trials"][0]["hedging"] = {
+            "launched": 1, "won": 1, "lost": 0, "aborts": 0
+        }
+        assert any(
+            "non-hedging" in p for p in check_invariants(report)
+        )
+
+    def test_summary_win_rate_consistency(self):
+        report = failslow_report()
+        report["summary"]["hedging"]["pddl"]["won"] = 99
+        assert any(
+            "summary.hedging" in p for p in check_invariants(report)
+        )
+
+    def test_accounting_mismatch_flagged(self):
+        report = failslow_report()
+        report["trials"][0]["completed"] = 90
+        assert any("offered" in p for p in check_invariants(report))
+
+    def test_summary_level_shift_detected(self):
+        baseline = failslow_report()
+        candidate = failslow_report()
+        candidate["summary"]["slo_violated_trials"] = 2
+        candidate["trials"][0]["tail"]["p99_ms"] = 60.0
+        problems = compare_reports(baseline, candidate)
+        assert any("slo_violated_trials" in p for p in problems)
+        assert any("p99_ms" in p for p in problems)
+
+
 class TestCommittedBaselines:
     """Every committed BENCH_*.json must pass its own invariant check."""
 

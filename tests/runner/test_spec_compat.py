@@ -10,6 +10,7 @@ the hash it had before the feature existed.
 from repro.runner.spec import (
     CampaignTrialSpec,
     CrashTrialSpec,
+    FailSlowTrialSpec,
     LifecycleSpec,
     NemesisTrialSpec,
     OpenLoopSpec,
@@ -34,6 +35,9 @@ PINNED_NEMESIS = (
 )
 PINNED_OPENLOOP = (
     "75165b82d6671348fd321254280bfb7de1e00f55b559f71c4afbdd379fed60af"
+)
+PINNED_FAILSLOW = (
+    "c051e0ac80debdaf417603a9d15586f2de932cc37bb2764ba9140386e3400b2c"
 )
 
 
@@ -101,6 +105,21 @@ class TestInactiveDefaultsKeepV1Hashes:
         assert spec_hash(lifecycle()) == PINNED_LIFECYCLE
         assert (
             spec_hash(NemesisTrialSpec(layout="pddl")) == PINNED_NEMESIS
+        )
+
+    def test_failslow_pin(self):
+        """The failslow kind hashes stably (it keys
+        BENCH_failslow.json's result-cache entries) and leaves every
+        other pin alone."""
+        assert (
+            spec_hash(FailSlowTrialSpec(layout="pddl", defense="hedge"))
+            == PINNED_FAILSLOW
+        )
+        assert spec_hash(lifecycle()) == PINNED_LIFECYCLE
+        assert spec_hash(campaign()) == PINNED_CAMPAIGN
+        assert (
+            spec_hash(OpenLoopSpec(layout="pddl", rate_per_s=450.0))
+            == PINNED_OPENLOOP
         )
 
 

@@ -11,7 +11,7 @@ from repro.cli import build_parser, main
 ALL_COMMANDS = [
     "goals", "figure3", "response", "seeks", "table1", "table3", "plan",
     "bench", "lifecycle", "campaign", "crash", "nemesis", "traffic",
-    "profile",
+    "failslow", "profile",
 ]
 
 
@@ -55,8 +55,12 @@ class TestUnwritableOut:
             ["crash", "--quick", "--no-cache", "--workers", "1"],
             ["nemesis", "--trial", "0", "--no-cache", "--workers", "1"],
             ["traffic", "--quick", "--no-cache", "--workers", "1"],
+            ["failslow", "--quick", "--no-cache", "--workers", "1"],
         ],
-        ids=["lifecycle", "campaign", "crash", "nemesis", "traffic"],
+        ids=[
+            "lifecycle", "campaign", "crash", "nemesis", "traffic",
+            "failslow",
+        ],
     )
     def test_out_through_regular_file(self, args, tmp_path, capsys):
         blocker = tmp_path / "blocker"
@@ -361,6 +365,49 @@ class TestTrafficCommand:
         out_file = tmp_path / "BENCH_traffic.json"
         assert main(
             ["traffic", "--quick", "--no-cache", "--workers", "1",
+             "--out", str(out_file)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["bench", "--compare", "--baseline", str(out_file)]
+        ) == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestFailslowCommand:
+    def test_quick_run_then_cache_replay(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_failslow.json"
+        args = [
+            "failslow", "--quick", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out_file),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "8 trials: 8 simulated" in out
+        assert "hedge[pddl]" in out
+        assert "aimd[pddl]" in out
+
+        payload = json.loads(out_file.read_text())
+        assert payload["bench"] == "failslow"
+        assert payload["summary"]["trials"] == 8
+        assert len(payload["trials"]) == 8
+        assert "source_version" in payload["provenance"]
+        for trial in payload["trials"]:
+            assert trial["completed"] + trial["shed"] == trial["offered"]
+            hedged = trial["defense"] in ("hedge", "both")
+            assert (trial["hedging"] is not None) == hedged
+
+        # Replay: every trial from cache, byte-identical.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "8 trials: 0 simulated, 8 from cache" in out
+        assert json.loads(out_file.read_text()) == payload
+
+    def test_report_passes_the_compare_gate(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_failslow.json"
+        assert main(
+            ["failslow", "--quick", "--no-cache", "--workers", "1",
              "--out", str(out_file)]
         ) == 0
         capsys.readouterr()
