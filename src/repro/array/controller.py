@@ -41,6 +41,10 @@ ESCALATION_ID_BASE = 1 << 42
 #: stripe-peer reads racing a slow primary operation (tail tolerance).
 HEDGE_ID_BASE = 1 << 43
 
+#: Access ids at or above this value are end-to-end verification
+#: traffic: write-verify read-backs and their repair rewrites.
+VERIFY_ID_BASE = 1 << 44
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -261,6 +265,35 @@ class IoRecoveryStats:
         return data
 
 
+@dataclass
+class ChecksumStats:
+    """Counters for the end-to-end checksum/write-verify defenses.
+
+    Emitted in :meth:`ArrayController.instrumentation_record` only when
+    checksums or a corruption model are active, so pinned baselines that
+    predate the defenses stay byte-identical.
+    """
+
+    validations: int = 0       # client read requests validated
+    mismatches: int = 0        # corrupt cells caught by checksum/version
+    demotions: int = 0         # client reads demoted to media-error repair
+    repairs: int = 0           # corrupt cells rewritten from redundancy
+    stale_rmw_detected: int = 0  # RMW pre-reads stopped before the delta
+    verify_reads: int = 0      # write-verify read-back operations
+    unrepairable: int = 0      # detected cells with no redundancy left
+
+    def to_dict(self) -> dict:
+        return {
+            "validations": self.validations,
+            "mismatches": self.mismatches,
+            "demotions": self.demotions,
+            "repairs": self.repairs,
+            "stale_rmw_detected": self.stale_rmw_detected,
+            "verify_reads": self.verify_reads,
+            "unrepairable": self.unrepairable,
+        }
+
+
 @dataclass(frozen=True)
 class LogicalAccess:
     """A client request: ``unit_count`` contiguous data units."""
@@ -282,6 +315,8 @@ class _InFlight:
     #: Stripes a write touches — populated only when a journal or oracle
     #: is attached (the plain hot path never computes it).
     stripes: Optional[List[int]] = None
+    #: Write-verify read-back already ran for this write access.
+    verified: bool = False
 
 
 #: Shared single-phase plan stub for the fused fault-free read path in
@@ -550,6 +585,17 @@ class ArrayController:
         self._track_ops = False
         self._hedges: Dict[Tuple[int, DiskRequest], dict] = {}
         self._hedge_counter = 0
+        #: Silent-corruption attachments (default-off like the journal):
+        #: the corruption model injects lost/misdirected writes and bit
+        #: rot; ``checksums`` arms per-stripe-unit checksum+write-version
+        #: validation on every delivered read.
+        self.corruption = None  # CorruptionModel
+        self.checksums = False
+        self.write_verify = False
+        self.checksum_latency_ms = 0.0
+        self.checksum_stats = ChecksumStats()
+        self._verify_ops = 0
+        self._checksum_escalated: set = set()
 
     # ------------------------------------------------------------------
     # Failure control.
@@ -724,6 +770,40 @@ class ArrayController:
         self.oracle = oracle
         return oracle
 
+    def attach_corruption(self, model):
+        """Draw disk-originated silent corruption from ``model``.
+
+        An attached model with all-zero rates draws nothing and keeps
+        results byte-identical (the model's determinism contract).
+        """
+        self.corruption = model
+        return model
+
+    def enable_checksums(
+        self,
+        write_verify: bool = False,
+        metadata_latency_ms: float = 0.0,
+    ) -> None:
+        """Arm per-stripe-unit checksum + write-version validation.
+
+        Every delivered client read is validated against the metadata; a
+        mismatch is demoted to a media error and repaired from the
+        stripe's redundancy before the read completes.  RMW pre-reads
+        get the same validation, which is what blocks parity pollution:
+        stale old-data is caught *before* the old-data/old-parity
+        subtraction.  ``write_verify`` adds a read-back of every written
+        cell before the write acks (charged on the engine clock);
+        ``metadata_latency_ms`` is the per-write metadata-persist cost,
+        charged like the journal's NVRAM append.
+        """
+        if metadata_latency_ms < 0:
+            raise ConfigurationError(
+                f"negative checksum latency {metadata_latency_ms}"
+            )
+        self.checksums = True
+        self.write_verify = write_verify
+        self.checksum_latency_ms = metadata_latency_ms
+
     def set_retry_policy(self, policy: Optional[RetryPolicy]) -> None:
         self.retry_policy = policy
         self._track_deadlines = (
@@ -822,6 +902,7 @@ class ArrayController:
         self._op_attempts.clear()
         self._op_submitted.clear()
         self._hedges.clear()
+        self._checksum_escalated.clear()
         dropped_ops = 0
         for server in self.servers:
             dropped_ops += server.crash_reset()
@@ -1036,16 +1117,22 @@ class ArrayController:
                         rebuilt is not None and rebuilt(addr.offset)
                     ):
                         oracle.check_reconstructed_read(unit)
+        delay = 0.0
         if journal is not None and state.stripes is not None:
             # NVRAM append: the dirty marks land (and cost latency_ms)
             # before the first phase may touch a platter.
             journal.mark(state.stripes)
-            if journal.latency_ms > 0:
-                self.engine.schedule(
-                    journal.latency_ms,
-                    partial(self._launch_journaled, access.access_id),
-                )
-                return
+            delay += journal.latency_ms
+        if access.is_write and self.checksums:
+            # Checksum + write-version metadata persist, charged the
+            # same way as the journal append.
+            delay += self.checksum_latency_ms
+        if delay > 0:
+            self.engine.schedule(
+                delay,
+                partial(self._launch_journaled, access.access_id),
+            )
+            return
         self._launch_phase(state)
 
     def _launch_journaled(self, access_id: int) -> None:
@@ -1366,6 +1453,17 @@ class ArrayController:
                     self.io_stats.hedges_lost += 1
                 else:
                     entry["state"] = "done"
+        if self.corruption is not None:
+            if request.is_write:
+                unit_sectors = self.stripe_unit_sectors
+                self.corruption.note_write(
+                    disk,
+                    request.lba // unit_sectors,
+                    max(1, request.sectors // unit_sectors),
+                    self.engine.now,
+                )
+            elif self._check_read_corruption(disk, request):
+                return  # demoted to a media error; repair redelivers
         tag = request.tag
         if isinstance(tag, tuple) and tag[0] == "raw":
             callback = self._raw_callbacks.pop(tag[1], None)
@@ -1378,6 +1476,105 @@ class ArrayController:
         state.outstanding -= 1
         if state.outstanding == 0:
             self._advance(state)
+
+    def _check_read_corruption(
+        self, disk: int, request: DiskRequest
+    ) -> bool:
+        """Validate one completed read against the corruption map.
+
+        Returns True when the completion is being withheld (the read was
+        demoted to a media error and escalation owns redelivery).  With
+        checksums off, corrupt cells are consumed as good data: each one
+        is a silent-corruption event, and a write's pre-read over stale
+        data additionally poisons the stripe's check cells (the RMW
+        delta is computed from garbage).
+        """
+        corruption = self.corruption
+        unit_sectors = self.stripe_unit_sectors
+        tag = request.tag
+        raw = isinstance(tag, tuple) and tag[0] == "raw"
+        if raw and (not self.checksums or tag[2] == "scrub-read"):
+            # Undefended background traffic: served corruption is only
+            # counted where data reaches a consumer (client deliveries).
+            # Scrub reads are exempt unconditionally — the audit
+            # scrubber owns their accounting and repair.
+            return False
+        checksums = self.checksums
+        first = request.lba // unit_sectors
+        count = max(1, request.sectors // unit_sectors)
+        hits = corruption.corrupt_cells(disk, first, count, self.engine.now)
+        stats = self.checksum_stats
+        if checksums and not raw:
+            stats.validations += 1
+        if not hits:
+            if self._checksum_escalated:
+                self._checksum_escalated.discard((disk, request))
+            return False
+        oracle = self.oracle
+        if not checksums:
+            # No defense: garbage is delivered as good data.
+            for _offset, kind in hits:
+                corruption.note_silent(kind)
+                if oracle is not None:
+                    oracle.note_disk_corruption(kind, detected=False)
+            state = self._in_flight.get(request.access_id)
+            if state is not None and state.access.is_write:
+                self._pollute_parity(disk, [off for off, _ in hits])
+            return False
+        for _offset, kind in hits:
+            stats.mismatches += 1
+            corruption.note_detected(kind)
+            if oracle is not None:
+                oracle.note_disk_corruption(kind, detected=True)
+        if raw:
+            subtag = tag[2]
+            if subtag == "verify-read":
+                # Write-verify caught the mismatch at write time: the
+                # controller still holds the new data, so the repair is
+                # a plain rewrite (no reconstruction needed).
+                for offset, _kind in hits:
+                    self._verify_ops += 1
+                    self.submit_raw(
+                        disk,
+                        offset,
+                        True,
+                        VERIFY_ID_BASE + self._verify_ops,
+                        self._note_checksum_repair,
+                        tag="verify-rewrite",
+                    )
+            return False
+        state = self._in_flight.get(request.access_id)
+        if state is not None and state.access.is_write:
+            # Version cross-check before the old-data/old-parity
+            # subtraction: the RMW delta is never computed from stale
+            # cells (parity-pollution protection).
+            stats.stale_rmw_detected += len(hits)
+        key = (disk, request)
+        if key in self._checksum_escalated:
+            # Escalation already ran and could not repair everything
+            # (no redundancy left): deliver rather than loop.
+            self._checksum_escalated.discard(key)
+            stats.unrepairable += len(hits)
+            return False
+        stats.demotions += 1
+        self._checksum_escalated.add(key)
+        self._escalate_read(disk, request)
+        return True
+
+    def _note_checksum_repair(self) -> None:
+        self.checksum_stats.repairs += 1
+
+    def _pollute_parity(self, disk: int, offsets: List[int]) -> None:
+        """Stale pre-read data reached an RMW delta: the stripes' check
+        cells now hold poisoned parity."""
+        layout = self._plan_layout
+        corruption = self.corruption
+        for offset in offsets:
+            info = layout.locate(disk, offset)
+            if info.role is Role.SPARE:
+                continue
+            for check in layout.stripe_units(info.stripe).check:
+                corruption.pollute(check.disk, check.offset)
 
     def _handle_failed_op(
         self, policy: RetryPolicy, disk: int, request: DiskRequest
@@ -1516,6 +1713,56 @@ class ArrayController:
                     return  # the hook crashed the controller
             self._launch_phase(state)
             return
+        if (
+            self.write_verify
+            and state.access.is_write
+            and not state.verified
+            and self._launch_write_verify(state)
+        ):
+            return
+        self._complete_access(state)
+
+    def _launch_write_verify(self, state: _InFlight) -> bool:
+        """Read back every cell the write touched before acking it.
+
+        The read-backs are charged on the engine clock (the verify cost
+        the bench sweeps quantify); a mismatch found by one is repaired
+        by a plain rewrite in :meth:`_check_read_corruption` — the
+        controller still holds the new data.  Returns False when there
+        is nothing to verify (the access completes normally).
+        """
+        state.verified = True
+        servers = self.servers
+        writes = [
+            op
+            for op in state.plan.phases[-1]
+            if op.is_write and not servers[op.disk].failed
+        ]
+        if not writes:
+            return False
+        stats = self.checksum_stats
+        pending = {"reads": len(writes)}
+        access_id = state.access.access_id
+
+        def read_done() -> None:
+            pending["reads"] -= 1
+            if pending["reads"] == 0 and access_id in self._in_flight:
+                self._complete_access(state)
+
+        for op in writes:
+            stats.verify_reads += 1
+            self._verify_ops += 1
+            self.submit_raw(
+                op.disk,
+                op.offset,
+                False,
+                VERIFY_ID_BASE + self._verify_ops,
+                read_done,
+                tag="verify-read",
+            )
+        return True
+
+    def _complete_access(self, state: _InFlight) -> None:
         del self._in_flight[state.access.access_id]
         if self.journal is not None and state.stripes is not None:
             self.journal.clear(state.stripes)
@@ -1587,6 +1834,13 @@ class ArrayController:
                 "count": self.crashes,
                 "torn_writes": self.torn_writes,
             }
+        if self.checksums or self.corruption is not None:
+            block = {}
+            if self.checksums:
+                block["checksum"] = self.checksum_stats.to_dict()
+            if self.corruption is not None:
+                block["model"] = self.corruption.report()
+            record["corruption"] = block
         return record
 
     def disk_stats(self) -> List[DiskStats]:

@@ -20,6 +20,11 @@ figure of the paper can be regenerated from a shell:
   (see EXPERIMENTS.md "Nemesis campaigns")
 - ``traffic``    — open-loop offered-load sweeps with SLO/overload
   accounting (see EXPERIMENTS.md "Open-loop traffic")
+- ``failslow``   — tail-tolerance defenses under a fail-slow disk
+  mid-rebuild (see EXPERIMENTS.md "Fail-slow trials")
+- ``corruption`` — silent-corruption defense tiers: checksums,
+  write-verify, parity-audit scrub (see EXPERIMENTS.md
+  "Corruption trials")
 - ``profile``    — cProfile one simulation point (hot functions, ev/s)
 
 ``bench --compare`` gates on the committed ``BENCH_*.json`` baselines:
@@ -87,6 +92,29 @@ def _print_io_recovery(summary: dict) -> None:
             f"/{stats['hedges_launched']} won"
         )
     print(line)
+
+
+def _print_scrub(summary: dict) -> None:
+    """Aggregate scrub repair/detection counters, when any trial
+    scrubbed; a second line for the parity-audit counters when any
+    trial audited."""
+    scrub = summary.get("scrub")
+    if not scrub:
+        return
+    print(
+        f"  scrub: {scrub.get('passes_completed', 0)} pass(es),"
+        f" {scrub.get('cells_read', 0)} cells read,"
+        f" {scrub.get('found', 0)} latent error(s) found,"
+        f" {scrub.get('repaired', 0)} repaired"
+        f" ({scrub['trials_reporting']} trial(s) reporting)"
+    )
+    if "stripes_audited" in scrub:
+        print(
+            f"  parity audit: {scrub['stripes_audited']} stripe(s)"
+            f" audited, {scrub.get('audit_mismatches', 0)} mismatch(es),"
+            f" {scrub.get('audit_repairs', 0)} repaired,"
+            f" {scrub.get('audit_unrepairable', 0)} unrepairable"
+        )
 
 
 def _cmd_goals(args: argparse.Namespace) -> int:
@@ -523,6 +551,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f" across {summary['trials']} shadow-verified trials"
         )
     _print_io_recovery(summary)
+    _print_scrub(summary)
     print(
         f"{len(specs)} trials: {report.executed} simulated,"
         f" {report.cache_hits} from cache,"
@@ -806,6 +835,7 @@ def _cmd_nemesis(args: argparse.Namespace) -> int:
             f" {summary['write_hole_stripes']} write-hole stripe(s)"
         )
     _print_io_recovery(summary)
+    _print_scrub(summary)
     print(
         f"{len(specs)} trials: {report.executed} simulated,"
         f" {report.cache_hits} from cache,"
@@ -1117,6 +1147,7 @@ def _cmd_failslow(args: argparse.Namespace) -> int:
             f" {a['backoffs']} backoff(s) / {a['sprints']} sprint(s)"
         )
     _print_io_recovery(summary)
+    _print_scrub(summary)
     print(
         f"{len(specs)} trials: {report.executed} simulated,"
         f" {report.cache_hits} from cache,"
@@ -1175,6 +1206,168 @@ def _cmd_failslow(args: argparse.Namespace) -> int:
                     "failslow": t["failslow"],
                     "hedging": t.get("hedging"),
                     "adaptive": t.get("adaptive"),
+                }
+                for t in trial_records
+            ],
+        }
+        _write_report(args.out, payload)
+    return 0
+
+
+def _cmd_corruption(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.corruption import (
+        corruption_specs,
+        summarize_corruption,
+    )
+    from repro.runner import (
+        ParallelRunner,
+        ResultCache,
+        RunCheckpoint,
+        default_cache_dir,
+        sweep_provenance,
+    )
+
+    layouts = args.layouts
+    trials = args.trials
+    arrivals = args.arrivals
+    if args.quick:
+        layouts = ["raid5", "pddl"]
+        trials = 3
+        arrivals = 120
+    specs = corruption_specs(
+        layouts,
+        defenses=args.defenses,
+        trials=trials,
+        seed=args.seed,
+        start=args.start,
+        disks=args.disks,
+        lost_rate=args.lost_rate,
+        misdirected_rate=args.misdirected_rate,
+        bitrot_cells=args.bitrot_cells,
+        rate_per_s=args.rate,
+        arrivals=arrivals,
+        read_fraction=args.read_fraction,
+        span_units=args.span,
+        fail_at_ms=args.fail_at,
+        checksum_latency_ms=args.checksum_latency,
+        scrub_interval_ms=args.scrub_interval,
+        horizon_ms=args.horizon,
+    )
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    checkpoint = (
+        RunCheckpoint(args.checkpoint) if args.checkpoint else None
+    )
+    runner = ParallelRunner(
+        workers=args.workers,
+        cache=cache,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        checkpoint=checkpoint,
+    )
+    started = time.perf_counter()
+    report = runner.run(specs)
+    elapsed = time.perf_counter() - started
+
+    trial_records = [r["corruption"] for r in report.records]
+    summary = summarize_corruption(trial_records)
+
+    print(
+        f"corruption: {len(layouts)} layout(s) x"
+        f" {len(args.defenses)} defense(s) x {trials} trial(s),"
+        f" {arrivals} arrivals/trial @ {args.rate:g}/s"
+    )
+    silent = summary["silent_by_defense"]
+    print(
+        "  silent by defense: "
+        + ", ".join(f"{d}={silent[d]}" for d in sorted(silent))
+    )
+    print(
+        f"  defended tiers served {summary['defended_silent_total']}"
+        " silent corruption event(s);"
+        f" undefended served {summary['undefended_silent_total']}"
+    )
+    for layout in summary["layouts"]:
+        tiers = summary["by_tier"][layout]
+        cost = summary["latency_cost_vs_none"].get(layout, {})
+        parts = []
+        for defense in sorted(tiers):
+            entry = tiers[defense]
+            factor = cost.get(defense)
+            label = (
+                f"{defense} {entry['mean_latency_ms']:.2f}ms"
+                if entry["mean_latency_ms"] is not None
+                else f"{defense} -"
+            )
+            if factor is not None and defense != "none":
+                label += f" ({factor:.2f}x)"
+            parts.append(label)
+        print(f"  latency[{layout}]: " + ", ".join(parts))
+        for defense in sorted(tiers):
+            audit = tiers[defense].get("scrub_audit")
+            if audit:
+                print(
+                    f"  audit[{layout}/{defense}]:"
+                    f" {audit['stripes_audited']} stripe-cells audited,"
+                    f" {audit['audit_mismatches']} mismatch(es),"
+                    f" {audit['audit_repairs']} repaired,"
+                    f" {audit['audit_unrepairable']} unrepairable"
+                )
+    print(
+        f"{len(specs)} trials: {report.executed} simulated,"
+        f" {report.cache_hits} from cache,"
+        f" {report.checkpoint_hits} from checkpoint"
+        f" ({runner.workers} workers, {elapsed:.2f}s)"
+    )
+    if cache is not None:
+        print(f"cache dir: {cache.root}")
+
+    if args.out:
+        # Deterministic payload modulo the provenance version stamp —
+        # CI compares a fresh run against the committed baseline with
+        # bench --compare --exact.  Trials are summarized (ledger and
+        # latency, no raw instrumentation) to keep the file small.
+        payload = {
+            "bench": "corruption",
+            "provenance": sweep_provenance(specs),
+            "config": {
+                "layouts": list(layouts),
+                "defenses": list(args.defenses),
+                "trials": trials,
+                "seed": args.seed,
+                "start": args.start,
+                "disks": args.disks,
+                "lost_rate": args.lost_rate,
+                "misdirected_rate": args.misdirected_rate,
+                "bitrot_cells": args.bitrot_cells,
+                "rate_per_s": args.rate,
+                "arrivals": arrivals,
+                "read_fraction": args.read_fraction,
+                "span_units": args.span,
+                "fail_at_ms": args.fail_at,
+                "checksum_latency_ms": args.checksum_latency,
+                "scrub_interval_ms": args.scrub_interval,
+                "horizon_ms": args.horizon,
+            },
+            "summary": summary,
+            "trials": [
+                {
+                    "layout": t["layout"],
+                    "defense": t["defense"],
+                    "trial": t["trial"],
+                    "classification": t["classification"],
+                    "offered": t["offered"],
+                    "completed": t["completed"],
+                    "shed": t["shed"],
+                    "truncated": t["truncated"],
+                    "latency": t["latency"]["all"],
+                    "throughput_per_s": t["throughput_per_s"],
+                    "corruption": t["corruption"],
+                    "checksum": t.get("checksum"),
+                    "scrub_audit": t.get("scrub_audit"),
                 }
                 for t in trial_records
             ],
@@ -1793,6 +1986,106 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path (deterministic content; '' to skip)",
     )
     fslow.set_defaults(func=_cmd_failslow)
+
+    corr = sub.add_parser(
+        "corruption",
+        help="silent-corruption defense tiers: checksums, write-verify,"
+        " parity-audit scrub",
+    )
+    corr.add_argument(
+        "--quick", action="store_true",
+        help="small canned comparison (raid5+pddl, 3 trials/tier)",
+    )
+    corr.add_argument(
+        "--layouts", nargs="+", default=["raid5", "pddl"],
+        help="layouts to compare (the bench contrasts raid5 vs pddl)",
+    )
+    corr.add_argument(
+        "--defenses", nargs="+",
+        default=["none", "checksum", "verify", "audit"],
+        choices=["none", "checksum", "verify", "audit"],
+        help="defense tiers to run",
+    )
+    corr.add_argument(
+        "--trials", type=int, default=25,
+        help="seeded trials per (layout, defense) tier",
+    )
+    corr.add_argument(
+        "--start", type=int, default=0,
+        help="first trial index (replay a failing trial from CI)",
+    )
+    corr.add_argument("--seed", type=int, default=0)
+    corr.add_argument("--disks", "-n", type=int, default=13)
+    corr.add_argument(
+        "--lost-rate", type=float, default=0.02,
+        help="per-write probability the drive acks without persisting",
+    )
+    corr.add_argument(
+        "--misdirected-rate", type=float, default=0.01,
+        help="per-write probability the payload lands at the wrong LBA",
+    )
+    corr.add_argument(
+        "--bitrot-cells", type=float, default=0.0,
+        help="Poisson mean of decayed cells per disk",
+    )
+    corr.add_argument(
+        "--rate", type=float, default=60.0,
+        help="offered load in arrivals/second",
+    )
+    corr.add_argument(
+        "--arrivals", type=int, default=300,
+        help="arrivals offered per trial",
+    )
+    corr.add_argument(
+        "--read-fraction", type=float, default=0.5,
+        help="fraction of arrivals that are reads",
+    )
+    corr.add_argument(
+        "--span", type=int, default=64,
+        help="working-set size in data units (small = cells get re-read)",
+    )
+    corr.add_argument(
+        "--fail-at", type=float, default=None,
+        help="optionally fail disk 0 at this ms; the array stays degraded",
+    )
+    corr.add_argument(
+        "--checksum-latency", type=float, default=0.02,
+        help="per-write checksum+version metadata persist cost, ms",
+    )
+    corr.add_argument(
+        "--scrub-interval", type=float, default=120.0,
+        help="parity-audit scrub cadence, ms (audit tier only)",
+    )
+    corr.add_argument(
+        "--horizon", type=float, default=60000.0,
+        help="per-trial simulation-time safety stop, ms",
+    )
+    corr.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: $REPRO_BENCH_WORKERS or 1)",
+    )
+    corr.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-trial deadline in seconds (enables the hardened pool)",
+    )
+    corr.add_argument(
+        "--retries", type=int, default=0,
+        help="crash/timeout retries per trial (capped exponential backoff)",
+    )
+    corr.add_argument(
+        "--checkpoint", default=None,
+        help="JSONL checkpoint file; a killed run resumes from it",
+    )
+    corr.add_argument(
+        "--cache-dir", default=None,
+        help="result cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    corr.add_argument("--no-cache", action="store_true")
+    corr.add_argument(
+        "--out", default="BENCH_corruption.json",
+        help="JSON report path (deterministic content; '' to skip)",
+    )
+    corr.set_defaults(func=_cmd_corruption)
 
     prof = sub.add_parser(
         "profile",

@@ -42,7 +42,7 @@ from repro.experiments.iorecovery import aggregate_io_recovery
 from repro.faults.lifecycle import ArrayLifecycle
 from repro.faults.media import MediaErrorMap
 from repro.faults.scenario import FaultScenario
-from repro.faults.scrubber import Scrubber
+from repro.faults.scrubber import Scrubber, aggregate_scrub
 from repro.reliability.mttdl import MS_PER_HOUR, predict_campaign_loss
 from repro.sim.engine import make_engine
 from repro.stats.confidence import wilson_interval
@@ -381,4 +381,7 @@ def summarize_campaign(records: List[dict], confidence: float = 0.95) -> dict:
     io_recovery = aggregate_io_recovery(records)
     if io_recovery is not None:
         summary["io_recovery"] = io_recovery
+    scrub = aggregate_scrub(records)
+    if scrub is not None:
+        summary["scrub"] = scrub
     return summary

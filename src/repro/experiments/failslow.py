@@ -45,6 +45,7 @@ from repro.experiments.config import (
 )
 from repro.experiments.iorecovery import aggregate_io_recovery
 from repro.faults.failslow import FailSlowModel
+from repro.faults.scrubber import aggregate_scrub
 from repro.faults.lifecycle import ArrayLifecycle
 from repro.faults.scenario import FaultScenario
 from repro.sim.engine import make_engine
@@ -395,4 +396,7 @@ def summarize_failslow(records: List[dict]) -> dict:
     io_recovery = aggregate_io_recovery(records)
     if io_recovery is not None:
         summary["io_recovery"] = io_recovery
+    scrub = aggregate_scrub(records)
+    if scrub is not None:
+        summary["scrub"] = scrub
     return summary

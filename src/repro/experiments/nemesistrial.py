@@ -50,13 +50,14 @@ from repro.experiments.config import (
     layout_for,
 )
 from repro.experiments.iorecovery import aggregate_io_recovery
+from repro.faults.corruption import CorruptionModel
 from repro.faults.failslow import FailSlowModel
 from repro.faults.lifecycle import ArrayLifecycle
 from repro.faults.media import MediaErrorMap
 from repro.faults.nemesis import ActiveFaultTracker, NemesisSchedule
 from repro.faults.oracle import IntegrityOracle
 from repro.faults.scenario import FaultScenario
-from repro.faults.scrubber import SCRUB_ID_BASE, Scrubber
+from repro.faults.scrubber import SCRUB_ID_BASE, Scrubber, aggregate_scrub
 from repro.sim.engine import make_engine
 from repro.workload.client import ClosedLoopClient
 from repro.workload.generators import UniformGenerator
@@ -88,6 +89,7 @@ def run_nemesis_trial(
     max_samples: int = 240,
     transient_io_rate: float = 0.0,
     lse_per_gb: float = 0.0,
+    checksums: bool = False,
     layout=None,
 ) -> dict:
     """One composed-fault lifetime (see module docstring).
@@ -121,6 +123,8 @@ def run_nemesis_trial(
         if journal
         else None
     )
+    if checksums:
+        controller.enable_checksums()
     #: Per-trial stream root for fault machinery (storms, ambient LSEs);
     #: mirrors CampaignTrialSpec.fault_seed so trials are independent.
     fault_seed = seed * 1_000_003 + trial
@@ -161,6 +165,7 @@ def run_nemesis_trial(
         "cohort": 0,
         "storms": 0,
         "failslow": 0,
+        "corruption_bursts": 0,
         "crashes": [],
         "resyncs": [],
         "failure_tokens": [],
@@ -173,7 +178,24 @@ def run_nemesis_trial(
         "cells_read": 0,
         "found": 0,
         "repaired": 0,
+        "stripes_audited": 0,
+        "audit_mismatches": 0,
+        "audit_repairs": 0,
+        "audit_unrepairable": 0,
     }
+    #: Created lazily by the first applied corruption-burst, so trials
+    #: whose schedules drew none stay byte-identical to older records.
+    corr_state: dict = {"model": None}
+
+    def ensure_corruption() -> CorruptionModel:
+        model = corr_state["model"]
+        if model is None:
+            model = CorruptionModel(
+                layout.n, rows, seed=f"{fault_seed}/corruption"
+            )
+            controller.attach_corruption(model)
+            corr_state["model"] = model
+        return model
     samples = {"count": 0}
     heal_timers: dict = {}
     heal_seq = {"next": 0}
@@ -213,6 +235,14 @@ def run_nemesis_trial(
             return
         for field in ("passes_completed", "cells_read", "found", "repaired"):
             scrub_state[field] += getattr(scrubber, field)
+        if scrubber.audit:
+            for field in (
+                "stripes_audited",
+                "audit_mismatches",
+                "audit_repairs",
+                "audit_unrepairable",
+            ):
+                scrub_state[field] += getattr(scrubber, field)
         scrubber.stop()
         scrub_state["scrubber"] = None
 
@@ -234,6 +264,7 @@ def run_nemesis_trial(
             throttle_ms=scrub_throttle_ms,
             rows=rows,
             id_base=SCRUB_ID_BASE + generation * _SCRUB_GENERATION_STRIDE,
+            audit=checksums,
         )
         scrub_state["scrubber"] = scrubber
         scrubber.start()
@@ -499,6 +530,36 @@ def run_nemesis_trial(
 
         schedule_heal(event.time_ms + event.duration_ms, heal_failslow)
 
+    def apply_corruption_burst(event) -> None:
+        if controller.mode is ArrayMode.DATA_LOSS:
+            log_skipped(event, "data-loss")
+            return
+        if controller.servers[event.disk].failed:
+            log_skipped(event, "disk-failed")
+            return
+        model = corr_state["model"]
+        if model is not None and model.burst_active(event.disk):
+            log_skipped(event, "burst-active")
+            return
+        log_applied(event)
+        state["corruption_bursts"] += 1
+        model = ensure_corruption()
+        model.begin_burst(event.disk, event.rate, event.rate * 0.5)
+        token = tracker.begin(
+            "corruption-burst",
+            engine.now,
+            detail=f"disk {event.disk} rate {event.rate:g}",
+        )
+
+        def heal_burst() -> None:
+            # The drive returns to honesty; cells it already corrupted
+            # stay corrupt until a clean write or audit repair clears
+            # them.
+            model.end_burst(event.disk)
+            tracker.heal(token, engine.now)
+
+        schedule_heal(event.time_ms + event.duration_ms, heal_burst)
+
     _APPLIERS = {
         "disk-failure": apply_disk_failure,
         "crash": apply_crash,
@@ -506,6 +567,7 @@ def run_nemesis_trial(
         "transient-storm": apply_storm,
         "scrub-off": apply_scrub_off,
         "failslow": apply_failslow,
+        "corruption-burst": apply_corruption_burst,
     }
 
     # ------------------------------------------------------------------
@@ -593,10 +655,27 @@ def run_nemesis_trial(
         "oracle": verification,
         "instrumentation": controller.instrumentation_record(),
     }
+    if checksums and record["scrub"] is not None:
+        record["scrub"].update(
+            {
+                field: scrub_state[field]
+                for field in (
+                    "stripes_audited",
+                    "audit_mismatches",
+                    "audit_repairs",
+                    "audit_unrepairable",
+                )
+            }
+        )
     if transient_io_rate > 0 or state["storms"] > 0:
         record["io_recovery"] = controller.io_stats.to_dict()
     if state["failslow"] > 0:
         record["failslow_windows"] = state["failslow"]
+    if state["corruption_bursts"] > 0:
+        record["corruption_bursts"] = state["corruption_bursts"]
+        model = corr_state["model"]
+        if model is not None:
+            record["corruption"] = model.report()
     return record
 
 
@@ -630,6 +709,9 @@ def nemesis_specs(
     lse_per_gb: float = 0.0,
     max_failslow: int = 0,
     failslow_multiplier: float = 5.0,
+    max_corruption_bursts: int = 0,
+    corruption_rate: float = 0.05,
+    checksums: bool = False,
 ):
     """One :class:`~repro.runner.spec.NemesisTrialSpec` per trial.
 
@@ -673,6 +755,9 @@ def nemesis_specs(
             lse_per_gb=lse_per_gb,
             max_failslow=max_failslow,
             failslow_multiplier=failslow_multiplier,
+            max_corruption_bursts=max_corruption_bursts,
+            corruption_rate=corruption_rate,
+            checksums=checksums,
         )
         for trial in range(start, start + trials)
     ]
@@ -736,4 +821,34 @@ def summarize_nemesis(records: List[dict]) -> dict:
     io_recovery = aggregate_io_recovery(records)
     if io_recovery is not None:
         summary["io_recovery"] = io_recovery
+    scrub = aggregate_scrub(records)
+    if scrub is not None:
+        summary["scrub"] = scrub
+    corruption = aggregate_corruption(records)
+    if corruption is not None:
+        summary["corruption"] = corruption
+    return summary
+
+
+def aggregate_corruption(records: List[dict]) -> Optional[dict]:
+    """Sum per-kind corruption ledgers; None when no trial carried one."""
+    reports = [r["corruption"] for r in records if r.get("corruption")]
+    if not reports:
+        return None
+    kinds = sorted({k for rep in reports for k in rep["injected"]})
+    summary: dict = {
+        bucket: {
+            kind: sum(rep[bucket].get(kind, 0) for rep in reports)
+            for kind in kinds
+        }
+        for bucket in ("injected", "detected", "silent", "repaired")
+    }
+    summary["cells_corrupted"] = sum(
+        rep["cells_corrupted"] for rep in reports
+    )
+    summary["remaining"] = sum(rep["remaining"] for rep in reports)
+    summary["silent_total"] = sum(rep["silent_total"] for rep in reports)
+    summary["detected_total"] = sum(
+        rep["detected_total"] for rep in reports
+    )
     return summary

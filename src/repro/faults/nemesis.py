@@ -45,11 +45,12 @@ EVENT_KINDS = (
     "transient-storm",
     "scrub-off",
     "failslow",
+    "corruption-burst",
 )
 
 #: Kinds that occupy a window (carry ``duration_ms``); the rest are
 #: instantaneous (a crash *begins* a fault that heals at resync time).
-_WINDOW_KINDS = ("transient-storm", "scrub-off", "failslow")
+_WINDOW_KINDS = ("transient-storm", "scrub-off", "failslow", "corruption-burst")
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,11 @@ class NemesisEvent:
     - ``failslow``: ``disk``, ``multiplier`` and ``duration_ms`` (a
       gray failure: the disk serves every request at ``multiplier``
       times its healthy service time for the window, then heals)
+    - ``corruption-burst``: ``disk``, ``rate`` and ``duration_ms`` (a
+      silent-corruption window: for its duration each physical write to
+      the disk is lost with probability ``rate`` and misdirected with
+      probability ``rate / 2``, then the drive returns to honesty —
+      what it already corrupted stays corrupt)
     """
 
     time_ms: float
@@ -143,17 +149,20 @@ class NemesisSchedule:
         min_crash_gap_ms: float = 500.0,
         max_failslow: int = 0,
         failslow_multiplier: float = 5.0,
+        max_corruption_bursts: int = 0,
+        corruption_rate: float = 0.05,
     ) -> "NemesisSchedule":
         """Draw a legal schedule from a named stream of ``seed``.
 
         Always includes at least one disk failure (a nemesis trial with
         no failure tests nothing); every other fault class draws a count
         from zero up to its cap.  Draw order is fixed — failures,
-        crashes, bursts, storms, scrub windows, fail-slow windows — so a
-        seed replays the identical schedule regardless of caller.  The
-        fail-slow draw block is skipped entirely at the default
-        ``max_failslow=0`` (not even a zero-count draw), so schedules
-        drawn before the kind existed replay byte-identically.
+        crashes, bursts, storms, scrub windows, fail-slow windows,
+        corruption-burst windows — so a seed replays the identical
+        schedule regardless of caller.  The fail-slow and
+        corruption-burst draw blocks are skipped entirely at their
+        default zero caps (not even a zero-count draw), so schedules
+        drawn before those kinds existed replay byte-identically.
         """
         if n_disks < 2 or rows < 1:
             raise ConfigurationError("need >= 2 disks and >= 1 row")
@@ -261,6 +270,27 @@ class NemesisSchedule:
                     )
                 )
 
+        if max_corruption_bursts > 0:
+            if not 0.0 < corruption_rate <= 0.5:
+                raise ConfigurationError(
+                    f"corruption rate {corruption_rate} not in (0, 0.5]"
+                )
+            # Like fail-slow: at most one window per drawn disk, so
+            # per-disk overlap is impossible by construction.
+            n_bursts = rng.randint(0, min(max_corruption_bursts, n_disks))
+            for disk in rng.sample(range(n_disks), n_bursts):
+                start = rng.uniform(0.05, 0.5) * horizon_ms
+                duration = rng.uniform(0.15, 0.35) * horizon_ms
+                events.append(
+                    NemesisEvent(
+                        time_ms=start,
+                        kind="corruption-burst",
+                        disk=disk,
+                        rate=corruption_rate,
+                        duration_ms=duration,
+                    )
+                )
+
         schedule = cls(
             events=tuple(
                 sorted(events, key=lambda e: (e.time_ms, e.kind))
@@ -300,6 +330,7 @@ class NemesisSchedule:
         storm_end = -1.0
         scrub_end = -1.0
         failslow_end: Dict[int, float] = {}
+        burst_end: Dict[int, float] = {}
         last_time = 0.0
         for event in self.events:
             if event.kind not in EVENT_KINDS:
@@ -385,6 +416,25 @@ class NemesisSchedule:
                         f" {event.disk}"
                     )
                 failslow_end[event.disk] = (
+                    event.time_ms + event.duration_ms
+                )
+            elif event.kind == "corruption-burst":
+                if event.disk is None or not 0 <= event.disk < n_disks:
+                    raise ConfigurationError(
+                        f"corruption-burst disk {event.disk} outside"
+                        f" [0, {n_disks})"
+                    )
+                if event.rate is None or not 0.0 < event.rate <= 0.5:
+                    raise ConfigurationError(
+                        f"corruption-burst rate {event.rate} not in"
+                        f" (0, 0.5]"
+                    )
+                if event.time_ms < burst_end.get(event.disk, -1.0):
+                    raise ConfigurationError(
+                        f"overlapping corruption-burst windows on disk"
+                        f" {event.disk}"
+                    )
+                burst_end[event.disk] = (
                     event.time_ms + event.duration_ms
                 )
 

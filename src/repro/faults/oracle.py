@@ -75,6 +75,11 @@ class IntegrityOracle:
         self.resynced_stripes = 0
         self.corruption_count = 0
         self.corruption_detail: List[dict] = []
+        #: Disk-originated corruption (lost/misdirected writes, bit rot)
+        #: classified per kind: detected-and-repaired consumptions are
+        #: the checksum defense working; silent ones served garbage.
+        self.disk_corruption_detected: Dict[str, int] = {}
+        self.disk_corruption_silent: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Write lifecycle (controller hooks).
@@ -150,6 +155,24 @@ class IntegrityOracle:
         if stripe in self.suspect:
             self._corrupt("escalated-reconstruction", stripe=stripe)
 
+    def note_disk_corruption(self, kind: str, detected: bool) -> None:
+        """A corrupt cell (disk-originated, not a write hole) was
+        consumed by a read.  ``detected`` means the checksum/version
+        defense caught it before delivery and repair is under way —
+        that is the defense working as designed.  An undetected
+        consumption served garbage as good data: a silent corruption
+        event, counted with the write-hole events in
+        ``corruption_events``."""
+        if detected:
+            self.disk_corruption_detected[kind] = (
+                self.disk_corruption_detected.get(kind, 0) + 1
+            )
+        else:
+            self.disk_corruption_silent[kind] = (
+                self.disk_corruption_silent.get(kind, 0) + 1
+            )
+            self._corrupt("disk-" + kind)
+
     def note_resync(self, stripe: int, count: bool = True) -> None:
         """Resync recomputed (or rebuild regenerated) this stripe's
         parity from its data: the write hole is closed for it."""
@@ -182,7 +205,7 @@ class IntegrityOracle:
                 units = self.layout.stripe_units(stripe)
                 if any(a.disk == failed_disk for a in units.all_units()):
                     at_risk += 1
-        return {
+        report = {
             "writes_begun": self.writes_begun,
             "writes_committed": self.writes_committed,
             "torn_writes": self.torn_writes,
@@ -195,6 +218,17 @@ class IntegrityOracle:
             "corruption_events": self.corruption_count,
             "corruption_detail": list(self.corruption_detail),
         }
+        # Disk-corruption classification appears only when such events
+        # occurred, so reports from corruption-free runs (and their
+        # pinned baselines) are byte-identical to pre-defense ones.
+        if self.disk_corruption_detected or self.disk_corruption_silent:
+            report["disk_corruption"] = {
+                "detected_and_repaired": dict(
+                    sorted(self.disk_corruption_detected.items())
+                ),
+                "silent": dict(sorted(self.disk_corruption_silent.items())),
+            }
+        return report
 
 
 # ----------------------------------------------------------------------

@@ -18,12 +18,13 @@ client and rebuild traffic, so its cost shows up in the same statistics.
 from __future__ import annotations
 
 from functools import partial
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro.array.controller import ArrayController
 from repro.array.raidops import ArrayMode
 from repro.errors import ConfigurationError
 from repro.faults.media import MediaErrorMap
+from repro.layouts import Role
 
 #: Access ids at or above this value are scrub traffic (rebuild traffic
 #: starts at 1 << 40; scrub ids never collide with either space).
@@ -43,6 +44,17 @@ class Scrubber:
     access-id block — a harness that replaces a stalled scrubber (e.g.
     after a crash wiped its in-flight reads) hands each generation a
     distinct block so their ids never collide.
+
+    ``audit=True`` turns the sweep into a *parity-audit* scrub: every
+    cell read is additionally verified against the controller's
+    checksum+write-version metadata (via the attached
+    :class:`~repro.faults.corruption.CorruptionModel`), which is exactly
+    the per-member check of the stripe's parity equation — a cell whose
+    content disagrees with its metadata is a stripe whose equation
+    cannot balance.  A mismatched cell is reconstructed from its stripe
+    peers and rewritten (repair traffic on the engine clock, like every
+    other scrub operation); a mismatch in a stripe with no redundancy
+    left is counted unrepairable.
     """
 
     def __init__(
@@ -54,6 +66,7 @@ class Scrubber:
         rows: Optional[int] = None,
         on_repair: Optional[Callable[[int, int], None]] = None,
         id_base: Optional[int] = None,
+        audit: bool = False,
     ):
         if interval_ms <= 0:
             raise ConfigurationError(
@@ -80,6 +93,13 @@ class Scrubber:
         self.cells_read = 0
         self.found = 0
         self.repaired = 0
+        self.audit = audit
+        #: Parity-audit accounting: each audited cell is one member-level
+        #: verification of its stripe's parity equation.
+        self.stripes_audited = 0
+        self.audit_mismatches = 0
+        self.audit_repairs = 0
+        self.audit_unrepairable = 0
         self._running = False
         self._stopped = False
         self._disk = 0
@@ -158,6 +178,45 @@ class Scrubber:
             # issue the rewrite — pause via the normal path instead.
             self._advance()
             return
+        if self.audit:
+            corruption = self.controller.corruption
+            if corruption is not None:
+                self.stripes_audited += 1
+                hits = corruption.corrupt_cells(
+                    disk, offset, 1, self.controller.engine.now
+                )
+                if hits:
+                    self.audit_mismatches += 1
+                    kind = hits[0][1]
+                    corruption.note_detected(kind)
+                    oracle = self.controller.oracle
+                    if oracle is not None:
+                        oracle.note_disk_corruption(kind, detected=True)
+                    members = self.controller._stripe_peers(disk, offset)
+                    if members is not None:
+                        self.controller._reconstruct_sector(
+                            disk,
+                            offset,
+                            members,
+                            self._audit_repair_done,
+                        )
+                        return
+                    role = self.controller._plan_layout.locate(
+                        disk, offset
+                    ).role
+                    if role is Role.SPARE:
+                        # Spare space holds no data: a plain rewrite
+                        # refreshes content and metadata together.
+                        self.controller.submit_raw(
+                            disk,
+                            offset,
+                            True,
+                            self._next_id,
+                            self._audit_repair_done,
+                            tag="scrub-rewrite",
+                        )
+                        return
+                    self.audit_unrepairable += 1
         if self.media.is_bad(disk, offset):
             self.found += 1
             self.controller.submit_raw(
@@ -178,6 +237,12 @@ class Scrubber:
                 self.on_repair(disk, offset)
         self._advance()
 
+    def _audit_repair_done(self) -> None:
+        """The peer-reconstruction rewrite of a mismatched cell landed
+        (the rewrite itself clears the corruption-map entry)."""
+        self.audit_repairs += 1
+        self._advance()
+
     def _advance(self) -> None:
         if self._stopped:
             return
@@ -189,9 +254,39 @@ class Scrubber:
             self._next_cell()
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "passes_completed": self.passes_completed,
             "cells_read": self.cells_read,
             "found": self.found,
             "repaired": self.repaired,
         }
+        if self.audit:
+            data["stripes_audited"] = self.stripes_audited
+            data["audit_mismatches"] = self.audit_mismatches
+            data["audit_repairs"] = self.audit_repairs
+            data["audit_unrepairable"] = self.audit_unrepairable
+        return data
+
+
+def aggregate_scrub(records: List[dict]) -> Optional[dict]:
+    """Sum per-trial ``"scrub"`` counter blocks across trial records.
+
+    Returns ``None`` when no trial scrubbed, so summaries of sweeps
+    that never ran a scrubber stay byte-identical with their committed
+    bench baselines (same conditional idiom as
+    ``aggregate_io_recovery``).  Keys are the union of the per-trial
+    blocks — the parity-audit counters only appear when some trial
+    audited — plus ``trials_reporting``.
+    """
+    blocks = [r.get("scrub") for r in records]
+    blocks = [b for b in blocks if b]
+    if not blocks:
+        return None
+    totals: dict = {}
+    for block in blocks:
+        for key, value in block.items():
+            totals[key] = totals.get(key, 0) + value
+    return {
+        "trials_reporting": len(blocks),
+        **{key: totals[key] for key in sorted(totals)},
+    }

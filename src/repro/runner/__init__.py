@@ -39,6 +39,7 @@ from repro.runner.figures import (
 from repro.runner.parallel import ParallelRunner, RunReport, default_workers
 from repro.runner.spec import (
     CampaignTrialSpec,
+    CorruptionTrialSpec,
     ExperimentSpec,
     FailSlowTrialSpec,
     LifecycleSpec,
@@ -54,6 +55,7 @@ from repro.runner.workers import run_hardened
 
 __all__ = [
     "CampaignTrialSpec",
+    "CorruptionTrialSpec",
     "ExperimentSpec",
     "FailSlowTrialSpec",
     "LifecycleSpec",

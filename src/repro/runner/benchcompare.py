@@ -35,6 +35,7 @@ from repro.errors import RunnerError
 #: Bench kinds with committed baselines (BENCH_<kind>.json at the root).
 KNOWN_BENCHES = (
     "campaign",
+    "corruption",
     "crash",
     "failslow",
     "hotpath",
@@ -290,8 +291,62 @@ def _check_failslow(report: dict, problems: List[str]) -> None:
             )
 
 
+def _check_corruption(report: dict, problems: List[str]) -> None:
+    provenance = report.get("provenance")
+    if provenance is None:
+        problems.append("corruption report lacks a provenance block")
+    elif "sweep_hash" not in provenance:
+        problems.append("provenance block lacks sweep_hash")
+    summary = report["summary"]
+    trials = report["trials"]
+    if summary["trials"] != len(trials):
+        problems.append(
+            f"summary says {summary['trials']} trials but"
+            f" {len(trials)} are recorded"
+        )
+    # The defense invariant the whole bench exists to assert: no
+    # checksummed tier ever serves corrupt data as good.
+    if summary["defended_silent_total"] != 0:
+        problems.append(
+            f"{summary['defended_silent_total']} silent corruption"
+            " event(s) served by defended tiers"
+        )
+    for defense, count in summary["silent_by_defense"].items():
+        if defense != "none" and count != 0:
+            problems.append(
+                f"defense {defense!r} served {count} silent"
+                " corruption event(s)"
+            )
+    for trial in trials:
+        label = f"{trial['layout']}/{trial['defense']}#{trial['trial']}"
+        if trial["completed"] + trial["shed"] != trial["offered"]:
+            problems.append(
+                f"{label}: completed {trial['completed']} + shed"
+                f" {trial['shed']} != offered {trial['offered']}"
+            )
+        ledger = trial["corruption"]
+        if ledger["silent_total"] != sum(ledger["silent"].values()):
+            problems.append(
+                f"{label}: silent_total {ledger['silent_total']}"
+                " is not the sum of the per-kind silent ledger"
+            )
+        if trial["defense"] != "none":
+            if ledger["silent_total"] != 0:
+                problems.append(
+                    f"{label}: defended trial served"
+                    f" {ledger['silent_total']} silent corruption"
+                    " event(s)"
+                )
+            if trial["classification"] == "silent_corruption":
+                problems.append(
+                    f"{label}: defended trial classified"
+                    " silent_corruption"
+                )
+
+
 _CHECKERS = {
     "campaign": _check_campaign,
+    "corruption": _check_corruption,
     "crash": _check_crash,
     "nemesis": _check_nemesis,
     "hotpath": _check_hotpath,
@@ -396,6 +451,75 @@ def _summary_shifts(
             )
 
 
+def _compare_trial_sweep(
+    baseline: dict, candidate: dict, regressions: List[str]
+) -> None:
+    """Summary level shifts plus the first few per-trial differences —
+    the comparer for every bench shaped as ``summary`` + ``trials``."""
+    _summary_shifts(baseline, candidate, regressions)
+    if baseline["trials"] != candidate["trials"]:
+        diffs = diff_reports(
+            {"trials": baseline["trials"]},
+            {"trials": candidate["trials"]},
+            limit=5,
+        )
+        for entry in diffs:
+            regressions.append(
+                _shift(entry, "baseline", "candidate", baseline, candidate)
+            )
+
+
+def _compare_lifecycle(
+    baseline: dict, candidate: dict, regressions: List[str]
+) -> None:
+    for entry in diff_reports(
+        {"runs": baseline["runs"]}, {"runs": candidate["runs"]}, limit=10
+    ):
+        regressions.append(
+            _shift(entry, "baseline", "candidate", baseline, candidate)
+        )
+
+
+def _compare_hotpath(
+    baseline: dict, candidate: dict, regressions: List[str]
+) -> None:
+    base_total, cand_total = baseline["total"], candidate["total"]
+    if base_total["events"] != cand_total["events"]:
+        regressions.append(
+            _shift(
+                "total.events",
+                base_total["events"],
+                cand_total["events"],
+                baseline,
+                candidate,
+            )
+        )
+    floor = base_total["events_per_s"] * WALL_CLOCK_TOLERANCE
+    if cand_total["events_per_s"] < floor:
+        regressions.append(
+            f"total.events_per_s: {cand_total['events_per_s']:.0f}"
+            f" below {floor:.0f}"
+            f" ({WALL_CLOCK_TOLERANCE:.0%} of baseline"
+            f" {base_total['events_per_s']:.0f};"
+            f" {_version(baseline)} -> {_version(candidate)})"
+        )
+
+
+#: kind -> comparer(baseline, candidate, regressions).  A kind missing
+#: here is a named problem, never a silent pass — register a comparer
+#: alongside the checker when adding a bench.
+_COMPARERS = {
+    "campaign": _compare_trial_sweep,
+    "corruption": _compare_trial_sweep,
+    "crash": _compare_trial_sweep,
+    "failslow": _compare_trial_sweep,
+    "nemesis": _compare_trial_sweep,
+    "traffic": _compare_trial_sweep,
+    "lifecycle": _compare_lifecycle,
+    "hotpath": _compare_hotpath,
+}
+
+
 def compare_reports(baseline: dict, candidate: dict) -> List[str]:
     """Level shifts between two same-kind reports (empty = no change).
 
@@ -403,7 +527,9 @@ def compare_reports(baseline: dict, candidate: dict) -> List[str]:
     seeded and deterministic); wall-clock rates in the hotpath bench
     tolerate :data:`WALL_CLOCK_TOLERANCE` slowdown.  A config mismatch
     is reported as its own problem — the reports measured different
-    sweeps, so their numbers are incomparable.
+    sweeps, so their numbers are incomparable.  A bench kind with no
+    registered comparer is also a problem: an unknown baseline must
+    fail the gate, not slide through it.
     """
     regressions: List[str] = []
     if baseline["bench"] != candidate["bench"]:
@@ -417,46 +543,13 @@ def compare_reports(baseline: dict, candidate: dict) -> List[str]:
             "configs differ — these reports measured different sweeps"
         )
         return regressions
-    if kind in ("campaign", "crash", "nemesis", "traffic", "failslow"):
-        _summary_shifts(baseline, candidate, regressions)
-        if baseline["trials"] != candidate["trials"]:
-            diffs = diff_reports(
-                {"trials": baseline["trials"]},
-                {"trials": candidate["trials"]},
-                limit=5,
-            )
-            for entry in diffs:
-                regressions.append(
-                    _shift(entry, "baseline", "candidate", baseline, candidate)
-                )
-    elif kind == "lifecycle":
-        for entry in diff_reports(
-            {"runs": baseline["runs"]}, {"runs": candidate["runs"]}, limit=10
-        ):
-            regressions.append(
-                _shift(entry, "baseline", "candidate", baseline, candidate)
-            )
-    elif kind == "hotpath":
-        base_total, cand_total = baseline["total"], candidate["total"]
-        if base_total["events"] != cand_total["events"]:
-            regressions.append(
-                _shift(
-                    "total.events",
-                    base_total["events"],
-                    cand_total["events"],
-                    baseline,
-                    candidate,
-                )
-            )
-        floor = base_total["events_per_s"] * WALL_CLOCK_TOLERANCE
-        if cand_total["events_per_s"] < floor:
-            regressions.append(
-                f"total.events_per_s: {cand_total['events_per_s']:.0f}"
-                f" below {floor:.0f}"
-                f" ({WALL_CLOCK_TOLERANCE:.0%} of baseline"
-                f" {base_total['events_per_s']:.0f};"
-                f" {_version(baseline)} -> {_version(candidate)})"
-            )
+    comparer = _COMPARERS.get(kind)
+    if comparer is None:
+        return [
+            f"no comparer registered for bench kind {kind!r}"
+            " — cannot gate on this baseline"
+        ]
+    comparer(baseline, candidate, regressions)
     return regressions
 
 
@@ -476,15 +569,30 @@ def run_compare(
     problems: List[str] = []
     reports = []
     for path in baseline_paths:
-        report = load_report(path)
+        # An unreadable file is one problem among many, not a hard stop:
+        # every failing baseline must surface in a single run.
+        try:
+            report = load_report(path)
+        except RunnerError as exc:
+            problems.append(str(exc))
+            continue
         reports.append((path, report))
         for problem in check_invariants(report):
             problems.append(f"{path}: {problem}")
     if candidate_path is None:
         return problems
     if not reports:
+        if problems:
+            problems.append(
+                "no readable baseline to compare the candidate against"
+            )
+            return problems
         raise RunnerError("--candidate needs a --baseline to compare against")
-    candidate = load_report(candidate_path)
+    try:
+        candidate = load_report(candidate_path)
+    except RunnerError as exc:
+        problems.append(str(exc))
+        return problems
     for problem in check_invariants(candidate):
         problems.append(f"{candidate_path}: {problem}")
     base_path, baseline = reports[-1]

@@ -16,6 +16,7 @@ from repro.errors import ConfigurationError
 from repro.runner.spec import (
     MODES,
     CampaignTrialSpec,
+    CorruptionTrialSpec,
     CrashTrialSpec,
     ExperimentSpec,
     FailSlowTrialSpec,
@@ -221,6 +222,7 @@ def _execute_nemesis_trial(spec: NemesisTrialSpec, layout=None) -> dict:
             max_samples=spec.max_samples,
             transient_io_rate=spec.transient_io_rate,
             lse_per_gb=spec.lse_per_gb,
+            checksums=spec.checksums,
         )
     }
 
@@ -294,6 +296,37 @@ def _execute_failslow(spec: FailSlowTrialSpec, layout=None) -> dict:
     }
 
 
+def _execute_corruption(spec: CorruptionTrialSpec, layout=None) -> dict:
+    from repro.experiments.corruption import run_corruption_trial
+
+    return {
+        "corruption": run_corruption_trial(
+            spec.layout,
+            layout=layout,
+            defense=spec.defense,
+            trial=spec.trial,
+            seed=spec.seed,
+            lost_rate=spec.lost_rate,
+            misdirected_rate=spec.misdirected_rate,
+            bitrot_cells=spec.bitrot_cells,
+            rate_per_s=spec.rate_per_s,
+            arrivals=spec.arrivals,
+            read_fraction=spec.read_fraction,
+            span_units=spec.span_units,
+            size_kb=spec.size_kb,
+            disks=spec.disks,
+            width=spec.width,
+            fail_at_ms=spec.fail_at_ms,
+            failed_disk=spec.failed_disk,
+            checksum_latency_ms=spec.checksum_latency_ms,
+            scrub_interval_ms=spec.scrub_interval_ms,
+            queue_depth=spec.queue_depth,
+            service_slots=spec.service_slots,
+            horizon_ms=spec.horizon_ms,
+        )
+    }
+
+
 _EXECUTORS = {
     ExperimentSpec.kind: _execute_response,
     Table1Spec.kind: _execute_table1,
@@ -303,6 +336,7 @@ _EXECUTORS = {
     NemesisTrialSpec.kind: _execute_nemesis_trial,
     OpenLoopSpec.kind: _execute_openloop,
     FailSlowTrialSpec.kind: _execute_failslow,
+    CorruptionTrialSpec.kind: _execute_corruption,
 }
 
 
@@ -352,6 +386,7 @@ class BatchedTrialExecutor:
             NemesisTrialSpec.kind,
             OpenLoopSpec.kind,
             FailSlowTrialSpec.kind,
+            CorruptionTrialSpec.kind,
         }
     )
 
@@ -391,6 +426,8 @@ class BatchedTrialExecutor:
             record = _execute_nemesis_trial(spec, layout=layout)
         elif kind == OpenLoopSpec.kind:
             record = _execute_openloop(spec, layout=layout)
+        elif kind == CorruptionTrialSpec.kind:
+            record = _execute_corruption(spec, layout=layout)
         else:
             record = _execute_failslow(spec, layout=layout)
         self.trials_executed += 1

@@ -34,6 +34,9 @@ _V1_SPEC_OPTIONAL = {
         "lse_per_gb": 0.0,
         "max_failslow": 0,
         "failslow_multiplier": 5.0,
+        "max_corruption_bursts": 0,
+        "corruption_rate": 0.05,
+        "checksums": False,
     },
 }
 
@@ -389,6 +392,11 @@ class NemesisTrialSpec:
     lse_per_gb: float = 0.0
     max_failslow: int = 0
     failslow_multiplier: float = 5.0
+    # Post-v1: corruption-burst windows in the drawn schedule, plus the
+    # checksum defense (validation + parity-audit scrub) against them.
+    max_corruption_bursts: int = 0
+    corruption_rate: float = 0.05
+    checksums: bool = False
 
     def __post_init__(self):
         if self.trial < 0:
@@ -426,6 +434,8 @@ class NemesisTrialSpec:
             storm_rate=self.storm_rate,
             max_failslow=self.max_failslow,
             failslow_multiplier=self.failslow_multiplier,
+            max_corruption_bursts=self.max_corruption_bursts,
+            corruption_rate=self.corruption_rate,
         )
 
 
@@ -624,6 +634,117 @@ class FailSlowTrialSpec:
         HedgePolicy(deferral_ms=self.hedge_deferral_ms)
 
 
+@dataclass(frozen=True)
+class CorruptionTrialSpec:
+    """One silent-corruption defense trial (``repro corruption``).
+
+    Open-loop Poisson traffic over a small, re-read working set while a
+    seeded :class:`~repro.faults.corruption.CorruptionModel` loses and
+    misdirects writes.  ``defense`` switches the protection stack one
+    layer at a time: ``none``, ``checksum`` (per-unit checksum+version
+    validation on every read path), ``verify`` (checksum plus read-back
+    after write), or ``audit`` (checksum plus the parity-audit scrub).
+    Whole-new kind, so no ``_V1_SPEC_OPTIONAL`` entry is needed: there
+    are no pre-existing hashes to preserve.
+
+    >>> spec = CorruptionTrialSpec(layout="pddl", defense="checksum")
+    >>> spec_hash(spec) == spec_hash(CorruptionTrialSpec(
+    ...     layout="pddl", defense="checksum"))
+    True
+    """
+
+    kind: ClassVar[str] = "corruption"
+
+    layout: str
+    defense: str = "none"
+    trial: int = 0
+    seed: int = 0
+    # The corruption fault model (per-write draw rates, Poisson rot).
+    lost_rate: float = 0.02
+    misdirected_rate: float = 0.01
+    bitrot_cells: float = 0.0
+    # Open-loop workload over the re-read working set.
+    rate_per_s: float = 60.0
+    arrivals: int = 300
+    read_fraction: float = 0.5
+    span_units: int = 64
+    size_kb: int = 8
+    disks: int = 13
+    width: Optional[int] = None
+    # Optional mid-trial disk failure; the array stays degraded.
+    fail_at_ms: Optional[float] = None
+    failed_disk: int = 0
+    # Defense knobs.
+    checksum_latency_ms: float = 0.02
+    scrub_interval_ms: float = 120.0
+    # Admission geometry and the runaway backstop.
+    queue_depth: int = 64
+    service_slots: int = 12
+    horizon_ms: float = 60000.0
+
+    def __post_init__(self):
+        from repro.experiments.corruption import DEFENSES
+
+        if self.defense not in DEFENSES:
+            raise ConfigurationError(
+                f"defense must be one of {DEFENSES},"
+                f" got {self.defense!r}"
+            )
+        if self.trial < 0:
+            raise ConfigurationError(f"negative trial index {self.trial}")
+        for name, rate in (
+            ("lost_rate", self.lost_rate),
+            ("misdirected_rate", self.misdirected_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
+        if self.bitrot_cells < 0:
+            raise ConfigurationError(
+                f"negative bitrot_cells {self.bitrot_cells}"
+            )
+        if self.rate_per_s <= 0:
+            raise ConfigurationError(
+                f"arrival rate must be positive, got {self.rate_per_s}"
+            )
+        if self.arrivals < 1:
+            raise ConfigurationError(
+                f"need >= 1 arrival, got {self.arrivals}"
+            )
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigurationError(
+                f"read fraction must be in [0, 1],"
+                f" got {self.read_fraction}"
+            )
+        if self.span_units < 1:
+            raise ConfigurationError(
+                f"need >= 1 span unit, got {self.span_units}"
+            )
+        if not 0 <= self.failed_disk < self.disks:
+            raise ConfigurationError(
+                f"bad failed disk {self.failed_disk}"
+            )
+        if self.fail_at_ms is not None and self.fail_at_ms < 0:
+            raise ConfigurationError(
+                f"negative fault time {self.fail_at_ms}"
+            )
+        if self.checksum_latency_ms < 0:
+            raise ConfigurationError(
+                f"negative checksum latency {self.checksum_latency_ms}"
+            )
+        if self.scrub_interval_ms <= 0:
+            raise ConfigurationError(
+                f"scrub interval must be > 0, got {self.scrub_interval_ms}"
+            )
+        if self.queue_depth < 1 or self.service_slots < 1:
+            raise ConfigurationError("need positive queue geometry")
+        if self.horizon_ms <= 0:
+            raise ConfigurationError(
+                f"horizon must be positive, got {self.horizon_ms}"
+            )
+
+
 Spec = Union[
     ExperimentSpec,
     Table1Spec,
@@ -633,6 +754,7 @@ Spec = Union[
     NemesisTrialSpec,
     OpenLoopSpec,
     FailSlowTrialSpec,
+    CorruptionTrialSpec,
 ]
 
 _SPEC_TYPES = {
@@ -646,6 +768,7 @@ _SPEC_TYPES = {
         NemesisTrialSpec,
         OpenLoopSpec,
         FailSlowTrialSpec,
+        CorruptionTrialSpec,
     )
 }
 

@@ -1,0 +1,207 @@
+"""End-to-end checksum/write-verify defenses against silent corruption.
+
+The corruption model marks cells whose platter content disagrees with
+the controller's checksum+write-version metadata; these tests drive
+client I/O through the controller and assert the defense contract:
+with checksums armed no corrupt cell is ever delivered as good data
+(it is demoted to a media error and repaired from redundancy), and
+with checksums off every consumption is counted as a silent event.
+"""
+
+import pytest
+
+from repro.array.controller import ArrayController, LogicalAccess
+from repro.errors import ConfigurationError
+from repro.faults.corruption import CorruptionModel
+from repro.faults.oracle import IntegrityOracle
+from repro.layouts import make_layout
+from repro.sim.engine import SimulationEngine
+
+LAYOUTS = ["datum", "parity-declustering", "raid5", "pddl", "prime"]
+
+ROWS = 100
+
+
+def build(layout_name="pddl", n=13, k=4, **kwargs):
+    engine = SimulationEngine()
+    controller = ArrayController(
+        engine, make_layout(layout_name, n, k), **kwargs
+    )
+    model = CorruptionModel(n, ROWS, seed=f"test/{layout_name}")
+    controller.attach_corruption(model)
+    return engine, controller, model
+
+
+def run_access(engine, controller, access):
+    done = {}
+    controller.submit(access, lambda acc, ms: done.setdefault("ms", ms))
+    engine.run()
+    assert "ms" in done
+    return done["ms"]
+
+
+def corrupt_one_write(engine, controller, model, access_id, first, count):
+    """Issue one write with every disk in a lost-write burst, so each
+    covered cell (data and check alike) is marked corrupt."""
+    for disk in range(controller.layout.n):
+        model.begin_burst(disk, 1.0, 0.0)
+    run_access(
+        engine, controller, LogicalAccess(access_id, first, count, True)
+    )
+    for disk in range(controller.layout.n):
+        model.end_burst(disk)
+
+
+class TestChecksumRoundTrip:
+    @pytest.mark.parametrize("layout_name", LAYOUTS)
+    def test_detects_and_repairs_on_every_layout(self, layout_name):
+        """Write under total loss, then read back: the checksum path
+        must catch every stale cell, repair it from the stripe, and
+        deliver the read with zero silent consumptions."""
+        engine, controller, model = build(layout_name)
+        controller.enable_checksums()
+        corrupt_one_write(engine, controller, model, 1, 0, 4)
+        assert model.remaining > 0
+        run_access(engine, controller, LogicalAccess(2, 0, 4, False))
+        stats = controller.checksum_stats
+        assert stats.mismatches > 0
+        assert stats.demotions > 0
+        # Escalation rebuilt the demoted sectors from the stripe and
+        # rewrote them; the clean rewrites clear the corruption map.
+        assert controller.io_stats.repaired_sectors > 0
+        assert model.report()["silent_total"] == 0
+        # The repaired cells read clean now.
+        stats_before = stats.mismatches
+        run_access(engine, controller, LogicalAccess(3, 0, 4, False))
+        assert stats.mismatches == stats_before
+        assert model.report()["silent_total"] == 0
+
+    def test_validations_counted_per_client_read(self):
+        engine, controller, model = build()
+        controller.enable_checksums()
+        run_access(engine, controller, LogicalAccess(1, 0, 4, False))
+        assert controller.checksum_stats.validations > 0
+
+
+class TestUndefendedConsumption:
+    def test_reads_serve_garbage_silently(self):
+        engine, controller, model = build()
+        corrupt_one_write(engine, controller, model, 1, 0, 4)
+        assert model.remaining > 0
+        run_access(engine, controller, LogicalAccess(2, 0, 4, False))
+        report = model.report()
+        assert report["silent_total"] > 0
+        assert report["detected_total"] == 0
+        assert controller.checksum_stats.mismatches == 0
+
+    def test_oracle_classifies_silent_consumptions(self):
+        engine, controller, model = build()
+        oracle = controller.attach_oracle(IntegrityOracle(controller.layout))
+        corrupt_one_write(engine, controller, model, 1, 0, 4)
+        run_access(engine, controller, LogicalAccess(2, 0, 4, False))
+        report = oracle.verify()
+        assert report["corruption_events"] > 0
+        assert report["disk_corruption"]["silent"]["lost-write"] > 0
+        assert report["disk_corruption"]["detected_and_repaired"] == {}
+
+    def test_oracle_classifies_detected_consumptions(self):
+        engine, controller, model = build()
+        oracle = controller.attach_oracle(IntegrityOracle(controller.layout))
+        controller.enable_checksums()
+        corrupt_one_write(engine, controller, model, 1, 0, 4)
+        run_access(engine, controller, LogicalAccess(2, 0, 4, False))
+        report = oracle.verify()
+        assert report["corruption_events"] == 0
+        detected = report["disk_corruption"]["detected_and_repaired"]
+        assert detected["lost-write"] > 0
+        assert report["disk_corruption"]["silent"] == {}
+
+
+class TestParityPollution:
+    def test_undefended_rmw_poisons_check_cells(self):
+        """A small write's pre-read over stale data folds garbage into
+        the RMW delta: the stripe's check cells are now poisoned."""
+        engine, controller, model = build()
+        corrupt_one_write(engine, controller, model, 1, 0, 1)
+        run_access(engine, controller, LogicalAccess(2, 0, 1, True))
+        assert model.injected["parity-pollution"] > 0
+
+    def test_version_cross_check_blocks_pollution(self):
+        engine, controller, model = build()
+        controller.enable_checksums()
+        corrupt_one_write(engine, controller, model, 1, 0, 1)
+        run_access(engine, controller, LogicalAccess(2, 0, 1, True))
+        assert model.injected["parity-pollution"] == 0
+        assert controller.checksum_stats.stale_rmw_detected > 0
+
+
+class TestWriteVerify:
+    def test_read_back_catches_loss_at_write_time(self):
+        engine, controller, model = build()
+        controller.enable_checksums(write_verify=True)
+        for disk in range(controller.layout.n):
+            model.begin_burst(disk, 0.5, 0.0)
+        for i in range(8):
+            run_access(
+                engine, controller, LogicalAccess(10 + i, i * 4, 4, True)
+            )
+        for disk in range(controller.layout.n):
+            model.end_burst(disk)
+        stats = controller.checksum_stats
+        assert stats.verify_reads > 0
+        assert stats.mismatches > 0
+        assert model.report()["silent_total"] == 0
+
+    def test_verify_costs_latency(self):
+        def write_ms(verify):
+            engine, controller, model = build()
+            controller.enable_checksums(write_verify=verify)
+            return run_access(
+                engine, controller, LogicalAccess(1, 0, 4, True)
+            )
+
+        assert write_ms(True) > write_ms(False)
+
+    def test_metadata_latency_charged_per_write(self):
+        def write_ms(latency):
+            engine, controller, model = build()
+            controller.enable_checksums(metadata_latency_ms=latency)
+            return run_access(
+                engine, controller, LogicalAccess(1, 0, 4, True)
+            )
+
+        # The metadata persist defers the platter phase, so the write
+        # completes later (the exact delta folds in rotational position).
+        assert write_ms(0.5) > write_ms(0.0)
+
+    def test_rejects_negative_latency(self):
+        engine, controller, model = build()
+        with pytest.raises(ConfigurationError):
+            controller.enable_checksums(metadata_latency_ms=-1.0)
+
+
+class TestInactiveByteIdentity:
+    def test_attached_zero_rate_model_changes_nothing(self):
+        """The determinism contract: attaching an all-zero-rate model
+        (checksums off) leaves every completion time and the engine
+        event count byte-identical to a controller without one."""
+
+        def trace(with_model):
+            engine = SimulationEngine()
+            controller = ArrayController(
+                engine, make_layout("pddl", 13, 4)
+            )
+            if with_model:
+                controller.attach_corruption(
+                    CorruptionModel(13, ROWS, seed="inactive")
+                )
+            times = []
+            for i in range(12):
+                controller.submit(
+                    LogicalAccess(i, i * 7, 3, is_write=(i % 2 == 0)),
+                    lambda acc, ms: times.append((acc.access_id, ms)),
+                )
+            engine.run()
+            return times, engine.events_processed
+
+        assert trace(True) == trace(False)

@@ -52,14 +52,49 @@ class TestDraw:
         assert [e.kind for e in schedule.events] == ["disk-failure"]
 
     def test_every_kind_eventually_drawn(self):
-        # failslow is opt-in (cap defaults to 0 for schedule-replay
-        # compatibility), so enable it for the coverage sweep.
+        # failslow and corruption-burst are opt-in (caps default to 0
+        # for schedule-replay compatibility), so enable them for the
+        # coverage sweep.
         seen = set()
         for seed in range(60):
             seen.update(
-                e.kind for e in drawn(seed, max_failslow=2).events
+                e.kind
+                for e in drawn(
+                    seed, max_failslow=2, max_corruption_bursts=2
+                ).events
             )
         assert seen == set(EVENT_KINDS)
+
+    def test_zero_cap_keeps_old_schedules_byte_identical(self):
+        # The corruption-burst block draws nothing at its zero-cap
+        # default, so every pre-existing seed replays unchanged.
+        for seed in range(20):
+            old = drawn(seed)
+            explicit = drawn(
+                seed, max_corruption_bursts=0, corruption_rate=0.05
+            )
+            assert old.events == explicit.events
+
+    def test_corruption_burst_draw_and_validation(self):
+        schedule = drawn(3, max_corruption_bursts=3)
+        bursts = [
+            e for e in schedule.events if e.kind == "corruption-burst"
+        ]
+        for burst in bursts:
+            assert 0 <= burst.disk < 13
+            assert 0.0 < burst.rate <= 0.5
+            assert burst.duration_ms > 0
+        # Per-disk windows never overlap by construction.
+        ends: dict = {}
+        for burst in bursts:
+            assert burst.time_ms >= ends.get(burst.disk, 0.0)
+            ends[burst.disk] = burst.time_ms + burst.duration_ms
+
+    def test_corruption_rate_validated(self):
+        with pytest.raises(ConfigurationError):
+            drawn(0, max_corruption_bursts=1, corruption_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            drawn(0, max_corruption_bursts=1, corruption_rate=0.9)
 
     def test_bad_envelope_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -145,6 +180,47 @@ class TestFromEventsValidation:
                 ],
                 n_disks=13, rows=26,
             )
+
+    def test_corruption_burst_disk_out_of_range(self):
+        with pytest.raises(ConfigurationError, match="outside"):
+            NemesisSchedule.from_events(
+                [NemesisEvent(time_ms=10.0, kind="corruption-burst",
+                              disk=13, rate=0.1, duration_ms=100.0)],
+                n_disks=13, rows=26,
+            )
+
+    def test_corruption_burst_rate_bounds(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            NemesisSchedule.from_events(
+                [NemesisEvent(time_ms=10.0, kind="corruption-burst",
+                              disk=0, rate=0.6, duration_ms=100.0)],
+                n_disks=13, rows=26,
+            )
+
+    def test_overlapping_corruption_bursts_same_disk(self):
+        with pytest.raises(
+            ConfigurationError, match="overlapping corruption-burst"
+        ):
+            NemesisSchedule.from_events(
+                [
+                    NemesisEvent(time_ms=100.0, kind="corruption-burst",
+                                 disk=2, rate=0.1, duration_ms=1000.0),
+                    NemesisEvent(time_ms=500.0, kind="corruption-burst",
+                                 disk=2, rate=0.1, duration_ms=100.0),
+                ],
+                n_disks=13, rows=26,
+            )
+
+    def test_corruption_bursts_may_overlap_across_disks(self):
+        NemesisSchedule.from_events(
+            [
+                NemesisEvent(time_ms=100.0, kind="corruption-burst",
+                             disk=2, rate=0.1, duration_ms=1000.0),
+                NemesisEvent(time_ms=500.0, kind="corruption-burst",
+                             disk=3, rate=0.1, duration_ms=1000.0),
+            ],
+            n_disks=13, rows=26,
+        )
 
     def test_storm_may_overlap_scrub_window(self):
         """Different window kinds only exclude their own kind."""

@@ -257,16 +257,168 @@ class TestCompareReports:
         )
 
 
-class TestRunCompare:
-    def test_missing_file_raises_runner_error(self, tmp_path):
-        with pytest.raises(RunnerError, match="cannot read"):
-            run_compare([str(tmp_path / "nope.json")])
+def corruption_report():
+    def ledger(silent=0):
+        return {
+            "injected": {"lost-write": 2, "misdirected-write": 1,
+                         "bit-rot": 0, "parity-pollution": 0},
+            "detected": {"lost-write": 2 - silent, "misdirected-write": 1,
+                         "bit-rot": 0, "parity-pollution": 0},
+            "silent": {"lost-write": silent, "misdirected-write": 0,
+                       "bit-rot": 0, "parity-pollution": 0},
+            "repaired": {"lost-write": 2 - silent, "misdirected-write": 1,
+                         "bit-rot": 0, "parity-pollution": 0},
+            "cells_corrupted": 3,
+            "remaining": 0,
+            "silent_total": silent,
+            "detected_total": 3 - silent,
+        }
 
-    def test_non_json_raises_runner_error(self, tmp_path):
+    return {
+        "bench": "corruption",
+        "provenance": {
+            "source_version": "abc1234",
+            "spec_schema": 1,
+            "spec_count": 2,
+            "sweep_hash": "f" * 64,
+        },
+        "config": {"layouts": ["pddl"], "defenses": ["none", "checksum"],
+                   "trials": 1, "seed": 0},
+        "summary": {
+            "trials": 2,
+            "silent_by_defense": {"none": 2, "checksum": 0},
+            "defended_silent_total": 0,
+            "undefended_silent_total": 2,
+        },
+        "trials": [
+            {"layout": "pddl", "defense": "none", "trial": 0,
+             "classification": "silent_corruption",
+             "offered": 100, "completed": 98, "shed": 2,
+             "corruption": ledger(silent=2)},
+            {"layout": "pddl", "defense": "checksum", "trial": 0,
+             "classification": "detected_and_repaired",
+             "offered": 100, "completed": 97, "shed": 3,
+             "corruption": ledger(silent=0)},
+        ],
+    }
+
+
+class TestCorruptionInvariants:
+    def test_healthy_report_passes(self):
+        assert check_invariants(corruption_report()) == []
+
+    def test_defended_silent_corruption_is_a_hard_fail(self):
+        report = corruption_report()
+        report["trials"][1]["corruption"]["silent_total"] = 1
+        report["trials"][1]["corruption"]["silent"]["lost-write"] = 1
+        report["summary"]["silent_by_defense"]["checksum"] = 1
+        report["summary"]["defended_silent_total"] = 1
+        problems = check_invariants(report)
+        assert any("defended tiers" in p for p in problems)
+        assert any("'checksum'" in p for p in problems)
+        assert any("pddl/checksum#0" in p for p in problems)
+
+    def test_defended_silent_classification_flagged(self):
+        report = corruption_report()
+        report["trials"][1]["classification"] = "silent_corruption"
+        problems = check_invariants(report)
+        assert any("classified" in p for p in problems)
+
+    def test_ledger_sum_mismatch(self):
+        report = corruption_report()
+        report["trials"][0]["corruption"]["silent_total"] = 5
+        assert any(
+            "per-kind silent ledger" in p
+            for p in check_invariants(report)
+        )
+
+    def test_admission_accounting_must_balance(self):
+        report = corruption_report()
+        report["trials"][0]["completed"] = 10
+        assert any("!= offered" in p for p in check_invariants(report))
+
+    def test_trial_count_mismatch(self):
+        report = corruption_report()
+        report["trials"].pop()
+        report["summary"]["silent_by_defense"]["checksum"] = 0
+        assert any("recorded" in p for p in check_invariants(report))
+
+    def test_undefended_silence_is_allowed(self):
+        # The 'none' tier SHOULD show silent corruption — that is the
+        # point of the bench; only defended tiers are gated.
+        report = corruption_report()
+        assert check_invariants(report) == []
+
+
+class TestComparerRegistry:
+    def test_every_known_bench_has_checker_and_comparer(self):
+        from repro.runner.benchcompare import _CHECKERS, _COMPARERS
+
+        for kind in KNOWN_BENCHES:
+            assert kind in _CHECKERS, kind
+            assert kind in _COMPARERS, kind
+
+    def test_unknown_kind_is_a_named_problem_not_a_pass(self):
+        base = {"bench": "mystery", "config": None}
+        problems = compare_reports(base, copy.deepcopy(base))
+        assert problems == [
+            "no comparer registered for bench kind 'mystery'"
+            " — cannot gate on this baseline"
+        ]
+
+    def test_corruption_reports_use_trial_sweep_comparer(self):
+        base, cand = corruption_report(), corruption_report()
+        cand["provenance"]["source_version"] = "def5678"
+        cand["summary"]["defended_silent_total"] = 1
+        cand["trials"][1]["corruption"]["silent_total"] = 1
+        shifts = compare_reports(base, cand)
+        assert any("summary.defended_silent_total" in s for s in shifts)
+        assert any("trials[1]" in s for s in shifts)
+
+
+class TestRunCompare:
+    def test_missing_file_is_a_problem_line(self, tmp_path):
+        problems = run_compare([str(tmp_path / "nope.json")])
+        assert len(problems) == 1
+        assert "cannot read" in problems[0]
+
+    def test_non_json_is_a_problem_line(self, tmp_path):
         path = tmp_path / "BENCH_bad.json"
         path.write_text("{half a report")
-        with pytest.raises(RunnerError, match="not JSON"):
-            run_compare([str(path)])
+        problems = run_compare([str(path)])
+        assert len(problems) == 1
+        assert "not JSON" in problems[0]
+
+    def test_all_failing_files_reported_in_one_run(self, tmp_path):
+        """One bad baseline must not mask the others: every failing
+        file appears in a single pass, readable ones still checked."""
+        missing = tmp_path / "BENCH_missing.json"
+        broken = tmp_path / "BENCH_broken.json"
+        broken.write_text("{half a report")
+        good = tmp_path / "BENCH_nemesis.json"
+        good.write_text(json.dumps(nemesis_report()))
+        problems = run_compare([str(missing), str(broken), str(good)])
+        assert len(problems) == 2
+        assert any("cannot read" in p and "missing" in p for p in problems)
+        assert any("not JSON" in p and "broken" in p for p in problems)
+
+    def test_unreadable_candidate_is_a_problem_line(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(nemesis_report()))
+        problems = run_compare(
+            [str(base)], candidate_path=str(tmp_path / "nope.json")
+        )
+        assert len(problems) == 1
+        assert "cannot read" in problems[0]
+
+    def test_no_readable_baseline_for_candidate(self, tmp_path):
+        cand = tmp_path / "cand.json"
+        cand.write_text(json.dumps(nemesis_report()))
+        problems = run_compare(
+            [str(tmp_path / "nope.json")], candidate_path=str(cand)
+        )
+        assert any("cannot read" in p for p in problems)
+        assert any("no readable baseline" in p for p in problems)
 
     def test_candidate_without_baseline_raises(self, tmp_path):
         path = tmp_path / "cand.json"

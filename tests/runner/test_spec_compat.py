@@ -9,6 +9,7 @@ the hash it had before the feature existed.
 
 from repro.runner.spec import (
     CampaignTrialSpec,
+    CorruptionTrialSpec,
     CrashTrialSpec,
     FailSlowTrialSpec,
     LifecycleSpec,
@@ -38,6 +39,9 @@ PINNED_OPENLOOP = (
 )
 PINNED_FAILSLOW = (
     "c051e0ac80debdaf417603a9d15586f2de932cc37bb2764ba9140386e3400b2c"
+)
+PINNED_CORRUPTION = (
+    "241754da95cdcd7732a395e8a9d8b47dd30e0c8676b9d44511e6e87891ff19ef"
 )
 
 
@@ -106,6 +110,42 @@ class TestInactiveDefaultsKeepV1Hashes:
         assert (
             spec_hash(NemesisTrialSpec(layout="pddl")) == PINNED_NEMESIS
         )
+
+    def test_corruption_pin(self):
+        """The corruption kind hashes stably (it keys
+        BENCH_corruption.json's result-cache entries) and leaves every
+        other pin alone."""
+        assert (
+            spec_hash(CorruptionTrialSpec(layout="pddl", defense="checksum"))
+            == PINNED_CORRUPTION
+        )
+        assert spec_hash(lifecycle()) == PINNED_LIFECYCLE
+        assert (
+            spec_hash(NemesisTrialSpec(layout="pddl")) == PINNED_NEMESIS
+        )
+
+    def test_nemesis_corruption_knobs_omitted_when_inactive(self):
+        """The corruption-burst fields ride the same post-v1 contract:
+        a burst-free nemesis spec keeps its pre-corruption hash and
+        dict form, so no cached nemesis sweep is invalidated."""
+        data = spec_to_dict(NemesisTrialSpec(layout="pddl"))
+        assert "max_corruption_bursts" not in data
+        assert "corruption_rate" not in data
+        assert "checksums" not in data
+        assert spec_hash(
+            NemesisTrialSpec(
+                layout="pddl",
+                max_corruption_bursts=0,
+                corruption_rate=0.05,
+                checksums=False,
+            )
+        ) == PINNED_NEMESIS
+        assert spec_hash(
+            NemesisTrialSpec(layout="pddl", max_corruption_bursts=1)
+        ) != PINNED_NEMESIS
+        assert spec_hash(
+            NemesisTrialSpec(layout="pddl", checksums=True)
+        ) != PINNED_NEMESIS
 
     def test_failslow_pin(self):
         """The failslow kind hashes stably (it keys
@@ -194,6 +234,20 @@ class TestRoundTrip:
                 arrival="mmpp",
                 phase="rebuild",
                 timelines=True,
+            ),
+            CorruptionTrialSpec(
+                layout="raid5",
+                defense="audit",
+                trial=7,
+                lost_rate=0.05,
+                fail_at_ms=9000.0,
+            ),
+            NemesisTrialSpec(
+                layout="pddl",
+                trial=2,
+                max_corruption_bursts=2,
+                corruption_rate=0.1,
+                checksums=True,
             ),
         ):
             clone = spec_from_dict(spec_to_dict(spec))

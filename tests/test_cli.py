@@ -11,7 +11,7 @@ from repro.cli import build_parser, main
 ALL_COMMANDS = [
     "goals", "figure3", "response", "seeks", "table1", "table3", "plan",
     "bench", "lifecycle", "campaign", "crash", "nemesis", "traffic",
-    "failslow", "profile",
+    "failslow", "corruption", "profile",
 ]
 
 
@@ -56,10 +56,11 @@ class TestUnwritableOut:
             ["nemesis", "--trial", "0", "--no-cache", "--workers", "1"],
             ["traffic", "--quick", "--no-cache", "--workers", "1"],
             ["failslow", "--quick", "--no-cache", "--workers", "1"],
+            ["corruption", "--quick", "--no-cache", "--workers", "1"],
         ],
         ids=[
             "lifecycle", "campaign", "crash", "nemesis", "traffic",
-            "failslow",
+            "failslow", "corruption",
         ],
     )
     def test_out_through_regular_file(self, args, tmp_path, capsys):
@@ -408,6 +409,54 @@ class TestFailslowCommand:
         out_file = tmp_path / "BENCH_failslow.json"
         assert main(
             ["failslow", "--quick", "--no-cache", "--workers", "1",
+             "--out", str(out_file)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["bench", "--compare", "--baseline", str(out_file)]
+        ) == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestCorruptionCommand:
+    def test_quick_run_then_cache_replay(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_corruption.json"
+        args = [
+            "corruption", "--quick", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out_file),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "24 trials: 24 simulated" in out
+        assert "silent by defense:" in out
+        assert "defended tiers served 0 silent corruption event(s)" in out
+        assert "audit[pddl/audit]:" in out
+
+        payload = json.loads(out_file.read_text())
+        assert payload["bench"] == "corruption"
+        assert payload["summary"]["trials"] == 24
+        assert len(payload["trials"]) == 24
+        assert "source_version" in payload["provenance"]
+        assert payload["summary"]["defended_silent_total"] == 0
+        assert payload["summary"]["undefended_silent_total"] > 0
+        for trial in payload["trials"]:
+            assert trial["completed"] + trial["shed"] == trial["offered"]
+            if trial["defense"] == "none":
+                assert trial["checksum"] is None
+            else:
+                assert trial["corruption"]["silent_total"] == 0
+
+        # Replay: every trial from cache, byte-identical.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "24 trials: 0 simulated, 24 from cache" in out
+        assert json.loads(out_file.read_text()) == payload
+
+    def test_report_passes_the_compare_gate(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_corruption.json"
+        assert main(
+            ["corruption", "--quick", "--no-cache", "--workers", "1",
              "--out", str(out_file)]
         ) == 0
         capsys.readouterr()
